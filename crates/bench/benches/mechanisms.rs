@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the DP primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpx_dp::budget::{Epsilon, Sensitivity};
+use dpx_dp::exponential::exponential_mechanism;
+use dpx_dp::geometric::sample_two_sided_geometric;
+use dpx_dp::gumbel::sample_gumbel;
+use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism, LaplaceHistogram};
+use dpx_dp::laplace::sample_laplace;
+use dpx_dp::topk::one_shot_top_k;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("samplers");
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("laplace", |b| {
+        b.iter(|| sample_laplace(black_box(1.0), &mut rng))
+    });
+    g.bench_function("gumbel", |b| {
+        b.iter(|| sample_gumbel(black_box(1.0), &mut rng))
+    });
+    g.bench_function("two_sided_geometric", |b| {
+        b.iter(|| sample_two_sided_geometric(black_box(0.9), &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("selection");
+    let eps = Epsilon::new(1.0).unwrap();
+    for n in [16usize, 64, 256] {
+        let scores: Vec<f64> = (0..n).map(|i| (i * 7 % 13) as f64).collect();
+        g.bench_with_input(BenchmarkId::new("exponential_mechanism", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| exponential_mechanism(&scores, eps, Sensitivity::ONE, &mut rng).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("one_shot_top_3", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| one_shot_top_k(&scores, 3, eps, Sensitivity::ONE, &mut rng).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_histograms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histograms");
+    let eps = Epsilon::new(0.1).unwrap();
+    for dom in [8usize, 39] {
+        let counts: Vec<u64> = (0..dom as u64).map(|v| v * 100).collect();
+        g.bench_with_input(BenchmarkId::new("geometric", dom), &dom, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| GeometricHistogram.privatize(&counts, eps, &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("laplace", dom), &dom, |b, _| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| LaplaceHistogram.privatize(&counts, eps, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_selection, bench_histograms);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! A tiny `--flag value` argument parser for the experiment binaries.
+//!
+//! Hand-rolled on purpose: the binaries need five flags, not a CLI framework.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags of the form `--name value`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments, panicking on malformed input (these are
+    /// developer-facing binaries; fail fast beats guessing).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got '{arg}'"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            flags.insert(name.to_string(), value);
+        }
+        Args { flags }
+    }
+
+    /// A `usize` flag with a default.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// An `f64` flag with a default.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got '{v}'"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A `u64` flag with a default (seeds).
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A comma-separated list of `usize` with a default.
+    pub fn usize_list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        match self.flags.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} expects integers, got '{s}'"))
+                })
+                .collect(),
+        }
+    }
+
+    /// A comma-separated list of `f64` with a default.
+    pub fn f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        match self.flags.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{name} expects numbers, got '{s}'"))
+                })
+                .collect(),
+        }
+    }
+
+    /// A string flag with a default.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_typed_flags() {
+        let a = args(&["--runs", "5", "--eps", "0.5", "--seed", "42"]);
+        assert_eq!(a.usize("runs", 10), 5);
+        assert_eq!(a.f64("eps", 1.0), 0.5);
+        assert_eq!(a.u64("seed", 0), 42);
+        assert_eq!(a.usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = args(&["--clusters", "3,5,7", "--etas", "0.1, 0.5"]);
+        assert_eq!(a.usize_list("clusters", &[9]), vec![3, 5, 7]);
+        assert_eq!(a.f64_list("etas", &[1.0]), vec![0.1, 0.5]);
+        assert_eq!(a.usize_list("other", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn string_flags() {
+        let a = args(&["--dataset", "census"]);
+        assert_eq!(a.string("dataset", "all"), "census");
+        assert_eq!(a.string("mode", "x"), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        args(&["--runs"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn positional_panics() {
+        args(&["runs"]);
+    }
+}

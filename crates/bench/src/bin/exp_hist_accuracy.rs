@@ -1,0 +1,65 @@
+//! Ablation (DESIGN.md): accuracy of the pluggable DP histogram mechanisms.
+//! Compares the geometric mechanism (the paper's choice) against Laplace on
+//! mean-absolute bin error across ε, domain sizes, and count magnitudes.
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin exp_hist_accuracy
+//! ```
+
+use dpx_bench::table::{fmt4, mean, Table};
+use dpx_bench::Args;
+use dpx_dp::budget::Epsilon;
+use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism, LaplaceHistogram};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mae_of<M: HistogramMechanism>(
+    mech: &M,
+    counts: &[u64],
+    eps: Epsilon,
+    runs: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let per_run: Vec<f64> = (0..runs)
+        .map(|_| {
+            let noisy = mech.privatize(counts, eps, rng);
+            noisy
+                .iter()
+                .zip(counts)
+                .map(|(&n, &c)| (n - c as f64).abs())
+                .sum::<f64>()
+                / counts.len() as f64
+        })
+        .collect();
+    mean(&per_run)
+}
+
+fn main() {
+    let args = Args::parse();
+    let runs = args.usize("runs", 200);
+    let seed = args.u64("seed", 2025);
+    let epsilons = args.f64_list("eps", &[0.01, 0.05, 0.1, 0.5, 1.0]);
+    let domains = args.usize_list("domains", &[4, 16, 39]);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(["domain", "eps", "geometric MAE", "laplace MAE"]);
+    for &dom in &domains {
+        // Counts resembling a cluster histogram: a peaked profile.
+        let counts: Vec<u64> = (0..dom)
+            .map(|v| {
+                let center = dom as f64 / 2.0;
+                let x = (v as f64 - center) / (dom as f64 / 4.0);
+                (1000.0 * (-x * x).exp()) as u64
+            })
+            .collect();
+        for &eps in &epsilons {
+            let e = Epsilon::new(eps).expect("positive epsilon");
+            let g = mae_of(&GeometricHistogram, &counts, e, runs, &mut rng);
+            let l = mae_of(&LaplaceHistogram, &counts, e, runs, &mut rng);
+            table.row([dom.to_string(), format!("{eps}"), fmt4(g), fmt4(l)]);
+        }
+    }
+    table.print();
+    println!("\nBoth scale as Θ(1/ε) per bin; geometric's integer noise has the");
+    println!("smaller MAE at every ε (it is the utility-optimal mechanism for counts).");
+}

@@ -1,0 +1,65 @@
+//! Figure 7: explanation `Quality` of DPClustX as the Stage-1 candidate-set
+//! size `k` varies from 1 to 5 (Census + Diabetes, all clustering methods).
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin fig7_candidates -- --dataset census
+//! ```
+
+use dpclustx::eval::QualityEvaluator;
+use dpclustx::quality::score::Weights;
+use dpx_bench::table::{fmt4, mean, Table};
+use dpx_bench::{methods_for, Args, DatasetKind, ExperimentContext, Explainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    // The paper focuses on Census and Diabetes here (Stack Overflow showed
+    // the same trends); default to those two.
+    let datasets = match args.string("dataset", "default").as_str() {
+        "default" => vec![DatasetKind::Census, DatasetKind::Diabetes],
+        other => DatasetKind::from_flag(other),
+    };
+    let n_clusters = args.usize("clusters", 5);
+    let runs = args.usize("runs", 10);
+    let seed = args.u64("seed", 2025);
+    let eps = args.f64("eps", 0.2);
+    let ks = args.usize_list("k", &[1, 2, 3, 4, 5]);
+    let weights = Weights::equal();
+
+    for kind in &datasets {
+        let rows = args.usize("rows", kind.default_rows());
+        for method in methods_for(*kind) {
+            eprintln!("# fitting {} / {}", kind.name(), method.name());
+            let ctx = ExperimentContext::build(*kind, rows, method, n_clusters, seed);
+            let evaluator = QualityEvaluator::new(&ctx.st, weights);
+            let mut table = Table::new(["dataset", "method", "k", "quality"]);
+            for &k in &ks {
+                let qs: Vec<f64> = (0..runs)
+                    .map(|run| {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let pick = Explainer::DpClustX.select(
+                            &ctx.st,
+                            &ctx.counts,
+                            eps,
+                            k,
+                            weights,
+                            &mut rng,
+                        );
+                        evaluator.quality(&pick)
+                    })
+                    .collect();
+                table.row([
+                    kind.name().to_string(),
+                    method.name().to_string(),
+                    k.to_string(),
+                    fmt4(mean(&qs)),
+                ]);
+            }
+            table.print();
+            println!();
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 8a: `Quality` of the selected combination as the number of
+//! clusters varies (k-means; Census + Diabetes; all four explainers).
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin fig8a_num_clusters -- --clusters 3,5,7,9,11
+//! ```
+
+use dpclustx::eval::QualityEvaluator;
+use dpclustx::quality::score::Weights;
+use dpx_bench::table::{fmt4, mean, Table};
+use dpx_bench::{Args, DatasetKind, ExperimentContext, Explainer};
+use dpx_clustering::ClusteringMethod;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let datasets = match args.string("dataset", "default").as_str() {
+        "default" => vec![DatasetKind::Census, DatasetKind::Diabetes],
+        other => DatasetKind::from_flag(other),
+    };
+    let cluster_counts = args.usize_list("clusters", &[3, 5, 7, 9, 11]);
+    let runs = args.usize("runs", 10);
+    let seed = args.u64("seed", 2025);
+    let eps = args.f64("eps", 0.2);
+    let k = args.usize("k", 3);
+    let weights = Weights::equal();
+
+    for kind in &datasets {
+        let rows = args.usize("rows", kind.default_rows());
+        let mut table = Table::new(["dataset", "#clusters", "explainer", "quality"]);
+        for &n_clusters in &cluster_counts {
+            eprintln!(
+                "# fitting {} k-means ({} clusters)",
+                kind.name(),
+                n_clusters
+            );
+            let ctx =
+                ExperimentContext::build(*kind, rows, ClusteringMethod::KMeans, n_clusters, seed);
+            let evaluator = QualityEvaluator::new(&ctx.st, weights);
+            for explainer in Explainer::all() {
+                let effective_runs = if explainer.randomized() { runs } else { 1 };
+                let qs: Vec<f64> = (0..effective_runs)
+                    .map(|run| {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let pick =
+                            explainer.select(&ctx.st, &ctx.counts, eps, k, weights, &mut rng);
+                        evaluator.quality(&pick)
+                    })
+                    .collect();
+                table.row([
+                    kind.name().to_string(),
+                    n_clusters.to_string(),
+                    explainer.name().to_string(),
+                    fmt4(mean(&qs)),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 8b: `Quality` as the average cluster size varies — an `η` fraction
+//! of every cluster is sampled (η from 1e-3 to 1) and the explainers run on
+//! the sampled data (k-means, 5 clusters, Census + Diabetes).
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin fig8b_cluster_size
+//! ```
+
+use dpclustx::eval::QualityEvaluator;
+use dpclustx::quality::score::Weights;
+use dpx_bench::table::{fmt4, mean, Table};
+use dpx_bench::{Args, DatasetKind, ExperimentContext, Explainer};
+use dpx_clustering::ClusteringMethod;
+use dpx_data::sample::sample_per_cluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let datasets = match args.string("dataset", "default").as_str() {
+        "default" => vec![DatasetKind::Census, DatasetKind::Diabetes],
+        other => DatasetKind::from_flag(other),
+    };
+    let n_clusters = args.usize("clusters", 5);
+    let runs = args.usize("runs", 10);
+    let seed = args.u64("seed", 2025);
+    let eps = args.f64("eps", 0.2);
+    let k = args.usize("k", 3);
+    let etas = args.f64_list(
+        "etas",
+        &[0.001, 0.003_162, 0.01, 0.031_62, 0.1, 0.316_2, 1.0],
+    );
+    let weights = Weights::equal();
+
+    for kind in &datasets {
+        let rows = args.usize("rows", kind.default_rows());
+        eprintln!(
+            "# fitting {} k-means ({} clusters)",
+            kind.name(),
+            n_clusters
+        );
+        let full =
+            ExperimentContext::build(*kind, rows, ClusteringMethod::KMeans, n_clusters, seed);
+        let mut table = Table::new(["dataset", "eta", "avg-cluster-size", "explainer", "quality"]);
+        for &eta in &etas {
+            let mut sample_rng = StdRng::seed_from_u64(seed ^ 0xE7A);
+            let (sampled, sampled_labels) =
+                sample_per_cluster(&full.data, &full.labels, n_clusters, eta, &mut sample_rng);
+            let ctx = ExperimentContext::from_parts(sampled, sampled_labels, n_clusters);
+            let avg_size = ctx.cluster_sizes().iter().sum::<u64>() as f64 / n_clusters as f64;
+            let evaluator = QualityEvaluator::new(&ctx.st, weights);
+            for explainer in Explainer::all() {
+                let effective_runs = if explainer.randomized() { runs } else { 1 };
+                let qs: Vec<f64> = (0..effective_runs)
+                    .map(|run| {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let pick =
+                            explainer.select(&ctx.st, &ctx.counts, eps, k, weights, &mut rng);
+                        evaluator.quality(&pick)
+                    })
+                    .collect();
+                table.row([
+                    kind.name().to_string(),
+                    format!("{eta}"),
+                    format!("{avg_size:.0}"),
+                    explainer.name().to_string(),
+                    fmt4(mean(&qs)),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,165 @@
+//! Figure 9: execution-time trends of the full DPClustX pipeline (selection +
+//! histogram generation), averaged over `--runs` runs.
+//!
+//! Modes (paper sub-figures):
+//! * `clusters`   — 9a: time vs number of clusters (k-means + GMMs).
+//! * `candidates` — 9b: time vs Stage-1 candidate-set size `k` at 9 clusters.
+//! * `attributes` — 9c: time vs fraction of attributes used.
+//! * `rows`       — 9d: time vs fraction of tuples used.
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin fig9_time -- --mode clusters
+//! ```
+
+use dpclustx::framework::{DpClustX, DpClustXConfig};
+use dpx_bench::table::{mean, Table};
+use dpx_bench::{Args, DatasetKind, ExperimentContext};
+use dpx_clustering::ClusteringMethod;
+use dpx_data::sample::{sample_attributes, sample_rows};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn time_explain(ctx: &ExperimentContext, k: usize, runs: usize, seed: u64) -> f64 {
+    let cfg = DpClustXConfig {
+        k,
+        ..Default::default()
+    };
+    let explainer = DpClustX::new(cfg);
+    let times: Vec<f64> = (0..runs)
+        .map(|run| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let t0 = Instant::now();
+            explainer
+                .explain(&ctx.data, &ctx.labels, ctx.n_clusters, &mut rng)
+                .expect("valid configuration");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    mean(&times)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mode = args.string("mode", "clusters");
+    let datasets = DatasetKind::from_flag(&args.string("dataset", "all"));
+    let runs = args.usize("runs", 10);
+    let seed = args.u64("seed", 2025);
+
+    match mode.as_str() {
+        "clusters" => {
+            let cluster_counts = args.usize_list("clusters", &[3, 5, 7, 9, 11, 13, 15]);
+            let k = args.usize("k", 3);
+            let mut table = Table::new(["dataset", "method", "#clusters", "seconds"]);
+            for kind in &datasets {
+                let rows = args.usize("rows", kind.default_rows());
+                // §6.3: only k-means and GMMs scale to many clusters.
+                for method in [ClusteringMethod::KMeans, ClusteringMethod::Gmm] {
+                    for &n_clusters in &cluster_counts {
+                        eprintln!(
+                            "# {} / {} / {} clusters",
+                            kind.name(),
+                            method.name(),
+                            n_clusters
+                        );
+                        let ctx = ExperimentContext::build(*kind, rows, method, n_clusters, seed);
+                        let secs = time_explain(&ctx, k, runs, seed);
+                        table.row([
+                            kind.name().to_string(),
+                            method.name().to_string(),
+                            n_clusters.to_string(),
+                            format!("{secs:.4}"),
+                        ]);
+                    }
+                }
+            }
+            table.print();
+        }
+        "candidates" => {
+            let n_clusters = args.usize("clusters", 9);
+            let ks = args.usize_list("k", &[1, 2, 3, 4, 5]);
+            let mut table = Table::new(["dataset", "k", "seconds"]);
+            for kind in &datasets {
+                let rows = args.usize("rows", kind.default_rows());
+                eprintln!("# {} k-means ({} clusters)", kind.name(), n_clusters);
+                let ctx = ExperimentContext::build(
+                    *kind,
+                    rows,
+                    ClusteringMethod::KMeans,
+                    n_clusters,
+                    seed,
+                );
+                for &k in &ks {
+                    let secs = time_explain(&ctx, k, runs, seed);
+                    table.row([kind.name().to_string(), k.to_string(), format!("{secs:.4}")]);
+                }
+            }
+            table.print();
+        }
+        "attributes" => {
+            let n_clusters = args.usize("clusters", 9);
+            let k = args.usize("k", 3);
+            let fractions = args.f64_list("fractions", &[0.2, 0.4, 0.6, 0.8, 1.0]);
+            let mut table = Table::new(["dataset", "attr-frac", "#attrs", "seconds"]);
+            for kind in &datasets {
+                let rows = args.usize("rows", kind.default_rows());
+                eprintln!("# {} k-means ({} clusters)", kind.name(), n_clusters);
+                let full = ExperimentContext::build(
+                    *kind,
+                    rows,
+                    ClusteringMethod::KMeans,
+                    n_clusters,
+                    seed,
+                );
+                for &frac in &fractions {
+                    let mut srng = StdRng::seed_from_u64(seed ^ 0xA77);
+                    let attrs = sample_attributes(full.data.schema().arity(), frac, &mut srng);
+                    let data = full.data.select_attributes(&attrs);
+                    let ctx = ExperimentContext::from_parts(data, full.labels.clone(), n_clusters);
+                    let secs = time_explain(&ctx, k, runs, seed);
+                    table.row([
+                        kind.name().to_string(),
+                        format!("{frac}"),
+                        attrs.len().to_string(),
+                        format!("{secs:.4}"),
+                    ]);
+                }
+            }
+            table.print();
+        }
+        "rows" => {
+            let n_clusters = args.usize("clusters", 9);
+            let k = args.usize("k", 3);
+            let fractions = args.f64_list("fractions", &[0.2, 0.4, 0.6, 0.8, 1.0]);
+            let mut table = Table::new(["dataset", "row-frac", "#rows", "seconds"]);
+            for kind in &datasets {
+                let rows = args.usize("rows", kind.default_rows());
+                eprintln!("# {} k-means ({} clusters)", kind.name(), n_clusters);
+                let full = ExperimentContext::build(
+                    *kind,
+                    rows,
+                    ClusteringMethod::KMeans,
+                    n_clusters,
+                    seed,
+                );
+                for &frac in &fractions {
+                    let mut srng = StdRng::seed_from_u64(seed ^ 0xB0B);
+                    let keep = sample_rows(full.data.n_rows(), frac, &mut srng);
+                    let data = full.data.select_rows(&keep);
+                    let labels: Vec<usize> = keep.iter().map(|&r| full.labels[r]).collect();
+                    let ctx = ExperimentContext::from_parts(data, labels, n_clusters);
+                    let secs = time_explain(&ctx, k, runs, seed);
+                    table.row([
+                        kind.name().to_string(),
+                        format!("{frac}"),
+                        keep.len().to_string(),
+                        format!("{secs:.4}"),
+                    ]);
+                }
+            }
+            table.print();
+        }
+        other => panic!("unknown mode '{other}' (clusters|candidates|attributes|rows)"),
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 1 (appendix `weight_exp`): `Quality` under different weight
+//! configurations — equal thirds, `λ_Int = 0`, `λ_Suf = 0`, `λ_Div = 0` —
+//! for 3/5/7 clusters, Diabetes + Census, DPClustX vs TabEE.
+//!
+//! Each configuration is *evaluated* with the same weights it selected under,
+//! as in the paper.
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin table1_weights -- --clusters 3,5,7
+//! ```
+
+use dpclustx::eval::QualityEvaluator;
+use dpclustx::quality::score::Weights;
+use dpx_bench::table::{fmt4, mean, Table};
+use dpx_bench::{methods_for, Args, DatasetKind, ExperimentContext, Explainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weight_configs() -> [(&'static str, Weights); 4] {
+    [
+        ("Equal", Weights::equal()),
+        ("Int=0", Weights::new(0.0, 0.5, 0.5)),
+        ("Suf=0", Weights::new(0.5, 0.0, 0.5)),
+        ("Div=0", Weights::new(0.5, 0.5, 0.0)),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let datasets = match args.string("dataset", "default").as_str() {
+        "default" => vec![DatasetKind::Diabetes, DatasetKind::Census],
+        other => DatasetKind::from_flag(other),
+    };
+    let cluster_counts = args.usize_list("clusters", &[3, 5, 7]);
+    let runs = args.usize("runs", 10);
+    let seed = args.u64("seed", 2025);
+    let eps = args.f64("eps", 0.2);
+    let k = args.usize("k", 3);
+
+    for kind in &datasets {
+        let rows = args.usize("rows", kind.default_rows());
+        println!("== {} ==", kind.name());
+        let mut table = Table::new([
+            "#clusters",
+            "method",
+            "explainer",
+            "Equal",
+            "Int=0",
+            "Suf=0",
+            "Div=0",
+        ]);
+        for &n_clusters in &cluster_counts {
+            for method in methods_for(*kind) {
+                eprintln!(
+                    "# fitting {} / {} ({} clusters)",
+                    kind.name(),
+                    method.name(),
+                    n_clusters
+                );
+                let ctx = ExperimentContext::build(*kind, rows, method, n_clusters, seed);
+                let mut dp_row = Vec::new();
+                let mut tabee_row = Vec::new();
+                for (_, weights) in weight_configs() {
+                    let evaluator = QualityEvaluator::new(&ctx.st, weights);
+                    let tabee_pick = Explainer::TabEE.select(
+                        &ctx.st,
+                        &ctx.counts,
+                        1.0,
+                        k,
+                        weights,
+                        &mut StdRng::seed_from_u64(seed),
+                    );
+                    tabee_row.push(fmt4(evaluator.quality(&tabee_pick)));
+                    let qs: Vec<f64> = (0..runs)
+                        .map(|run| {
+                            let mut rng = StdRng::seed_from_u64(
+                                seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                            let pick = Explainer::DpClustX.select(
+                                &ctx.st,
+                                &ctx.counts,
+                                eps,
+                                k,
+                                weights,
+                                &mut rng,
+                            );
+                            evaluator.quality(&pick)
+                        })
+                        .collect();
+                    dp_row.push(fmt4(mean(&qs)));
+                }
+                table.row([
+                    n_clusters.to_string(),
+                    method.name().to_string(),
+                    "DPClustX".to_string(),
+                    dp_row[0].clone(),
+                    dp_row[1].clone(),
+                    dp_row[2].clone(),
+                    dp_row[3].clone(),
+                ]);
+                table.row([
+                    n_clusters.to_string(),
+                    method.name().to_string(),
+                    "TabEE".to_string(),
+                    tabee_row[0].clone(),
+                    tabee_row[1].clone(),
+                    tabee_row[2].clone(),
+                    tabee_row[3].clone(),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

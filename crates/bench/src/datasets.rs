@@ -1,0 +1,96 @@
+//! The three evaluation datasets (synthetic stand-ins; see DESIGN.md,
+//! "Substitutions").
+
+use dpx_data::synth::{census, diabetes, stackoverflow, SynthData};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// US Census PUMS 1990 stand-in (68 attributes).
+    Census,
+    /// Diabetes 130-US stand-in (47 attributes).
+    Diabetes,
+    /// Stack Overflow 2018 survey stand-in (60 attributes).
+    StackOverflow,
+}
+
+impl DatasetKind {
+    /// All three datasets in the paper's reporting order.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::Census,
+            DatasetKind::Diabetes,
+            DatasetKind::StackOverflow,
+        ]
+    }
+
+    /// Parses a dataset selector; `"all"` yields every dataset.
+    pub fn from_flag(flag: &str) -> Vec<DatasetKind> {
+        match flag {
+            "all" => Self::all().to_vec(),
+            "census" => vec![DatasetKind::Census],
+            "diabetes" => vec![DatasetKind::Diabetes],
+            "stackoverflow" | "so" => vec![DatasetKind::StackOverflow],
+            other => panic!("unknown dataset '{other}' (census|diabetes|stackoverflow|all)"),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Census => "Census",
+            DatasetKind::Diabetes => "Diabetes",
+            DatasetKind::StackOverflow => "Stack Overflow",
+        }
+    }
+
+    /// Default generated size: scaled-down but proportionate to the real
+    /// datasets (Census is the big one). Override with `--rows`.
+    pub fn default_rows(&self) -> usize {
+        match self {
+            DatasetKind::Census => 60_000,
+            DatasetKind::Diabetes => 40_000,
+            DatasetKind::StackOverflow => 40_000,
+        }
+    }
+
+    /// Generates the dataset with `n_groups` latent groups.
+    pub fn generate(&self, rows: usize, n_groups: usize, seed: u64) -> SynthData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = match self {
+            DatasetKind::Census => census::spec(n_groups),
+            DatasetKind::Diabetes => diabetes::spec(n_groups),
+            DatasetKind::StackOverflow => stackoverflow::spec(n_groups),
+        };
+        spec.generate(rows, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(DatasetKind::from_flag("all").len(), 3);
+        assert_eq!(
+            DatasetKind::from_flag("so"),
+            vec![DatasetKind::StackOverflow]
+        );
+    }
+
+    #[test]
+    fn generate_small() {
+        let d = DatasetKind::Diabetes.generate(500, 3, 1);
+        assert_eq!(d.data.n_rows(), 500);
+        assert_eq!(d.data.schema().arity(), 47);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn bad_flag_panics() {
+        DatasetKind::from_flag("mnist");
+    }
+}

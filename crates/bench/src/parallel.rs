@@ -1,0 +1,93 @@
+//! A minimal ordered parallel map for experiment sweeps.
+//!
+//! The quality sweeps iterate independent (dataset, clustering-method) cells
+//! whose dominant cost is fitting the clustering; running cells on separate
+//! threads uses the machine without changing any result (each cell derives
+//! its seeds deterministically). Output strings are returned in input order
+//! so reports stay stable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `work` to every item on up to `threads` worker threads, returning
+/// the results in input order. `work` must be deterministic per item for the
+/// sweep outputs to be reproducible (all our cells seed their own RNGs).
+pub fn ordered_parallel_map<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(&work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = work(&items[i]);
+                *slots[i].lock().expect("no poisoned slots") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned slots")
+                .expect("every slot filled by the work loop")
+        })
+        .collect()
+}
+
+/// Default worker count: the machine's parallelism, capped at the cell count.
+pub fn default_threads(cells: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, cells.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let out = ordered_parallel_map(items.clone(), 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = ordered_parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = ordered_parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = ordered_parallel_map(vec![10], 32, |&x| x);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(4) <= 4);
+        assert!(default_threads(1000) >= 1);
+    }
+}

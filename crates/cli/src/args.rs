@@ -1,0 +1,175 @@
+//! Subcommand + `--flag value` argument parsing.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand plus its flags.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The subcommand (`generate`, `explain`, `evaluate`, `rank`, `help`).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Cli {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Result<Cli, CliError> {
+        let mut iter = iter.into_iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError::Usage("missing subcommand (try 'help')".into()))?;
+        let mut flags = HashMap::new();
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{arg}'")))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Cli { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag with a default.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A `usize` flag with a default.
+    pub fn usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// A required `usize` flag.
+    pub fn required_usize(&self, name: &str) -> Result<usize, CliError> {
+        self.required(name)?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{name} expects an integer")))
+    }
+
+    /// An `f64` flag with a default.
+    pub fn f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got '{v}'"))),
+        }
+    }
+
+    /// A `u64` flag with a default (seeds).
+    pub fn u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Parses `--weights INT,SUF,DIV` (defaults to equal thirds).
+    pub fn weights(&self) -> Result<dpclustx::quality::score::Weights, CliError> {
+        match self.flags.get("weights") {
+            None => Ok(dpclustx::quality::score::Weights::equal()),
+            Some(v) => {
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().map_err(|_| {
+                            CliError::Usage(format!("--weights expects three numbers, got '{v}'"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 3 {
+                    return Err(CliError::Usage(
+                        "--weights expects INT,SUF,DIV (three numbers)".into(),
+                    ));
+                }
+                let sum: f64 = parts.iter().sum();
+                if sum <= 0.0 || parts.iter().any(|&w| w < 0.0) {
+                    return Err(CliError::Usage(
+                        "--weights must be non-negative with positive sum".into(),
+                    ));
+                }
+                Ok(dpclustx::quality::score::Weights::new(
+                    parts[0] / sum,
+                    parts[1] / sum,
+                    parts[2] / sum,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let c = cli(&["explain", "--clusters", "3", "--eps-hist", "0.2"]).unwrap();
+        assert_eq!(c.command, "explain");
+        assert_eq!(c.required_usize("clusters").unwrap(), 3);
+        assert!((c.f64("eps-hist", 0.1).unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(c.usize("k", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_subcommand_errors() {
+        assert!(cli(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let c = cli(&["explain"]).unwrap();
+        assert!(c.required("data").is_err());
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let c = cli(&["explain", "--weights", "2,1,1"]).unwrap();
+        let w = c.weights().unwrap();
+        assert!((w.int - 0.5).abs() < 1e-12);
+        assert!((w.suf - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        assert!(cli(&["x", "--weights", "1,2"]).unwrap().weights().is_err());
+        assert!(cli(&["x", "--weights", "a,b,c"])
+            .unwrap()
+            .weights()
+            .is_err());
+        assert!(cli(&["x", "--weights", "-1,1,1"])
+            .unwrap()
+            .weights()
+            .is_err());
+    }
+
+    #[test]
+    fn default_weights_are_equal() {
+        let w = cli(&["x"]).unwrap().weights().unwrap();
+        assert!((w.int - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,448 @@
+//! Subcommand implementations.
+
+use crate::args::Cli;
+use crate::CliError;
+use dpclustx::baselines::tabee;
+use dpclustx::counts::ScoreTable;
+use dpclustx::eval::{mae, QualityEvaluator};
+use dpclustx::framework::{DpClustX, DpClustXConfig};
+use dpclustx::stage1::rank_attributes;
+use dpclustx::text;
+use dpx_clustering::ClusteringMethod;
+use dpx_data::contingency::ClusteredCounts;
+use dpx_data::csv::{read_csv, write_csv};
+use dpx_data::schema_io::{read_schema, write_schema};
+use dpx_data::synth;
+use dpx_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Dispatches a parsed command line. Output goes to `out` (stdout in main;
+/// a buffer in tests).
+pub fn run<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    match cli.command.as_str() {
+        "generate" => generate(cli, out),
+        "explain" => explain(cli, out, false),
+        "evaluate" => explain(cli, out, true),
+        "rank" => rank(cli, out),
+        "report" => report(cli, out),
+        "session" => {
+            let stdin = std::io::stdin();
+            crate::repl::run_session(cli, stdin.lock(), out)
+        }
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", crate::USAGE)?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}' (try 'help')"
+        ))),
+    }
+}
+
+fn generate<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    let dataset = cli.required("dataset")?.to_string();
+    let prefix = cli.required("out")?.to_string();
+    let groups = cli.usize("groups", 3)?;
+    let seed = cli.u64("seed", 2025)?;
+    let spec = match dataset.as_str() {
+        "diabetes" => synth::diabetes::spec(groups),
+        "census" => synth::census::spec(groups),
+        "stackoverflow" | "so" => synth::stackoverflow::spec(groups),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset '{other}' (diabetes|census|stackoverflow)"
+            )))
+        }
+    };
+    let rows = cli.usize("rows", 20_000)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = spec.generate(rows, &mut rng).data;
+
+    let csv_path = format!("{prefix}.csv");
+    let schema_path = format!("{prefix}.schema");
+    write_csv(&data, &mut BufWriter::new(File::create(&csv_path)?))?;
+    write_schema(
+        data.schema(),
+        &mut BufWriter::new(File::create(&schema_path)?),
+    )?;
+    writeln!(
+        out,
+        "wrote {} tuples × {} attributes to {csv_path} (+ {schema_path})",
+        data.n_rows(),
+        data.schema().arity()
+    )?;
+    Ok(())
+}
+
+fn load(cli: &Cli) -> Result<Dataset, CliError> {
+    let schema_path = cli.required("schema")?.to_string();
+    let data_path = cli.required("data")?.to_string();
+    let schema = read_schema(BufReader::new(File::open(&schema_path)?))?;
+    Ok(read_csv(schema, BufReader::new(File::open(&data_path)?))?)
+}
+
+fn parse_method(cli: &Cli) -> Result<ClusteringMethod, CliError> {
+    let clust_eps = cli.f64("clust-eps", 1.0)?;
+    match cli.string("method", "kmeans").as_str() {
+        "kmeans" => Ok(ClusteringMethod::KMeans),
+        "dp-kmeans" => Ok(ClusteringMethod::DpKMeans { epsilon: clust_eps }),
+        "kmodes" => Ok(ClusteringMethod::KModes),
+        "agglomerative" => Ok(ClusteringMethod::Agglomerative),
+        "gmm" => Ok(ClusteringMethod::Gmm),
+        other => Err(CliError::Usage(format!(
+            "unknown method '{other}' (kmeans|dp-kmeans|kmodes|agglomerative|gmm)"
+        ))),
+    }
+}
+
+fn explain<W: std::io::Write>(cli: &Cli, out: &mut W, evaluate: bool) -> Result<(), CliError> {
+    let data = load(cli)?;
+    let n_clusters = cli.required_usize("clusters")?;
+    if n_clusters == 0 {
+        return Err(CliError::Usage("--clusters must be positive".into()));
+    }
+    let method = parse_method(cli)?;
+    let seed = cli.u64("seed", 2025)?;
+    let config = DpClustXConfig {
+        k: cli.usize("k", 3)?,
+        eps_cand_set: cli.f64("eps-cand", 0.1)?,
+        eps_top_comb: cli.f64("eps-comb", 0.1)?,
+        eps_hist: cli.f64("eps-hist", 0.1)?,
+        weights: cli.weights()?,
+        consistency: cli.string("consistency", "off") == "on",
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = method.fit(&data, n_clusters, &mut rng);
+    let labels = model.assign_all(&data);
+    writeln!(
+        out,
+        "clustered {} tuples with {} into {} clusters",
+        data.n_rows(),
+        method.name(),
+        n_clusters
+    )?;
+
+    let outcome = DpClustX::new(config).explain(&data, &labels, n_clusters, &mut rng)?;
+    writeln!(
+        out,
+        "\nselected attributes: {:?}",
+        outcome.explanation.attribute_names()
+    )?;
+    writeln!(out, "\nprivacy audit:\n{}", outcome.accountant.audit())?;
+    for e in &outcome.explanation.per_cluster {
+        writeln!(out, "{}", e.render())?;
+        writeln!(out, "  {}\n", text::describe(e))?;
+    }
+
+    if evaluate {
+        let counts = ClusteredCounts::build(&data, &labels, n_clusters);
+        let st = ScoreTable::from_clustered_counts(&counts);
+        let evaluator = QualityEvaluator::new(&st, config.weights);
+        let reference = tabee::select(&st, config.k, config.weights);
+        let q_dp = evaluator.quality(&outcome.assignment);
+        let q_ref = evaluator.quality(&reference);
+        writeln!(out, "--- offline evaluation (uses raw data; not DP) ---")?;
+        writeln!(
+            out,
+            "Quality: DPClustX {q_dp:.4}, TabEE {q_ref:.4}; MAE {:.4}",
+            mae(&outcome.assignment, &reference)
+        )?;
+        writeln!(
+            out,
+            "TabEE attributes: {:?}",
+            reference
+                .iter()
+                .map(|&a| data.schema().attribute(a).name.as_str())
+                .collect::<Vec<_>>()
+        )?;
+    }
+    Ok(())
+}
+
+fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    use dpclustx::report::{markdown_report, ReportOptions};
+    let data = load(cli)?;
+    let n_clusters = cli.required_usize("clusters")?;
+    if n_clusters == 0 {
+        return Err(CliError::Usage("--clusters must be positive".into()));
+    }
+    let method = parse_method(cli)?;
+    let seed = cli.u64("seed", 2025)?;
+    let out_path = cli.required("report-out")?.to_string();
+    let config = DpClustXConfig {
+        k: cli.usize("k", 3)?,
+        eps_cand_set: cli.f64("eps-cand", 0.1)?,
+        eps_top_comb: cli.f64("eps-comb", 0.1)?,
+        eps_hist: cli.f64("eps-hist", 0.1)?,
+        weights: cli.weights()?,
+        consistency: cli.string("consistency", "off") == "on",
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = method.fit(&data, n_clusters, &mut rng);
+    let labels = model.assign_all(&data);
+    let outcome = DpClustX::new(config).explain(&data, &labels, n_clusters, &mut rng)?;
+    let mut md = markdown_report(
+        &cli.string("title", "DPClustX explanation"),
+        &outcome.explanation,
+        Some(&outcome.accountant),
+        ReportOptions::default(),
+    );
+    let mut distinct = outcome.assignment.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if let Some(note) = dpclustx::report::accuracy_note(&config, distinct.len()) {
+        md.push_str(&format!("\n*{note}*\n"));
+    }
+    std::fs::write(&out_path, md)?;
+    writeln!(out, "wrote markdown report to {out_path}")?;
+    Ok(())
+}
+
+fn rank<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    let data = load(cli)?;
+    let n_clusters = cli.required_usize("clusters")?;
+    let cluster = cli.required_usize("cluster")?;
+    if cluster >= n_clusters {
+        return Err(CliError::Usage(format!(
+            "--cluster {cluster} out of range (clusters = {n_clusters})"
+        )));
+    }
+    let method = parse_method(cli)?;
+    let seed = cli.u64("seed", 2025)?;
+    let top = cli.usize("top", 10)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = method.fit(&data, n_clusters, &mut rng);
+    let labels = model.assign_all(&data);
+    let counts = ClusteredCounts::build(&data, &labels, n_clusters);
+    let st = ScoreTable::from_clustered_counts(&counts);
+    let gamma = cli.weights()?.gamma();
+
+    writeln!(
+        out,
+        "⚠ exact scores computed from raw data (not DP) — diagnostics only\n"
+    )?;
+    writeln!(out, "ranked candidates for cluster {cluster}:")?;
+    for (rank, (attr, score)) in rank_attributes(&st, cluster, gamma)
+        .into_iter()
+        .take(top)
+        .enumerate()
+    {
+        writeln!(
+            out,
+            "  {:>2}. {:<24} SScore = {score:.2}",
+            rank + 1,
+            data.schema().attribute(attr).name
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let cli = Cli::parse(args.iter().map(|s| s.to_string()))?;
+        let mut out = Vec::new();
+        run(&cli, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpclustx-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_cli(&["help"]).unwrap();
+        assert!(text.contains("generate"));
+        assert!(text.contains("explain"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        assert!(matches!(run_cli(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_then_explain_then_evaluate_and_rank() {
+        let dir = tmpdir();
+        let prefix = dir.join("patients");
+        let prefix_s = prefix.to_str().unwrap();
+        let text = run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "1500",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        assert!(text.contains("1500 tuples"));
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+
+        let text = run_cli(&[
+            "explain",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--clusters",
+            "3",
+            "--method",
+            "kmeans",
+        ])
+        .unwrap();
+        assert!(text.contains("privacy audit"));
+        assert!(text.contains("total ε = 0.3"));
+        assert!(text.contains("Cluster 0"));
+
+        let text = run_cli(&[
+            "evaluate",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--clusters",
+            "3",
+        ])
+        .unwrap();
+        assert!(text.contains("Quality: DPClustX"));
+        assert!(text.contains("TabEE"));
+
+        let text = run_cli(&[
+            "rank",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--clusters",
+            "3",
+            "--cluster",
+            "1",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert!(text.contains("ranked candidates for cluster 1"));
+        assert_eq!(text.matches("SScore").count(), 5);
+    }
+
+    #[test]
+    fn report_writes_markdown_file() {
+        let dir = tmpdir();
+        let prefix = dir.join("rep");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "800",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        let md_path = dir.join("report.md");
+        let md_path_s = md_path.to_str().unwrap();
+        let text = run_cli(&[
+            "report",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--clusters",
+            "2",
+            "--report-out",
+            md_path_s,
+            "--title",
+            "Ward 7 clusters",
+        ])
+        .unwrap();
+        assert!(text.contains("wrote markdown report"));
+        let md = std::fs::read_to_string(md_path).unwrap();
+        assert!(md.starts_with("# Ward 7 clusters"));
+        assert!(md.contains("## Privacy audit"));
+    }
+
+    #[test]
+    fn explain_rejects_bad_method_and_cluster_count() {
+        let dir = tmpdir();
+        let prefix = dir.join("tiny");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "so",
+            "--rows",
+            "200",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        assert!(matches!(
+            run_cli(&[
+                "explain",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--clusters",
+                "2",
+                "--method",
+                "dbscan",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_cli(&[
+                "explain",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--clusters",
+                "0"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        assert!(matches!(
+            run_cli(&[
+                "explain",
+                "--data",
+                "/nonexistent.csv",
+                "--schema",
+                "/nonexistent.schema",
+                "--clusters",
+                "2",
+            ]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        assert!(matches!(
+            run_cli(&["generate", "--dataset", "mnist", "--out", "/tmp/x"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! # dpclustx-cli — the DPClustX demonstration front end
+//!
+//! The SIGMOD demo presents DPClustX as an interactive system: load a
+//! sensitive table, pick a clustering method and a privacy budget, and read
+//! the private explanation. This crate is that system as a CLI:
+//!
+//! ```text
+//! dpclustx-cli generate --dataset diabetes --rows 20000 --out patients
+//! dpclustx-cli explain  --data patients.csv --schema patients.schema \
+//!                   --method dp-kmeans --clusters 3 --eps-hist 0.1
+//! dpclustx-cli evaluate --data patients.csv --schema patients.schema --clusters 3
+//! dpclustx-cli rank     --data patients.csv --schema patients.schema --clusters 3 --cluster 0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod repl;
+
+use std::fmt;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage; the string is a user-facing message.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Data-layer failure (CSV/schema parsing, domain violations).
+    Data(dpx_data::DataError),
+    /// DP pipeline failure.
+    Dp(dpx_dp::DpError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Data(e) => write!(f, "data error: {e}"),
+            CliError::Dp(e) => write!(f, "privacy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<dpx_data::DataError> for CliError {
+    fn from(e: dpx_data::DataError) -> Self {
+        CliError::Data(e)
+    }
+}
+
+impl From<dpx_dp::DpError> for CliError {
+    fn from(e: dpx_dp::DpError) -> Self {
+        CliError::Dp(e)
+    }
+}
+
+/// The usage text printed by `dpclustx-cli help`.
+pub const USAGE: &str = "\
+dpclustx — differentially private explanations for clusters
+
+USAGE:
+  dpclustx-cli generate --dataset <diabetes|census|stackoverflow> [--rows N]
+                    [--groups K] [--seed S] --out <prefix>
+      Writes <prefix>.csv and <prefix>.schema with synthetic data.
+
+  dpclustx-cli explain  --data <file.csv> --schema <file.schema> --clusters K
+                    [--method <kmeans|dp-kmeans|kmodes|agglomerative|gmm>]
+                    [--clust-eps E] [--eps-cand E] [--eps-comb E] [--eps-hist E]
+                    [--k N] [--weights INT,SUF,DIV] [--seed S]
+      Clusters the data and prints the DP explanation with a privacy audit.
+
+  dpclustx-cli evaluate ... (same flags as explain)
+      Additionally compares against the non-private TabEE reference
+      (requires raw data access; offline analysis only).
+
+  dpclustx-cli session  --data <file.csv> --schema <file.schema> [--budget E]
+      Interactive analyst session: every command spends one shared budget.
+
+  dpclustx-cli report   ... --report-out <file.md> [--title T]
+      Writes the explanation (+ audit) as a shareable markdown report.
+
+  dpclustx-cli rank     ... --cluster C
+      Prints the exact (non-private!) ranked candidate attributes of one
+      cluster — the paper's Figure 4 view, for debugging and demos.
+
+  dpclustx-cli help
+      Prints this text.
+";

@@ -1,0 +1,20 @@
+//! `dpclustx` binary entry point.
+
+use dpclustx_cli::args::Cli;
+use dpclustx_cli::commands::run;
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", dpclustx_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = run(&cli, &mut out) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

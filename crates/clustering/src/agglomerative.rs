@@ -1,0 +1,247 @@
+//! Agglomerative (hierarchical) clustering with average linkage.
+//!
+//! Exact hierarchical clustering is `O(n²)` in memory and worse in time, which
+//! is why the paper excludes it from the Census dataset ("Due to its
+//! scalability limitations"). We keep that reality: clustering runs on a
+//! bounded sample (`max_points`), and the resulting clusters are extended to a
+//! total function `dom(R) → C` through their centroids — the standard
+//! prediction strategy for hierarchical clusterings.
+
+use crate::encode::{sq_dist, DomainScaler};
+use crate::model::CentroidModel;
+use dpx_data::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Minimum pairwise distance.
+    Single,
+}
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct AgglomerativeConfig {
+    /// Number of clusters to stop at.
+    pub k: usize,
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// Cap on the number of points actually linked (larger datasets are
+    /// subsampled; assignment is extended by nearest centroid).
+    pub max_points: usize,
+}
+
+impl AgglomerativeConfig {
+    /// Average linkage at `k` clusters with a 2000-point cap.
+    pub fn new(k: usize) -> Self {
+        AgglomerativeConfig {
+            k,
+            linkage: Linkage::Average,
+            max_points: 2000,
+        }
+    }
+}
+
+/// Fits agglomerative clustering (Lance–Williams updates) and returns the
+/// centroid extension as a total model.
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn fit<R: Rng + ?Sized>(
+    data: &Dataset,
+    config: AgglomerativeConfig,
+    rng: &mut R,
+) -> CentroidModel {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let scaler = DomainScaler::new(data.schema());
+
+    // Subsample if needed.
+    let n = data.n_rows();
+    let mut indices: Vec<usize> = (0..n).collect();
+    if n > config.max_points {
+        indices.shuffle(rng);
+        indices.truncate(config.max_points);
+    }
+    let points: Vec<Vec<f64>> = {
+        let mut buf = vec![0u32; data.schema().arity()];
+        indices
+            .iter()
+            .map(|&r| {
+                for (a, slot) in buf.iter_mut().enumerate() {
+                    *slot = data.column(a)[r];
+                }
+                scaler.encode_row(&buf)
+            })
+            .collect()
+    };
+    let m = points.len();
+    let k = config.k.min(m);
+
+    // Lance–Williams on a dense distance matrix.
+    let mut dist = vec![f64::INFINITY; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = sq_dist(&points[i], &points[j]).sqrt();
+            dist[i * m + j] = d;
+            dist[j * m + i] = d;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; m];
+    let mut sizes: Vec<f64> = vec![1.0; m];
+    let mut members: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+    let mut n_active = m;
+
+    while n_active > k {
+        // Find the closest active pair.
+        let mut best = (0usize, 0usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..m {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..m {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i * m + j];
+                if d < best_d {
+                    best_d = d;
+                    best = (i, j);
+                }
+            }
+        }
+        let (a, b) = best;
+        // Merge b into a; update distances via Lance–Williams coefficients.
+        for t in 0..m {
+            if !active[t] || t == a || t == b {
+                continue;
+            }
+            let dat = dist[a * m + t];
+            let dbt = dist[b * m + t];
+            let new = match config.linkage {
+                Linkage::Average => (sizes[a] * dat + sizes[b] * dbt) / (sizes[a] + sizes[b]),
+                Linkage::Complete => dat.max(dbt),
+                Linkage::Single => dat.min(dbt),
+            };
+            dist[a * m + t] = new;
+            dist[t * m + a] = new;
+        }
+        sizes[a] += sizes[b];
+        let moved = std::mem::take(&mut members[b]);
+        members[a].extend(moved);
+        active[b] = false;
+        n_active -= 1;
+    }
+
+    // Centroids of the surviving clusters, in encoded space.
+    let d = scaler.dims();
+    let mut centers = Vec::with_capacity(n_active);
+    for (i, act) in active.iter().enumerate() {
+        if !act {
+            continue;
+        }
+        let mut c = vec![0.0f64; d];
+        for &p in &members[i] {
+            for (slot, &x) in c.iter_mut().zip(&points[p]) {
+                *slot += x;
+            }
+        }
+        let len = members[i].len() as f64;
+        for slot in &mut c {
+            *slot /= len;
+        }
+        centers.push(c);
+    }
+    // If k exceeded the number of points, pad with duplicates of the last
+    // centroid so the label space matches the request.
+    while centers.len() < config.k {
+        let last = centers.last().expect("at least one center").clone();
+        centers.push(last);
+    }
+    CentroidModel::new(scaler, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClusterModel;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(11)).unwrap(),
+            Attribute::new("y", Domain::indexed(11)).unwrap(),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..150 {
+            let j = (i % 2) as u32;
+            rows.push(vec![j, j]);
+            rows.push(vec![10 - j, 10]);
+            rows.push(vec![10, 0]);
+        }
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn finds_three_blobs() {
+        let mut r = StdRng::seed_from_u64(31);
+        let data = blobs();
+        let model = fit(&data, AgglomerativeConfig::new(3), &mut r);
+        let labels = model.assign_all(&data);
+        let (a, b, c) = (labels[0], labels[1], labels[2]);
+        assert!(a != b && b != c && a != c);
+        for (i, &l) in labels.iter().enumerate() {
+            let expected = [a, b, c][i % 3];
+            assert_eq!(l, expected, "row {i}");
+        }
+    }
+
+    #[test]
+    fn linkages_produce_valid_models() {
+        let data = blobs();
+        for linkage in [Linkage::Average, Linkage::Complete, Linkage::Single] {
+            let mut r = StdRng::seed_from_u64(32);
+            let cfg = AgglomerativeConfig {
+                k: 2,
+                linkage,
+                max_points: 100,
+            };
+            let model = fit(&data, cfg, &mut r);
+            assert_eq!(model.n_clusters(), 2);
+            let labels = model.assign_all(&data);
+            assert!(labels.iter().all(|&l| l < 2));
+        }
+    }
+
+    #[test]
+    fn subsampling_respects_max_points_and_still_totalizes() {
+        let mut r = StdRng::seed_from_u64(33);
+        let data = blobs();
+        let cfg = AgglomerativeConfig {
+            k: 3,
+            linkage: Linkage::Average,
+            max_points: 60,
+        };
+        let model = fit(&data, cfg, &mut r);
+        // Every tuple in the domain gets a label even though only 60 were linked.
+        assert!(model.assign_row(&[5, 5]) < 3);
+    }
+
+    #[test]
+    fn k_exceeding_points_pads() {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(3)).unwrap()]).unwrap();
+        let data = Dataset::from_rows(schema, &[vec![0], vec![2]]).unwrap();
+        let mut r = StdRng::seed_from_u64(34);
+        let model = fit(&data, AgglomerativeConfig::new(4), &mut r);
+        assert_eq!(model.n_clusters(), 4);
+    }
+}

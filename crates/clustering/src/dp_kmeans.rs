@@ -1,0 +1,241 @@
+//! Differentially private k-means (DP-Lloyd, Su et al. 2016).
+//!
+//! The variant the paper uses for its running example and experiments
+//! (`ε = 1`, as "commonly used for clustering in experimental settings").
+//! The mechanism releases only cluster centers, which induce the total
+//! assignment function required by the paper's privacy model:
+//!
+//! 1. Data is encoded into `[0, 1]^d` with data-independent bounds
+//!    ([`crate::encode::DomainScaler`]), mirroring DiffPrivLib's requirement
+//!    of user-supplied bounds.
+//! 2. Initial centers are drawn uniformly from `[0, 1]^d` — data-independent,
+//!    costing no budget.
+//! 3. Each of `T` Lloyd iterations spends `ε/T`, split between a noisy count
+//!    per cluster (sensitivity 1) and a noisy per-dimension sum (adding or
+//!    removing one tuple changes each cluster's sum vector by at most 1 per
+//!    coordinate, L1 ≤ d, handled by splitting the sum budget across
+//!    dimensions).
+//!
+//! Privacy: each iteration is ε/T-DP by sequential composition of its count
+//! and sum queries (each of which composes in parallel across disjoint
+//! clusters); the `T` iterations compose sequentially to ε-DP; releasing the
+//! final centers is post-processing.
+
+use crate::encode::{nearest_center, DomainScaler};
+use crate::model::CentroidModel;
+use dpx_data::Dataset;
+use dpx_dp::budget::{Epsilon, Sensitivity};
+use dpx_dp::laplace::sample_laplace;
+use rand::Rng;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct DpKMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Total privacy budget ε for the clustering.
+    pub epsilon: Epsilon,
+    /// Number of Lloyd iterations `T` (the paper's source suggests small
+    /// fixed `T`; more iterations mean more noise each).
+    pub iters: usize,
+}
+
+impl DpKMeansConfig {
+    /// `k` clusters at budget `epsilon` with the customary 5 iterations.
+    pub fn new(k: usize, epsilon: Epsilon) -> Self {
+        DpKMeansConfig {
+            k,
+            epsilon,
+            iters: 5,
+        }
+    }
+}
+
+/// Fits DP-k-means and returns the centroid model induced by the released
+/// noisy centers. Satisfies `config.epsilon`-DP.
+///
+/// # Panics
+/// Panics if `k == 0`, `iters == 0`, or the dataset is empty.
+pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: DpKMeansConfig, rng: &mut R) -> CentroidModel {
+    assert!(config.k > 0, "k must be positive");
+    assert!(config.iters > 0, "need at least one iteration");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let scaler = DomainScaler::new(data.schema());
+    let d = scaler.dims();
+    let points = scaler.encode_dataset(data);
+
+    // Data-independent initialization: jittered around the cube center. In
+    // high dimension the data occupies a small region of [0,1]^d, so centers
+    // drawn uniformly from the whole cube tend to all lose to whichever one
+    // lands closest and the clustering collapses; clustering around the
+    // center with moderate jitter (still using no data) is the standard
+    // remedy (cf. the sphere-packing initialization of Su et al.).
+    let mut centers: Vec<Vec<f64>> = (0..config.k)
+        .map(|_| {
+            (0..d)
+                .map(|_| 0.5 + 0.5 * (rng.gen::<f64>() - 0.5))
+                .collect()
+        })
+        .collect();
+
+    let eps_iter = config.epsilon.split(config.iters);
+    // Half of each iteration's budget to counts, half to sums.
+    let eps_count = eps_iter.split(2);
+    let eps_sum = eps_iter.split(2);
+    // The sum query per cluster changes by ≤ 1 in each of d coordinates when
+    // one tuple moves; splitting ε_sum across coordinates keeps each 1-sensitive.
+    let eps_sum_dim = eps_sum.split(d.max(1));
+
+    let count_scale = Sensitivity::ONE.get() / eps_count.get();
+    let sum_scale = Sensitivity::ONE.get() / eps_sum_dim.get();
+
+    for _ in 0..config.iters {
+        let mut sums = vec![vec![0.0f64; d]; config.k];
+        let mut counts = vec![0.0f64; config.k];
+        for p in &points {
+            let c = nearest_center(p, &centers);
+            counts[c] += 1.0;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut survivors: Vec<usize> = Vec::with_capacity(config.k);
+        let mut empties: Vec<usize> = Vec::with_capacity(config.k);
+        for c in 0..config.k {
+            let noisy_count = counts[c] + sample_laplace(count_scale, rng);
+            if noisy_count < 1.0 {
+                empties.push(c);
+                continue;
+            }
+            for (dim, s) in sums[c].iter().enumerate() {
+                let noisy_sum = s + sample_laplace(sum_scale, rng);
+                // Centers stay inside the known data bounds.
+                centers[c][dim] = (noisy_sum / noisy_count).clamp(0.0, 1.0);
+            }
+            survivors.push(c);
+        }
+        // Respawn empty clusters as jittered copies of surviving *noisy*
+        // centers — pure post-processing of already-released DP quantities,
+        // so it costs no budget, and it lets a collapsed clustering split a
+        // fat cluster on the next iteration.
+        for &c in &empties {
+            if let Some(&src) = survivors.get(rng.gen_range(0..survivors.len().max(1))) {
+                let base = centers[src].clone();
+                centers[c] = base
+                    .iter()
+                    .map(|&x| (x + 0.2 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0))
+                    .collect();
+            } else {
+                // No survivors at all: fall back to a fresh jittered-center draw.
+                centers[c] = (0..d)
+                    .map(|_| 0.5 + 0.5 * (rng.gen::<f64>() - 0.5))
+                    .collect();
+            }
+        }
+    }
+    CentroidModel::new(scaler, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{self, KMeansConfig};
+    use crate::model::ClusterModel;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(n_per: usize) -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(11)).unwrap(),
+            Attribute::new("y", Domain::indexed(11)).unwrap(),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..n_per {
+            let j = (i % 2) as u32;
+            rows.push(vec![j, j]);
+            rows.push(vec![10 - j, 10 - j]);
+        }
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_blob_structure_at_generous_epsilon() {
+        let mut r = StdRng::seed_from_u64(7);
+        let data = blobs(2000);
+        let model = fit(
+            &data,
+            DpKMeansConfig::new(2, Epsilon::new(5.0).unwrap()),
+            &mut r,
+        );
+        let labels = model.assign_all(&data);
+        // Count agreement with the ground-truth blob split (up to label swap).
+        let agree = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l == (i % 2))
+            .count();
+        let acc = agree.max(labels.len() - agree) as f64 / labels.len() as f64;
+        assert!(acc > 0.95, "blob recovery accuracy {acc}");
+    }
+
+    #[test]
+    fn noisier_than_plain_kmeans_at_tiny_epsilon() {
+        // With ε = 0.01 the centers are essentially random: inertia should be
+        // clearly worse than non-private k-means.
+        let mut r = StdRng::seed_from_u64(8);
+        let data = blobs(500);
+        let dp = fit(
+            &data,
+            DpKMeansConfig::new(2, Epsilon::new(0.01).unwrap()),
+            &mut r,
+        );
+        let plain = kmeans::fit(&data, KMeansConfig::new(2), &mut r);
+        let dp_in = kmeans::inertia(&data, &dp);
+        let plain_in = kmeans::inertia(&data, &plain);
+        assert!(
+            dp_in > plain_in,
+            "dp inertia {dp_in} should exceed non-private {plain_in}"
+        );
+    }
+
+    #[test]
+    fn centers_stay_in_unit_cube() {
+        let mut r = StdRng::seed_from_u64(9);
+        let data = blobs(100);
+        let model = fit(
+            &data,
+            DpKMeansConfig::new(4, Epsilon::new(0.1).unwrap()),
+            &mut r,
+        );
+        for c in model.centers() {
+            assert!(c.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn model_is_total() {
+        let mut r = StdRng::seed_from_u64(10);
+        let data = blobs(100);
+        let model = fit(
+            &data,
+            DpKMeansConfig::new(3, Epsilon::new(1.0).unwrap()),
+            &mut r,
+        );
+        for x in 0..11u32 {
+            for y in 0..11u32 {
+                assert!(model.assign_row(&[x, y]) < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs(200);
+        let cfg = DpKMeansConfig::new(2, Epsilon::new(1.0).unwrap());
+        let a = fit(&data, cfg, &mut StdRng::seed_from_u64(1));
+        let b = fit(&data, cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.centers(), b.centers());
+    }
+}

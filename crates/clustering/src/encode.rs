@@ -1,0 +1,149 @@
+//! Numeric encoding of coded tuples.
+//!
+//! The paper (§6.1): "Categorical attributes are transformed into equivalent
+//! numerical data by mapping each domain value to a unique integer." The codes
+//! already are unique integers; the [`DomainScaler`] additionally rescales
+//! each coordinate by its (data-independent) domain size into `[0, 1]` so that
+//! (a) no attribute dominates distances merely by having a larger domain, and
+//! (b) DP-k-means has *a-priori known bounds* without inspecting the sensitive
+//! data — exactly the role of the user-supplied bounds in DiffPrivLib.
+
+use dpx_data::schema::Schema;
+use dpx_data::Dataset;
+
+/// Scales attribute `a`'s code `v` to `v / (|dom(A_a)| − 1) ∈ [0, 1]`
+/// (constant 0 for single-value domains). Data-independent by construction.
+#[derive(Debug, Clone)]
+pub struct DomainScaler {
+    /// Per-attribute multiplicative factor `1 / (|dom| − 1)` (0 when |dom| = 1).
+    factors: Vec<f64>,
+}
+
+impl DomainScaler {
+    /// Builds a scaler from a schema.
+    pub fn new(schema: &Schema) -> Self {
+        let factors = schema
+            .attributes()
+            .iter()
+            .map(|a| {
+                let d = a.domain.size();
+                if d > 1 {
+                    1.0 / (d - 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        DomainScaler { factors }
+    }
+
+    /// Dimensionality of encoded points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Encodes one coded row into a point in `[0, 1]^d`.
+    pub fn encode_row(&self, row: &[u32]) -> Vec<f64> {
+        debug_assert_eq!(row.len(), self.factors.len());
+        row.iter()
+            .zip(&self.factors)
+            .map(|(&v, &f)| v as f64 * f)
+            .collect()
+    }
+
+    /// Encodes a whole dataset row-major (one `Vec<f64>` per tuple).
+    pub fn encode_dataset(&self, data: &Dataset) -> Vec<Vec<f64>> {
+        let n = data.n_rows();
+        let d = self.dims();
+        let mut points = vec![vec![0.0f64; d]; n];
+        for (a, &f) in self.factors.iter().enumerate() {
+            for (row, &v) in data.column(a).iter().enumerate() {
+                points[row][a] = v as f64 * f;
+            }
+        }
+        points
+    }
+}
+
+/// Squared Euclidean distance between equal-length points.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Index of the nearest center to `point` (ties to the lowest index).
+///
+/// # Panics
+/// Panics if `centers` is empty.
+pub fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> usize {
+    assert!(!centers.is_empty(), "need at least one center");
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = sq_dist(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", Domain::indexed(5)).unwrap(),
+            Attribute::new("b", Domain::indexed(2)).unwrap(),
+            Attribute::new("c", Domain::indexed(1)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encoding_lands_in_unit_cube() {
+        let s = schema();
+        let sc = DomainScaler::new(&s);
+        assert_eq!(sc.dims(), 3);
+        let p = sc.encode_row(&[4, 1, 0]);
+        assert_eq!(p, vec![1.0, 1.0, 0.0]);
+        let q = sc.encode_row(&[2, 0, 0]);
+        assert_eq!(q, vec![0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_dataset_matches_row_encoding() {
+        let s = schema();
+        let data = Dataset::from_rows(s.clone(), &[vec![0, 1, 0], vec![4, 0, 0]]).unwrap();
+        let sc = DomainScaler::new(&s);
+        let pts = sc.encode_dataset(&data);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], sc.encode_row(&[0, 1, 0]));
+        assert_eq!(pts[1], sc.encode_row(&[4, 0, 0]));
+    }
+
+    #[test]
+    fn sq_dist_and_nearest() {
+        let c = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        assert_eq!(nearest_center(&[0.1, 0.2], &c), 0);
+        assert_eq!(nearest_center(&[0.9, 0.7], &c), 1);
+        assert_eq!(sq_dist(&[0.0, 3.0], &[4.0, 0.0]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn nearest_of_empty_panics() {
+        nearest_center(&[0.0], &[]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Gaussian mixture models with diagonal covariance, fitted by EM.
+//!
+//! The released parameters (weights, means, variances) define a posterior
+//! over components for *any* point, so hard assignment by maximum posterior
+//! is a total function over `dom(R)` as the paper's model requires.
+
+use crate::encode::DomainScaler;
+use crate::model::ClusterModel;
+use dpx_data::Dataset;
+use rand::Rng;
+
+/// Floor on variances to keep log-densities finite on degenerate data.
+const VAR_FLOOR: f64 = 1e-6;
+
+/// A fitted diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct GmmModel {
+    scaler: DomainScaler,
+    /// Mixing weights, sum 1.
+    weights: Vec<f64>,
+    /// Component means in encoded space.
+    means: Vec<Vec<f64>>,
+    /// Component per-dimension variances.
+    variances: Vec<Vec<f64>>,
+}
+
+impl GmmModel {
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Mixing weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Log joint density `log(w_c) + log N(x; μ_c, σ²_c)` for component `c`.
+    fn log_joint(&self, x: &[f64], c: usize) -> f64 {
+        let mut ll = self.weights[c].max(1e-300).ln();
+        for ((&m, &v), &xi) in self.means[c].iter().zip(&self.variances[c]).zip(x) {
+            let v = v.max(VAR_FLOOR);
+            ll += -0.5 * ((xi - m) * (xi - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl ClusterModel for GmmModel {
+    fn n_clusters(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn assign_row(&self, row: &[u32]) -> usize {
+        let x = self.scaler.encode_row(row);
+        (0..self.weights.len())
+            .max_by(|&a, &b| self.log_joint(&x, a).total_cmp(&self.log_joint(&x, b)))
+            .expect("at least one component")
+    }
+}
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the mean log-likelihood improves by less than this.
+    pub tol: f64,
+}
+
+impl GmmConfig {
+    /// Default configuration for `k` components.
+    pub fn new(k: usize) -> Self {
+        GmmConfig {
+            k,
+            max_iters: 50,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Fits a diagonal-covariance GMM by EM, initialized from k-means.
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: GmmConfig, rng: &mut R) -> GmmModel {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let scaler = DomainScaler::new(data.schema());
+    let points = scaler.encode_dataset(data);
+    let n = points.len();
+    let d = scaler.dims();
+    let k = config.k;
+
+    // Initialize from k-means centers with global variance.
+    let km = crate::kmeans::fit(data, crate::kmeans::KMeansConfig::new(k), rng);
+    let mut means: Vec<Vec<f64>> = km.centers().to_vec();
+    let global_var: Vec<f64> = {
+        let mut mean = vec![0.0; d];
+        for p in &points {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; d];
+        for p in &points {
+            for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(p) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        var.iter().map(|&v| (v / n as f64).max(VAR_FLOOR)).collect()
+    };
+    let mut variances = vec![global_var; k];
+    let mut weights = vec![1.0 / k as f64; k];
+
+    let mut resp = vec![vec![0.0f64; k]; n];
+    let mut prev_ll = f64::NEG_INFINITY;
+    for _ in 0..config.max_iters {
+        // E-step with log-sum-exp.
+        let model = GmmModel {
+            scaler: scaler.clone(),
+            weights: weights.clone(),
+            means: means.clone(),
+            variances: variances.clone(),
+        };
+        let mut total_ll = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let logs: Vec<f64> = (0..k).map(|c| model.log_joint(p, c)).collect();
+            let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logs.iter().map(|&l| (l - max).exp()).collect();
+            let z: f64 = exps.iter().sum();
+            total_ll += max + z.ln();
+            for (rc, e) in resp[i].iter_mut().zip(&exps) {
+                *rc = e / z;
+            }
+        }
+        let mean_ll = total_ll / n as f64;
+        if (mean_ll - prev_ll).abs() < config.tol {
+            break;
+        }
+        prev_ll = mean_ll;
+
+        // M-step.
+        for c in 0..k {
+            let nc: f64 = resp.iter().map(|r| r[c]).sum();
+            if nc < 1e-9 {
+                // Collapsed component: reset to a random point, broad variance.
+                let pick = rng.gen_range(0..n);
+                means[c] = points[pick].clone();
+                variances[c] = vec![0.1; d];
+                weights[c] = 1.0 / n as f64;
+                continue;
+            }
+            weights[c] = nc / n as f64;
+            let mut mu = vec![0.0; d];
+            for (p, r) in points.iter().zip(&resp) {
+                for (m, &x) in mu.iter_mut().zip(p) {
+                    *m += r[c] * x;
+                }
+            }
+            for m in &mut mu {
+                *m /= nc;
+            }
+            let mut var = vec![0.0; d];
+            for (p, r) in points.iter().zip(&resp) {
+                for ((v, &m), &x) in var.iter_mut().zip(&mu).zip(p) {
+                    *v += r[c] * (x - m) * (x - m);
+                }
+            }
+            for v in &mut var {
+                *v = (*v / nc).max(VAR_FLOOR);
+            }
+            means[c] = mu;
+            variances[c] = var;
+        }
+        // Renormalize weights (collapsed-component resets can unbalance them).
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+    }
+    GmmModel {
+        scaler,
+        weights,
+        means,
+        variances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(11)).unwrap(),
+            Attribute::new("y", Domain::indexed(11)).unwrap(),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..400 {
+            let j = (i % 3) as u32;
+            if i % 2 == 0 {
+                rows.push(vec![j, j]);
+            } else {
+                rows.push(vec![10 - j, 10 - j]);
+            }
+        }
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let mut r = StdRng::seed_from_u64(17);
+        let data = blobs();
+        let model = fit(&data, GmmConfig::new(2), &mut r);
+        let labels = model.assign_all(&data);
+        let a = labels[0];
+        let agree = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| (l == a) == (i % 2 == 0))
+            .count();
+        assert!(agree as f64 / labels.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut r = StdRng::seed_from_u64(18);
+        let model = fit(&blobs(), GmmConfig::new(3), &mut r);
+        let s: f64 = model.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        assert!(model.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn model_is_total() {
+        let mut r = StdRng::seed_from_u64(19);
+        let model = fit(&blobs(), GmmConfig::new(4), &mut r);
+        for x in 0..11u32 {
+            for y in (0..11u32).step_by(5) {
+                assert!(model.assign_row(&[x, y]) < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_point_data_is_safe() {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(3)).unwrap()]).unwrap();
+        let rows = vec![vec![1u32]; 50];
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let mut r = StdRng::seed_from_u64(20);
+        let model = fit(&data, GmmConfig::new(2), &mut r);
+        // All identical points: assignment must still be defined everywhere.
+        assert!(model.assign_row(&[0]) < 2);
+        assert!(model.assign_row(&[2]) < 2);
+    }
+}

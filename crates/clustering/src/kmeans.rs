@@ -1,0 +1,217 @@
+//! k-means: k-means++ initialization + Lloyd iterations.
+
+use crate::encode::{nearest_center, sq_dist, DomainScaler};
+use crate::model::CentroidModel;
+use dpx_data::Dataset;
+use rand::Rng;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop early when total center movement falls below this.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 50,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Fits k-means on the domain-scaled encoding of `data` and returns the
+/// centroid model (a total assignment function).
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: KMeansConfig, rng: &mut R) -> CentroidModel {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let scaler = DomainScaler::new(data.schema());
+    let points = scaler.encode_dataset(data);
+    let mut centers = kmeanspp_init(&points, config.k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..config.max_iters {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest_center(p, &centers);
+        }
+        // Update step.
+        let d = scaler.dims();
+        let mut sums = vec![vec![0.0f64; d]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &c) in points.iter().zip(&assignments) {
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its center.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        sq_dist(a.1, &centers[assignments[a.0]])
+                            .total_cmp(&sq_dist(b.1, &centers[assignments[b.0]]))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("points non-empty");
+                centers[c] = points[far].clone();
+                movement += 1.0;
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|&s| s / counts[c] as f64).collect();
+            movement += sq_dist(&new, &centers[c]).sqrt();
+            centers[c] = new;
+        }
+        if movement < config.tol {
+            break;
+        }
+    }
+    CentroidModel::new(scaler, centers)
+}
+
+/// k-means++ seeding: first center uniform, then each next center drawn with
+/// probability proportional to squared distance from the nearest chosen one.
+fn kmeanspp_init<R: Rng + ?Sized>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centers: pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        let newest = centers.last().expect("just pushed");
+        for (d, p) in dists.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, newest));
+        }
+    }
+    centers
+}
+
+/// Within-cluster sum of squares (inertia) of a model on a dataset — the
+/// quantity Lloyd iterations monotonically decrease; used in tests.
+pub fn inertia(data: &Dataset, model: &CentroidModel) -> f64 {
+    let points = model.scaler().encode_dataset(data);
+    points
+        .iter()
+        .map(|p| sq_dist(p, &model.centers()[nearest_center(p, model.centers())]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClusterModel;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Two well-separated blobs in a 2-attribute space.
+    fn blobs() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(11)).unwrap(),
+            Attribute::new("y", Domain::indexed(11)).unwrap(),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..200 {
+            let jitter = (i % 3) as u32;
+            rows.push(vec![jitter, jitter]); // blob at (0,0)
+            rows.push(vec![10 - jitter, 10 - jitter]); // blob at (10,10)
+        }
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs_perfectly() {
+        let mut r = rng();
+        let data = blobs();
+        let model = fit(&data, KMeansConfig::new(2), &mut r);
+        let labels = model.assign_all(&data);
+        // All even rows (blob A) share a label; all odd rows (blob B) the other.
+        let a = labels[0];
+        let b = labels[1];
+        assert_ne!(a, b);
+        for (i, &l) in labels.iter().enumerate() {
+            assert_eq!(l, if i % 2 == 0 { a } else { b }, "row {i}");
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut r = rng();
+        let data = blobs();
+        let m1 = fit(&data, KMeansConfig::new(1), &mut r);
+        let m4 = fit(&data, KMeansConfig::new(4), &mut r);
+        assert!(inertia(&data, &m4) < inertia(&data, &m1));
+    }
+
+    #[test]
+    fn k_equal_n_distinct_points_gives_zero_inertia() {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(4)).unwrap()]).unwrap();
+        let data = Dataset::from_rows(schema, &[vec![0], vec![1], vec![2], vec![3]]).unwrap();
+        let mut r = rng();
+        let model = fit(&data, KMeansConfig::new(4), &mut r);
+        assert!(inertia(&data, &model) < 1e-12);
+    }
+
+    #[test]
+    fn handles_k_larger_than_distinct_values() {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(2)).unwrap()]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..10).map(|i| vec![(i % 2) as u32]).collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let mut r = rng();
+        // k=5 with only 2 distinct points: must not panic or loop forever.
+        let model = fit(&data, KMeansConfig::new(5), &mut r);
+        assert_eq!(model.n_clusters(), 5);
+        let labels = model.assign_all(&data);
+        assert!(labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(2)).unwrap()]).unwrap();
+        let data = Dataset::empty(schema);
+        let mut r = rng();
+        fit(&data, KMeansConfig::new(2), &mut r);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs();
+        let m1 = fit(&data, KMeansConfig::new(3), &mut StdRng::seed_from_u64(9));
+        let m2 = fit(&data, KMeansConfig::new(3), &mut StdRng::seed_from_u64(9));
+        assert_eq!(m1.centers(), m2.centers());
+    }
+}

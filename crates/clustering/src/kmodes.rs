@@ -1,0 +1,226 @@
+//! k-modes (Huang 1998): k-means for categorical data.
+//!
+//! Distance is the Hamming (simple-matching) distance between coded tuples;
+//! cluster representatives are per-attribute modes. The released modes induce
+//! a total assignment over `dom(R)`.
+
+use dpx_data::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::model::ClusterModel;
+
+/// A fitted k-modes model: one mode tuple per cluster.
+#[derive(Debug, Clone)]
+pub struct KModesModel {
+    modes: Vec<Vec<u32>>,
+}
+
+impl KModesModel {
+    /// Creates a model from explicit modes.
+    ///
+    /// # Panics
+    /// Panics if `modes` is empty or arities disagree.
+    pub fn new(modes: Vec<Vec<u32>>) -> Self {
+        assert!(!modes.is_empty(), "need at least one mode");
+        let arity = modes[0].len();
+        assert!(
+            modes.iter().all(|m| m.len() == arity),
+            "all modes must share the schema arity"
+        );
+        KModesModel { modes }
+    }
+
+    /// The mode tuples.
+    pub fn modes(&self) -> &[Vec<u32>] {
+        &self.modes
+    }
+}
+
+/// Hamming distance between coded tuples.
+#[inline]
+fn hamming(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+impl ClusterModel for KModesModel {
+    fn n_clusters(&self) -> usize {
+        self.modes.len()
+    }
+
+    fn assign_row(&self, row: &[u32]) -> usize {
+        let mut best = 0;
+        let mut best_d = usize::MAX;
+        for (i, m) in self.modes.iter().enumerate() {
+            let d = hamming(row, m);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Fits k-modes with random distinct-row initialization and mode-update
+/// iterations.
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn fit<R: Rng + ?Sized>(
+    data: &Dataset,
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KModesModel {
+    assert!(k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let n = data.n_rows();
+    let arity = data.schema().arity();
+
+    // Initialize modes from distinct sampled rows where possible.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut modes: Vec<Vec<u32>> = Vec::with_capacity(k);
+    for &r in &order {
+        let row = data.row(r);
+        if !modes.contains(&row) {
+            modes.push(row);
+            if modes.len() == k {
+                break;
+            }
+        }
+    }
+    // Fewer distinct rows than k: pad with random domain tuples (total anyway).
+    while modes.len() < k {
+        let row: Vec<u32> = (0..arity)
+            .map(|a| rng.gen_range(0..data.schema().attribute(a).domain.size() as u32))
+            .collect();
+        modes.push(row);
+    }
+
+    let mut model = KModesModel::new(modes);
+    let mut labels = model.assign_all(data);
+    for _ in 0..max_iters {
+        // Update: per-cluster per-attribute value counts → modes.
+        let mut counts: Vec<Vec<Vec<u64>>> = (0..k)
+            .map(|_| {
+                (0..arity)
+                    .map(|a| vec![0u64; data.schema().attribute(a).domain.size()])
+                    .collect()
+            })
+            .collect();
+        for (r, &c) in labels.iter().enumerate() {
+            for a in 0..arity {
+                counts[c][a][data.column(a)[r] as usize] += 1;
+            }
+        }
+        let mut new_modes = model.modes().to_vec();
+        for (c, mode) in new_modes.iter_mut().enumerate() {
+            // Empty clusters keep their previous (or random) mode.
+            if counts[c].iter().all(|col| col.iter().all(|&x| x == 0)) {
+                continue;
+            }
+            for (a, slot) in mode.iter_mut().enumerate() {
+                let best = counts[c][a]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &cnt)| cnt)
+                    .map(|(v, _)| v as u32)
+                    .expect("domains are non-empty");
+                *slot = best;
+            }
+        }
+        let new_model = KModesModel::new(new_modes);
+        let new_labels = new_model.assign_all(data);
+        let changed = new_labels
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a != b)
+            .count();
+        model = new_model;
+        labels = new_labels;
+        if changed == 0 {
+            break;
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn categorical_blobs() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("a", Domain::indexed(4)).unwrap(),
+            Attribute::new("b", Domain::indexed(4)).unwrap(),
+            Attribute::new("c", Domain::indexed(4)).unwrap(),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..300 {
+            if i % 2 == 0 {
+                // Group A concentrated at (0,0,0) with light noise in one slot.
+                let mut row = vec![0u32, 0, 0];
+                row[i % 3] = (i % 2) as u32;
+                rows.push(row);
+            } else {
+                rows.push(vec![3, 3, 3]);
+            }
+        }
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn separates_categorical_blobs() {
+        let mut r = StdRng::seed_from_u64(3);
+        let data = categorical_blobs();
+        let model = fit(&data, 2, 20, &mut r);
+        let labels = model.assign_all(&data);
+        let a = labels[0];
+        let b = labels[1];
+        assert_ne!(a, b);
+        let agree = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l == if i % 2 == 0 { a } else { b })
+            .count();
+        assert!(agree as f64 / labels.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn hamming_distance_is_symmetric_zero_on_equal() {
+        assert_eq!(hamming(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(hamming(&[1, 2, 3], &[3, 2, 1]), 2);
+    }
+
+    #[test]
+    fn model_is_total_even_for_unseen_tuples() {
+        let mut r = StdRng::seed_from_u64(4);
+        let data = categorical_blobs();
+        let model = fit(&data, 3, 10, &mut r);
+        assert!(model.assign_row(&[2, 1, 2]) < 3);
+    }
+
+    #[test]
+    fn k_exceeding_distinct_rows_is_handled() {
+        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed(2)).unwrap()]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..10).map(|i| vec![(i % 2) as u32]).collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let mut r = StdRng::seed_from_u64(5);
+        let model = fit(&data, 4, 10, &mut r);
+        assert_eq!(model.n_clusters(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed(2)).unwrap()]).unwrap();
+        let mut r = StdRng::seed_from_u64(6);
+        fit(&Dataset::empty(schema), 2, 5, &mut r);
+    }
+}

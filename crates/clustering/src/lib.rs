@@ -1,0 +1,42 @@
+//! # dpx-clustering — clustering substrate for DPClustX
+//!
+//! The paper models a clustering as a **total function** `f : dom(R) → C`
+//! (§2.1, "Differentially private clustering"): a DP clustering algorithm
+//! releases something data-independent-in-form (centers, modes, Gaussian
+//! parameters) that induces an assignment for *any* tuple of the domain, not
+//! just observed ones. That is exactly the [`model::ClusterModel`] trait here,
+//! and it is what lets explanation privacy compose sequentially with
+//! clustering privacy (Definition 3.1 and the discussion after it).
+//!
+//! Implemented methods — the five the paper evaluates (§6.1):
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ initialization.
+//! * [`dp_kmeans`] — DP-Lloyd in the style of Su et al. 2016: per-iteration
+//!   noisy counts and noisy sums over domain-normalized data.
+//! * [`kmodes`] — Huang's k-modes for categorical data (Hamming distance,
+//!   mode updates).
+//! * [`agglomerative`] — average-linkage hierarchical clustering on a sample,
+//!   extended to a total function via nearest-centroid assignment (the paper
+//!   notes agglomerative does not scale to Census; same caveat applies).
+//! * [`gmm`] — Gaussian mixtures with diagonal covariance fitted by EM.
+//!
+//! Categorical attributes are mapped to numbers exactly as the paper does:
+//! "each domain value to a unique integer", then scaled by the
+//! (data-independent) domain size ([`encode::DomainScaler`]) so that DP
+//! mechanisms have known bounds without peeking at the data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod dp_kmeans;
+pub mod encode;
+pub mod gmm;
+pub mod kmeans;
+pub mod kmodes;
+pub mod method;
+pub mod metrics;
+pub mod model;
+
+pub use method::ClusteringMethod;
+pub use model::{CentroidModel, ClusterModel};

@@ -1,0 +1,128 @@
+//! A uniform front door over the five clustering methods the paper evaluates.
+
+use crate::agglomerative::{self, AgglomerativeConfig};
+use crate::dp_kmeans::{self, DpKMeansConfig};
+use crate::gmm::{self, GmmConfig};
+use crate::kmeans::{self, KMeansConfig};
+use crate::kmodes;
+use crate::model::ClusterModel;
+use dpx_data::Dataset;
+use dpx_dp::budget::Epsilon;
+use rand::Rng;
+
+/// One of the clustering methods of §6.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusteringMethod {
+    /// Lloyd's k-means with k-means++ init.
+    KMeans,
+    /// DP-k-means (Su et al. 2016) at the given privacy budget.
+    DpKMeans {
+        /// Budget ε_clust for the clustering itself (the paper uses 1.0).
+        epsilon: f64,
+    },
+    /// Huang's k-modes.
+    KModes,
+    /// Average-linkage agglomerative clustering (sampled).
+    Agglomerative,
+    /// Gaussian mixture with diagonal covariance.
+    Gmm,
+}
+
+impl ClusteringMethod {
+    /// All five methods with the paper's default DP budget (ε = 1).
+    pub fn all() -> [ClusteringMethod; 5] {
+        [
+            ClusteringMethod::KMeans,
+            ClusteringMethod::DpKMeans { epsilon: 1.0 },
+            ClusteringMethod::KModes,
+            ClusteringMethod::Agglomerative,
+            ClusteringMethod::Gmm,
+        ]
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusteringMethod::KMeans => "k-means",
+            ClusteringMethod::DpKMeans { .. } => "DP-k-means",
+            ClusteringMethod::KModes => "k-modes",
+            ClusteringMethod::Agglomerative => "Agglomerative",
+            ClusteringMethod::Gmm => "GMMs",
+        }
+    }
+
+    /// Fits the method with `k` clusters, returning the total assignment
+    /// model.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        k: usize,
+        rng: &mut R,
+    ) -> Box<dyn ClusterModel> {
+        match *self {
+            ClusteringMethod::KMeans => Box::new(kmeans::fit(data, KMeansConfig::new(k), rng)),
+            ClusteringMethod::DpKMeans { epsilon } => Box::new(dp_kmeans::fit(
+                data,
+                DpKMeansConfig::new(
+                    k,
+                    Epsilon::new(epsilon).expect("method constructed with valid epsilon"),
+                ),
+                rng,
+            )),
+            ClusteringMethod::KModes => Box::new(kmodes::fit(data, k, 20, rng)),
+            ClusteringMethod::Agglomerative => {
+                Box::new(agglomerative::fit(data, AgglomerativeConfig::new(k), rng))
+            }
+            ClusteringMethod::Gmm => Box::new(gmm::fit(data, GmmConfig::new(k), rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(11)).unwrap(),
+            Attribute::new("y", Domain::indexed(11)).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![(i % 3) as u32, (i % 2) as u32]
+                } else {
+                    vec![10 - (i % 3) as u32, 10]
+                }
+            })
+            .collect();
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn every_method_fits_and_labels_all_rows() {
+        let d = data();
+        for method in ClusteringMethod::all() {
+            let mut r = StdRng::seed_from_u64(77);
+            let model = method.fit(&d, 3, &mut r);
+            assert_eq!(model.n_clusters(), 3, "{}", method.name());
+            let labels = model.assign_all(&d);
+            assert_eq!(labels.len(), d.n_rows());
+            assert!(labels.iter().all(|&l| l < 3), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ClusteringMethod::KMeans.name(), "k-means");
+        assert_eq!(
+            ClusteringMethod::DpKMeans { epsilon: 1.0 }.name(),
+            "DP-k-means"
+        );
+        assert_eq!(ClusteringMethod::Gmm.name(), "GMMs");
+    }
+}

@@ -1,0 +1,120 @@
+//! Clustering-quality metrics.
+//!
+//! Used by tests and examples to verify that the substrate's clusterers
+//! genuinely recover latent structure (e.g. the synthetic generators' hidden
+//! groups) — not released under DP, so exactness is fine.
+
+/// Adjusted Rand Index between two labelings of the same points, in
+/// `[-1, 1]`: 1 for identical partitions (up to label permutation), ≈0 for
+/// independent ones.
+///
+/// # Panics
+/// Panics if the labelings have different lengths or are empty.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let ka = a.iter().max().expect("non-empty") + 1;
+    let kb = b.iter().max().expect("non-empty") + 1;
+    let mut table = vec![0u64; ka * kb];
+    let mut row = vec![0u64; ka];
+    let mut col = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x * kb + y] += 1;
+        row[x] += 1;
+        col[y] += 1;
+    }
+    let choose2 = |n: u64| -> f64 { (n as f64) * (n as f64 - 1.0) / 2.0 };
+    let sum_cells: f64 = table.iter().map(|&n| choose2(n)).sum();
+    let sum_rows: f64 = row.iter().map(|&n| choose2(n)).sum();
+    let sum_cols: f64 = col.iter().map(|&n| choose2(n)).sum();
+    let total = choose2(a.len() as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both labelings constant): define as 1 when the
+        // partitions coincide cell-wise, else 0.
+        return if sum_cells == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Purity: every found cluster votes for its majority true label; the
+/// fraction of points covered by those majorities, in `(0, 1]`.
+pub fn purity(found: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(
+        found.len(),
+        truth.len(),
+        "labelings must cover the same points"
+    );
+    assert!(!found.is_empty(), "labelings must be non-empty");
+    let kf = found.iter().max().expect("non-empty") + 1;
+    let kt = truth.iter().max().expect("non-empty") + 1;
+    let mut table = vec![0u64; kf * kt];
+    for (&f, &t) in found.iter().zip(truth) {
+        table[f * kt + t] += 1;
+    }
+    let covered: u64 = (0..kf)
+        .map(|f| (0..kt).map(|t| table[f * kt + t]).max().unwrap_or(0))
+        .sum();
+    covered as f64 / found.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Alternating vs block labelings of 400 points.
+        let a: Vec<usize> = (0..400).map(|i| i % 2).collect();
+        let b: Vec<usize> = (0..400).map(|i| usize::from(i >= 200)).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.05, "ARI {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_is_intermediate() {
+        let a: Vec<usize> = (0..300).map(|i| i / 100).collect();
+        // Corrupt 20% of labels.
+        let b: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if i % 5 == 0 { (l + 1) % 3 } else { l })
+            .collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.4 && ari < 0.95, "ARI {ari}");
+        let p = purity(&b, &a);
+        assert!((0.75..0.95).contains(&p), "purity {p}");
+    }
+
+    #[test]
+    fn constant_labelings_handled() {
+        let a = vec![0usize; 10];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        let b: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        // Constant vs non-constant: expected == max_index edge case.
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn length_mismatch_panics() {
+        adjusted_rand_index(&[0, 1], &[0]);
+    }
+}

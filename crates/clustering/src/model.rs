@@ -1,0 +1,177 @@
+//! The total clustering function `f : dom(R) → C`.
+
+use crate::encode::{nearest_center, DomainScaler};
+use dpx_data::Dataset;
+
+/// A clustering model: a *total* assignment function over the tuple domain,
+/// the paper's `f : dom(R) → C` (§2.1). Models must be defined for every
+/// possible coded tuple, not only observed ones — that is what makes the
+/// privacy argument of Definition 3.1 compose with DP clustering.
+pub trait ClusterModel {
+    /// Number of cluster labels `|C|`.
+    fn n_clusters(&self) -> usize;
+
+    /// Assigns a coded tuple to a cluster label in `0..n_clusters()`.
+    fn assign_row(&self, row: &[u32]) -> usize;
+
+    /// Assigns every tuple of a dataset. The default implementation calls
+    /// [`ClusterModel::assign_row`] per row; models with a cheaper columnar
+    /// path may override.
+    fn assign_all(&self, data: &Dataset) -> Vec<usize> {
+        let mut buf = vec![0u32; data.schema().arity()];
+        (0..data.n_rows())
+            .map(|r| {
+                for (a, slot) in buf.iter_mut().enumerate() {
+                    *slot = data.column(a)[r];
+                }
+                self.assign_row(&buf)
+            })
+            .collect()
+    }
+}
+
+/// A centroid-based model: nearest center in the domain-scaled space. This is
+/// the released artifact of k-means, DP-k-means, GMM (hard assignment via
+/// scaled means is handled by `GmmModel` instead), and the agglomerative
+/// extension.
+#[derive(Debug, Clone)]
+pub struct CentroidModel {
+    scaler: DomainScaler,
+    centers: Vec<Vec<f64>>,
+}
+
+impl CentroidModel {
+    /// Creates a model from encoded-space centers.
+    ///
+    /// # Panics
+    /// Panics if `centers` is empty or dimensionalities disagree.
+    pub fn new(scaler: DomainScaler, centers: Vec<Vec<f64>>) -> Self {
+        assert!(!centers.is_empty(), "need at least one center");
+        assert!(
+            centers.iter().all(|c| c.len() == scaler.dims()),
+            "center dimensionality must match the scaler"
+        );
+        CentroidModel { scaler, centers }
+    }
+
+    /// The encoded-space centers.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// The scaler used for assignment.
+    pub fn scaler(&self) -> &DomainScaler {
+        &self.scaler
+    }
+}
+
+impl ClusterModel for CentroidModel {
+    fn n_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    fn assign_row(&self, row: &[u32]) -> usize {
+        nearest_center(&self.scaler.encode_row(row), &self.centers)
+    }
+
+    fn assign_all(&self, data: &Dataset) -> Vec<usize> {
+        self.scaler
+            .encode_dataset(data)
+            .iter()
+            .map(|p| nearest_center(p, &self.centers))
+            .collect()
+    }
+}
+
+/// A user-defined predicate clustering — the paper notes its model "also
+/// accommodates other approaches, such as user-defined predicates". Wraps an
+/// arbitrary total function.
+pub struct PredicateModel<F: Fn(&[u32]) -> usize> {
+    n_clusters: usize,
+    predicate: F,
+}
+
+impl<F: Fn(&[u32]) -> usize> PredicateModel<F> {
+    /// Creates a predicate model; `predicate` must return labels
+    /// `< n_clusters` for every possible tuple.
+    pub fn new(n_clusters: usize, predicate: F) -> Self {
+        assert!(n_clusters > 0, "need at least one cluster");
+        PredicateModel {
+            n_clusters,
+            predicate,
+        }
+    }
+}
+
+impl<F: Fn(&[u32]) -> usize> ClusterModel for PredicateModel<F> {
+    fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    fn assign_row(&self, row: &[u32]) -> usize {
+        let c = (self.predicate)(row);
+        assert!(c < self.n_clusters, "predicate returned label {c}");
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", Domain::indexed(3)).unwrap(),
+            Attribute::new("b", Domain::indexed(3)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn centroid_model_assigns_nearest() {
+        let s = schema();
+        let scaler = DomainScaler::new(&s);
+        let m = CentroidModel::new(scaler, vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        assert_eq!(m.n_clusters(), 2);
+        assert_eq!(m.assign_row(&[0, 0]), 0);
+        assert_eq!(m.assign_row(&[2, 2]), 1);
+    }
+
+    #[test]
+    fn centroid_model_is_total_over_domain() {
+        let s = schema();
+        let m = CentroidModel::new(DomainScaler::new(&s), vec![vec![0.2, 0.2], vec![0.9, 0.1]]);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let c = m.assign_row(&[a, b]);
+                assert!(c < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn assign_all_matches_assign_row() {
+        let s = schema();
+        let data = Dataset::from_rows(s.clone(), &[vec![0, 0], vec![2, 2], vec![1, 0]]).unwrap();
+        let m = CentroidModel::new(DomainScaler::new(&s), vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let all = m.assign_all(&data);
+        for (r, &label) in all.iter().enumerate() {
+            assert_eq!(label, m.assign_row(&data.row(r)));
+        }
+    }
+
+    #[test]
+    fn predicate_model_wraps_closures() {
+        let m = PredicateModel::new(2, |row: &[u32]| usize::from(row[0] > 0));
+        assert_eq!(m.assign_row(&[0, 5]), 0);
+        assert_eq!(m.assign_row(&[2, 5]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "center dimensionality")]
+    fn mismatched_center_dims_panic() {
+        let s = schema();
+        CentroidModel::new(DomainScaler::new(&s), vec![vec![0.0]]);
+    }
+}

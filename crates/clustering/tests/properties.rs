@@ -1,0 +1,97 @@
+//! Property-based tests of the clustering substrate: totality of the
+//! assignment functions (the paper's `f : dom(R) → C` requirement) and
+//! encoding invariants.
+
+use dpx_clustering::encode::{nearest_center, sq_dist, DomainScaler};
+use dpx_clustering::ClusteringMethod;
+use dpx_data::schema::{Attribute, Domain, Schema};
+use dpx_data::Dataset;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schema_and_rows() -> impl Strategy<Value = (Schema, Vec<Vec<u32>>)> {
+    prop::collection::vec(2usize..=5, 2..=3).prop_flat_map(|domains| {
+        let schema = Schema::new(
+            domains
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Attribute::new(format!("a{i}"), Domain::indexed(d)).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let row: Vec<_> = domains.iter().map(|&d| 0u32..(d as u32)).collect();
+        let rows = prop::collection::vec(row, 4..40);
+        (Just(schema), rows)
+    })
+}
+
+proptest! {
+    #[test]
+    fn domain_scaler_maps_into_unit_cube((schema, rows) in schema_and_rows()) {
+        let scaler = DomainScaler::new(&schema);
+        for row in &rows {
+            let p = scaler.encode_row(row);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn nearest_center_returns_true_minimum(
+        point in prop::collection::vec(0.0f64..1.0, 3),
+        centers in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..8),
+    ) {
+        let chosen = nearest_center(&point, &centers);
+        let chosen_d = sq_dist(&point, &centers[chosen]);
+        for c in &centers {
+            prop_assert!(chosen_d <= sq_dist(&point, c) + 1e-12);
+        }
+    }
+
+    /// Every clustering method yields a *total* model: any tuple of the
+    /// domain — seen or unseen — gets a label below k.
+    #[test]
+    fn all_models_are_total((schema, rows) in schema_and_rows(), seed in any::<u64>()) {
+        let data = Dataset::from_rows(schema.clone(), &rows).unwrap();
+        let k = 2;
+        for method in ClusteringMethod::all() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = method.fit(&data, k, &mut rng);
+            // Exhaustively walk the (small) tuple domain.
+            let mut tuple: Vec<u32> = vec![0; schema.arity()];
+            loop {
+                let label = model.assign_row(&tuple);
+                prop_assert!(label < k, "{}: label {label}", method.name());
+                // Odometer over the domain.
+                let mut pos = schema.arity();
+                let mut done = true;
+                while pos > 0 {
+                    pos -= 1;
+                    tuple[pos] += 1;
+                    if (tuple[pos] as usize) < schema.attribute(pos).domain.size() {
+                        done = false;
+                        break;
+                    }
+                    tuple[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// assign_all must agree with assign_row for every model.
+    #[test]
+    fn assign_all_matches_rowwise((schema, rows) in schema_and_rows(), seed in any::<u64>()) {
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        for method in ClusteringMethod::all() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = method.fit(&data, 2, &mut rng);
+            let all = model.assign_all(&data);
+            for (r, &label) in all.iter().enumerate() {
+                prop_assert_eq!(label, model.assign_row(&data.row(r)), "{}", method.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Evaluation measures (§6.1, "Evaluation measures").
+//!
+//! The paper evaluates all explainers with the **original, sensitive** quality
+//! functions — `Quality = λ_Int·Int + λ_Suf·Suf + λ_Div·Div` over normalized
+//! `[0, 1]` measures — and with a discrete **MAE** against the non-private
+//! TabEE combination. Sensitive functions are fine here because evaluation is
+//! offline analysis of the *selected attributes*, not a released quantity.
+
+use crate::counts::ScoreTable;
+use crate::quality::diversity::perm_diversity;
+use crate::quality::interestingness::sensitive_tvd;
+use crate::quality::score::Weights;
+use crate::quality::sufficiency::suf_p;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The sensitive global `Quality` of an attribute combination: the paper's
+/// evaluation score with all three measures normalized into `[0, 1]`.
+pub fn quality(st: &ScoreTable, assignment: &[usize], w: Weights) -> f64 {
+    QualityEvaluator::new(st, w).quality(assignment)
+}
+
+/// Discrete mean absolute error between a combination and the non-private
+/// reference: the fraction of clusters whose attribute differs (§6.1).
+///
+/// # Panics
+/// Panics if lengths differ or either is empty.
+pub fn mae(assignment: &[usize], reference: &[usize]) -> f64 {
+    assert_eq!(
+        assignment.len(),
+        reference.len(),
+        "combinations must cover the same clusters"
+    );
+    assert!(!assignment.is_empty(), "empty combination");
+    assignment
+        .iter()
+        .zip(reference)
+        .filter(|(a, b)| a != b)
+        .count() as f64
+        / assignment.len() as f64
+}
+
+/// A reusable evaluator of the sensitive `Quality` score.
+///
+/// Precomputes per-(attribute, cluster) interestingness and sufficiency, and
+/// memoizes the permutation diversity of every (attribute, cluster-group)
+/// seen — making exhaustive `k^|C|` enumerations (TabEE / DP-TabEE Stage-2)
+/// tractable, since the same small groups recur across combinations.
+pub struct QualityEvaluator<'a> {
+    st: &'a ScoreTable,
+    w: Weights,
+    /// `int[a][c]` = sensitive TVD interestingness.
+    int: Vec<Vec<f64>>,
+    /// `suf[a][c]` = `Suf_p` (summed into the global sensitive `Suf` later).
+    suf: Vec<Vec<f64>>,
+    /// Memoized permutation diversity keyed by `(attribute, cluster bitmask)`.
+    div_memo: RefCell<HashMap<(usize, u64), f64>>,
+}
+
+impl<'a> QualityEvaluator<'a> {
+    /// Builds the evaluator, precomputing single-cluster measures.
+    ///
+    /// # Panics
+    /// Panics if there are more than 64 clusters (bitmask memo keys).
+    pub fn new(st: &'a ScoreTable, w: Weights) -> Self {
+        assert!(st.n_clusters() <= 64, "at most 64 clusters supported");
+        let n_attrs = st.n_attributes();
+        let n_clusters = st.n_clusters();
+        let mut int = vec![vec![0.0; n_clusters]; n_attrs];
+        let mut suf = vec![vec![0.0; n_clusters]; n_attrs];
+        for a in 0..n_attrs {
+            let t = st.attr(a);
+            for c in 0..n_clusters {
+                int[a][c] = sensitive_tvd(t, c);
+                suf[a][c] = suf_p(t, c);
+            }
+        }
+        QualityEvaluator {
+            st,
+            w,
+            int,
+            suf,
+            div_memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Sensitive global interestingness: average TVD over clusters.
+    pub fn int_global(&self, assignment: &[usize]) -> f64 {
+        let n = assignment.len() as f64;
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(c, &a)| self.int[a][c])
+            .sum::<f64>()
+            / n
+    }
+
+    /// Sensitive global sufficiency: `(1/|D|) Σ_c Suf_p(c, AC(c))`
+    /// (Proposition 4.4.1 identity).
+    pub fn suf_global(&self, assignment: &[usize]) -> f64 {
+        let total = self.st.attr(assignment[0]).total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(c, &a)| self.suf[a][c])
+            .sum::<f64>()
+            / total
+    }
+
+    /// Sensitive global diversity, normalized by `|C|`, with memoized
+    /// per-group permutation averages.
+    pub fn div_global(&self, assignment: &[usize]) -> f64 {
+        let n = assignment.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut groups: Vec<(usize, u64, Vec<usize>)> = Vec::new();
+        for (c, &a) in assignment.iter().enumerate() {
+            if let Some(e) = groups.iter_mut().find(|(attr, _, _)| *attr == a) {
+                e.1 |= 1u64 << c;
+                e.2.push(c);
+            } else {
+                groups.push((a, 1u64 << c, vec![c]));
+            }
+        }
+        let mut total = 0.0;
+        for (a, mask, group) in groups {
+            let mut memo = self.div_memo.borrow_mut();
+            let v = *memo
+                .entry((a, mask))
+                .or_insert_with(|| perm_diversity(self.st.attr(a), &group));
+            total += v;
+        }
+        total / n as f64
+    }
+
+    /// The combined sensitive `Quality` score.
+    pub fn quality(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.st.n_clusters());
+        self.w.int * self.int_global(assignment)
+            + self.w.suf * self.suf_global(assignment)
+            + self.w.div * self.div_global(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::AttrCounts;
+
+    fn table() -> ScoreTable {
+        // Attribute 0 separates both clusters perfectly; attribute 1 is flat.
+        let a0 = AttrCounts::new(vec![vec![40.0, 0.0], vec![0.0, 60.0]], vec![40.0, 60.0]);
+        let a1 = AttrCounts::new(vec![vec![20.0, 20.0], vec![30.0, 30.0]], vec![50.0, 50.0]);
+        ScoreTable::new(vec![a0, a1])
+    }
+
+    #[test]
+    fn quality_is_in_unit_interval_and_orders_sensibly() {
+        let st = table();
+        let w = Weights::equal();
+        let good = quality(&st, &[0, 0], w);
+        let bad = quality(&st, &[1, 1], w);
+        assert!((0.0..=1.0).contains(&good), "good = {good}");
+        assert!((0.0..=1.0).contains(&bad));
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn perfect_separation_scores_one() {
+        // Attribute 0 fully separates: Int = TVD = (0.6, 0.4 avg)?  Compute:
+        // cluster 0 dist (1,0) vs marginal (0.4,0.6): TVD 0.6; cluster 1 TVD 0.4
+        // → Int = 0.5. Suf = (40+60)/100 = 1. Div: distinct dists on same attr,
+        // pairwise TVD 1 → group of 2 scores 1 → Div = 1/2 = 0.5.
+        let st = table();
+        let ev = QualityEvaluator::new(&st, Weights::equal());
+        assert!((ev.int_global(&[0, 0]) - 0.5).abs() < 1e-9);
+        assert!((ev.suf_global(&[0, 0]) - 1.0).abs() < 1e-9);
+        assert!((ev.div_global(&[0, 0]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_attributes_maximize_diversity() {
+        let st = table();
+        let ev = QualityEvaluator::new(&st, Weights::equal());
+        assert!((ev.div_global(&[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluator_matches_standalone_quality() {
+        let st = table();
+        let w = Weights::new(0.2, 0.5, 0.3);
+        let ev = QualityEvaluator::new(&st, w);
+        for asg in [[0usize, 0], [0, 1], [1, 0], [1, 1]] {
+            assert!((ev.quality(&asg) - quality(&st, &asg, w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memoization_is_transparent() {
+        let st = table();
+        let ev = QualityEvaluator::new(&st, Weights::equal());
+        let first = ev.div_global(&[0, 0]);
+        let second = ev.div_global(&[0, 0]);
+        assert_eq!(first, second);
+        assert_eq!(ev.div_memo.borrow().len(), 1);
+    }
+
+    #[test]
+    fn mae_counts_disagreements() {
+        assert_eq!(mae(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert!((mae(&[1, 2, 3], &[1, 9, 9]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mae(&[5], &[6]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same clusters")]
+    fn mae_length_mismatch_panics() {
+        mae(&[1], &[1, 2]);
+    }
+}

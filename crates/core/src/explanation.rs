@@ -1,0 +1,218 @@
+//! Explanation data types (Definitions 2.2/2.3) and terminal rendering.
+
+use dpx_data::Schema;
+use std::fmt;
+
+/// An attribute combination `AC : C → A` (§3): the attribute index chosen to
+/// explain each cluster, indexed by cluster label.
+pub type AttributeCombination = Vec<usize>;
+
+/// A single-cluster histogram-based explanation candidate
+/// `(c, A, h_A(D \ D_c), h_A(D_c))` (Definition 2.2) with (possibly noisy)
+/// counts.
+#[derive(Debug, Clone)]
+pub struct SingleClusterExplanation {
+    /// The cluster label being explained.
+    pub cluster: usize,
+    /// Index of the explaining attribute in the schema.
+    pub attribute: usize,
+    /// Name of the explaining attribute.
+    pub attribute_name: String,
+    /// Value labels of the attribute's domain (histogram bin labels).
+    pub bin_labels: Vec<String>,
+    /// Histogram of the data *outside* the cluster, `h_A(D \ D_c)`.
+    pub hist_rest: Vec<f64>,
+    /// Histogram of the cluster, `h_A(D_c)`.
+    pub hist_cluster: Vec<f64>,
+}
+
+impl SingleClusterExplanation {
+    /// Normalizes a histogram into proportions (zeros stay zero).
+    fn normalize(h: &[f64]) -> Vec<f64> {
+        let total: f64 = h.iter().map(|&x| x.max(0.0)).sum();
+        if total <= 0.0 {
+            return vec![0.0; h.len()];
+        }
+        h.iter().map(|&x| x.max(0.0) / total).collect()
+    }
+
+    /// Normalized in-cluster histogram (proportions).
+    pub fn cluster_proportions(&self) -> Vec<f64> {
+        Self::normalize(&self.hist_cluster)
+    }
+
+    /// Normalized out-of-cluster histogram (proportions).
+    pub fn rest_proportions(&self) -> Vec<f64> {
+        Self::normalize(&self.hist_rest)
+    }
+
+    /// Renders the explanation as a two-series ASCII bar chart, the terminal
+    /// analogue of the paper's Figure 3a.
+    pub fn render(&self) -> String {
+        let pc = self.cluster_proportions();
+        let pr = self.rest_proportions();
+        let width = 30usize;
+        let label_w = self
+            .bin_labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .min(24);
+        let mut out = format!(
+            "Cluster {} — attribute `{}` (■ cluster, □ rest)\n",
+            self.cluster, self.attribute_name
+        );
+        for (i, label) in self.bin_labels.iter().enumerate() {
+            let c_bar = (pc[i] * width as f64).round() as usize;
+            let r_bar = (pr[i] * width as f64).round() as usize;
+            let mut lbl = label.clone();
+            if lbl.len() > label_w {
+                lbl.truncate(label_w);
+            }
+            out.push_str(&format!(
+                "  {lbl:>label_w$} ■{:<width$} {:5.1}%\n",
+                "■".repeat(c_bar),
+                pc[i] * 100.0
+            ));
+            out.push_str(&format!(
+                "  {:>label_w$} □{:<width$} {:5.1}%\n",
+                "",
+                "□".repeat(r_bar),
+                pr[i] * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// A global explanation: one single-cluster explanation per cluster label
+/// (Definition 2.3).
+#[derive(Debug, Clone)]
+pub struct GlobalExplanation {
+    /// Per-cluster explanations, indexed by cluster label.
+    pub per_cluster: Vec<SingleClusterExplanation>,
+}
+
+impl GlobalExplanation {
+    /// The attribute combination realized by this explanation.
+    pub fn attribute_combination(&self) -> AttributeCombination {
+        self.per_cluster.iter().map(|e| e.attribute).collect()
+    }
+
+    /// Names of the selected attributes, per cluster.
+    pub fn attribute_names(&self) -> Vec<&str> {
+        self.per_cluster
+            .iter()
+            .map(|e| e.attribute_name.as_str())
+            .collect()
+    }
+
+    /// Builds an explanation skeleton from a schema, an attribute
+    /// combination, and per-cluster histogram pairs `(rest, cluster)`.
+    pub fn from_histograms(
+        schema: &Schema,
+        assignment: &[usize],
+        histograms: Vec<(Vec<f64>, Vec<f64>)>,
+    ) -> Self {
+        assert_eq!(assignment.len(), histograms.len());
+        let per_cluster = assignment
+            .iter()
+            .zip(histograms)
+            .enumerate()
+            .map(|(c, (&a, (rest, cluster)))| {
+                let attr = schema.attribute(a);
+                SingleClusterExplanation {
+                    cluster: c,
+                    attribute: a,
+                    attribute_name: attr.name.clone(),
+                    bin_labels: attr.domain.iter().map(|(_, l)| l.to_string()).collect(),
+                    hist_rest: rest,
+                    hist_cluster: cluster,
+                }
+            })
+            .collect();
+        GlobalExplanation { per_cluster }
+    }
+}
+
+impl fmt::Display for GlobalExplanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.per_cluster {
+            writeln!(f, "{}", e.render())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::schema::{Attribute, Domain};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", Domain::categorical(["[0,40)", "[40,80)"])).unwrap(),
+            Attribute::new("lab_proc", Domain::intervals(0.0, 10.0, 3)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_histograms_wires_names_and_labels() {
+        let g = GlobalExplanation::from_histograms(
+            &schema(),
+            &[1, 0],
+            vec![
+                (vec![5.0, 3.0, 1.0], vec![0.0, 1.0, 9.0]),
+                (vec![7.0, 3.0], vec![4.0, 4.0]),
+            ],
+        );
+        assert_eq!(g.attribute_combination(), vec![1, 0]);
+        assert_eq!(g.attribute_names(), vec!["lab_proc", "age"]);
+        assert_eq!(g.per_cluster[0].bin_labels.len(), 3);
+        assert_eq!(g.per_cluster[1].bin_labels, vec!["[0,40)", "[40,80)"]);
+    }
+
+    #[test]
+    fn proportions_normalize_and_clamp() {
+        let e = SingleClusterExplanation {
+            cluster: 0,
+            attribute: 0,
+            attribute_name: "x".into(),
+            bin_labels: vec!["a".into(), "b".into()],
+            hist_rest: vec![-2.0, 6.0],
+            hist_cluster: vec![1.0, 3.0],
+        };
+        assert_eq!(e.rest_proportions(), vec![0.0, 1.0]);
+        assert_eq!(e.cluster_proportions(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn all_zero_histogram_renders_safely() {
+        let e = SingleClusterExplanation {
+            cluster: 3,
+            attribute: 0,
+            attribute_name: "x".into(),
+            bin_labels: vec!["a".into()],
+            hist_rest: vec![0.0],
+            hist_cluster: vec![0.0],
+        };
+        let r = e.render();
+        assert!(r.contains("Cluster 3"));
+        assert!(r.contains("0.0%"));
+    }
+
+    #[test]
+    fn render_mentions_attribute_and_bars() {
+        let g = GlobalExplanation::from_histograms(
+            &schema(),
+            &[0],
+            vec![(vec![9.0, 1.0], vec![1.0, 9.0])],
+        );
+        let text = format!("{g}");
+        assert!(text.contains("age"));
+        assert!(text.contains('■'));
+        assert!(text.contains('□'));
+    }
+}

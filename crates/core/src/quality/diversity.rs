@@ -1,0 +1,317 @@
+//! Diversity: distinctiveness among the per-cluster explanations.
+//!
+//! *Sensitive* form (Appendix A.3, from TabEE): for each attribute, the
+//! clusters explained by it form a group; a group of one contributes 1 (a new
+//! attribute is maximally informative), and a larger group contributes the
+//! permutation-averaged sum of "minimum TVD to any previously seen histogram
+//! on the same attribute". Sensitivity ≥ ½ against a range of `O(|C|)`
+//! (normalized here by `|C|` into `[0, 1]` for evaluation, per the paper's
+//! footnote).
+//!
+//! *Low-sensitivity* form (Definitions 4.5/4.6): pairwise
+//! `d(c, c', A_c, A_{c'}) = min{|D_c|, |D_{c'}|} ×` (1 if different
+//! attributes, else the TVD between the two clusters' distributions), and
+//! `Div_p(AC) = binom(|C|, 2)⁻¹ Σ_{pairs} d` — sensitivity ≤ 1
+//! (Proposition 4.6), with small clusters deliberately down-weighted.
+
+use crate::counts::{AttrCounts, ScoreTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// TVD between the value distributions of clusters `c` and `c'` inside one
+/// attribute table. Empty clusters behave as zero vectors (`max{|D_c|, 1}`
+/// convention of Definition 4.5).
+pub fn pair_tvd(attr: &AttrCounts, c: usize, c2: usize) -> f64 {
+    let s1 = attr.cluster_size(c).max(1.0);
+    let s2 = attr.cluster_size(c2).max(1.0);
+    0.5 * attr
+        .cluster_row(c)
+        .iter()
+        .zip(attr.cluster_row(c2))
+        .map(|(&a, &b)| (a / s1 - b / s2).abs())
+        .sum::<f64>()
+}
+
+/// Low-sensitivity pairwise diversity `d` (Definition 4.5). `a_c` / `a_c2`
+/// are the attribute indices chosen for clusters `c` / `c2`.
+pub fn pair_d(st: &ScoreTable, c: usize, c2: usize, a_c: usize, a_c2: usize) -> f64 {
+    let size_c = st.attr(a_c).cluster_size(c);
+    let size_c2 = st.attr(a_c2).cluster_size(c2);
+    let weight = size_c.min(size_c2);
+    if a_c != a_c2 {
+        weight
+    } else {
+        weight * pair_tvd(st.attr(a_c), c, c2)
+    }
+}
+
+/// Low-sensitivity global diversity `Div_p` (Definition 4.6). Returns 0 for a
+/// single cluster (no pairs).
+pub fn div_p(st: &ScoreTable, assignment: &[usize]) -> f64 {
+    let n = assignment.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    let mut sum = 0.0;
+    for c in 0..n {
+        for c2 in (c + 1)..n {
+            sum += pair_d(st, c, c2, assignment[c], assignment[c2]);
+        }
+    }
+    sum / pairs
+}
+
+/// Permutation diversity of one attribute group (Appendix A.3): the clusters
+/// in `group` are all explained by attribute table `attr`. A singleton group
+/// scores 1; a larger group scores the permutation average of
+/// `Σ_{i≥2} min_{j<i} TVD(p_i, p_j)`.
+///
+/// Exact enumeration up to 6 clusters per group; deterministic Monte Carlo
+/// (fixed-seed, 120 shuffles) beyond — the value is only used for evaluation
+/// and non-private selection, never inside a DP mechanism.
+pub fn perm_diversity(attr: &AttrCounts, group: &[usize]) -> f64 {
+    let m = group.len();
+    if m == 0 {
+        return 0.0;
+    }
+    if m == 1 {
+        return 1.0;
+    }
+    // Pairwise TVD cache.
+    let tvd = |i: usize, j: usize| pair_tvd(attr, group[i], group[j]);
+    let mut cache = vec![0.0f64; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = tvd(i, j);
+            cache[i * m + j] = d;
+            cache[j * m + i] = d;
+        }
+    }
+    let perm_value = |perm: &[usize]| -> f64 {
+        (1..m)
+            .map(|i| {
+                (0..i)
+                    .map(|j| cache[perm[i] * m + perm[j]])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    };
+    if m <= 6 {
+        // Exact: enumerate all m! permutations (≤ 720).
+        let mut perm: Vec<usize> = (0..m).collect();
+        let mut total = 0.0;
+        let mut count = 0u64;
+        heap_permutations(&mut perm, &mut |p| {
+            total += perm_value(p);
+            count += 1;
+        });
+        total / count as f64
+    } else {
+        let mut rng = StdRng::seed_from_u64(0x5EED_D117);
+        let mut perm: Vec<usize> = (0..m).collect();
+        let samples = 120;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            perm.shuffle(&mut rng);
+            total += perm_value(&perm);
+        }
+        total / samples as f64
+    }
+}
+
+fn heap_permutations<F: FnMut(&[usize])>(items: &mut [usize], visit: &mut F) {
+    fn recurse<F: FnMut(&[usize])>(k: usize, items: &mut [usize], visit: &mut F) {
+        if k <= 1 {
+            visit(items);
+            return;
+        }
+        for i in 0..k {
+            recurse(k - 1, items, visit);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    recurse(items.len(), items, visit);
+}
+
+/// Sensitive global diversity of an attribute combination, normalized by
+/// `|C|` into `[0, 1]` (the paper's footnote 6 normalization). Sums the
+/// permutation diversity of every attribute group.
+pub fn sensitive_div(st: &ScoreTable, assignment: &[usize]) -> f64 {
+    let n = assignment.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Group clusters by chosen attribute.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (c, &a) in assignment.iter().enumerate() {
+        if let Some(entry) = groups.iter_mut().find(|(attr, _)| *attr == a) {
+            entry.1.push(c);
+        } else {
+            groups.push((a, vec![c]));
+        }
+    }
+    groups
+        .iter()
+        .map(|(a, group)| perm_diversity(st.attr(*a), group))
+        .sum::<f64>()
+        / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two attributes over 3 clusters; attribute 0 has clusters with
+    /// identical distributions, attribute 1 separates them fully.
+    fn table() -> ScoreTable {
+        let same = AttrCounts::new(
+            vec![vec![5.0, 5.0], vec![50.0, 50.0], vec![10.0, 10.0]],
+            vec![65.0, 65.0],
+        );
+        let distinct = AttrCounts::new(
+            vec![
+                vec![10.0, 0.0, 0.0],
+                vec![0.0, 100.0, 0.0],
+                vec![0.0, 0.0, 20.0],
+            ],
+            vec![10.0, 100.0, 20.0],
+        );
+        ScoreTable::new(vec![same, distinct])
+    }
+
+    #[test]
+    fn pair_tvd_extremes() {
+        let st = table();
+        assert!(pair_tvd(st.attr(0), 0, 1).abs() < 1e-12);
+        assert!((pair_tvd(st.attr(1), 0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_attributes_score_min_size() {
+        let st = table();
+        // Clusters 0 (size 10) and 1 (size 100) on different attributes.
+        let d = pair_d(&st, 0, 1, 0, 1);
+        assert!((d - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_attribute_scales_tvd_by_min_size() {
+        let st = table();
+        // Same attribute 1, fully distinct distributions → min size × 1.
+        let d = pair_d(&st, 0, 2, 1, 1);
+        assert!((d - 10.0).abs() < 1e-12);
+        // Same attribute 0, identical distributions → 0.
+        let d0 = pair_d(&st, 0, 2, 0, 0);
+        assert!(d0.abs() < 1e-12);
+    }
+
+    #[test]
+    fn div_p_averages_pairs() {
+        let st = table();
+        // Assignment: all on attribute 1 (fully distinct): every pair scores
+        // min size; pairs: (0,1)=10, (0,2)=10, (1,2)=20 → mean 40/3.
+        let v = div_p(&st, &[1, 1, 1]);
+        assert!((v - 40.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn div_p_single_cluster_is_zero() {
+        let st = table();
+        assert_eq!(div_p(&st, &[0]), 0.0);
+    }
+
+    #[test]
+    fn div_p_neighbor_sensitivity_bounded_by_one() {
+        // Proposition 4.6 on the A.3 construction: one tuple joins cluster 0.
+        let before = ScoreTable::new(vec![AttrCounts::new(
+            vec![vec![1.0, 0.0], vec![5.0, 0.0], vec![3.0, 0.0]],
+            vec![9.0, 0.0],
+        )]);
+        let after = ScoreTable::new(vec![AttrCounts::new(
+            vec![vec![1.0, 1.0], vec![5.0, 0.0], vec![3.0, 0.0]],
+            vec![9.0, 1.0],
+        )]);
+        let d = (div_p(&before, &[0, 0, 0]) - div_p(&after, &[0, 0, 0])).abs();
+        assert!(d <= 1.0 + 1e-9, "Div_p moved by {d}");
+    }
+
+    #[test]
+    fn perm_diversity_singleton_is_one() {
+        let st = table();
+        assert_eq!(perm_diversity(st.attr(0), &[1]), 1.0);
+    }
+
+    #[test]
+    fn perm_diversity_identical_distributions_is_zero() {
+        let st = table();
+        assert!(perm_diversity(st.attr(0), &[0, 1, 2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perm_diversity_appendix_construction_is_half() {
+        // A.3: one cluster differs from the others by TVD ½; pairwise TVD
+        // among the rest is 0 → every permutation scores ½.
+        let attr = AttrCounts::new(
+            vec![
+                vec![1.0, 1.0],  // distribution (½, ½)
+                vec![10.0, 0.0], // (1, 0)
+                vec![7.0, 0.0],  // (1, 0)
+            ],
+            vec![18.0, 1.0],
+        );
+        let v = perm_diversity(&attr, &[0, 1, 2]);
+        assert!((v - 0.5).abs() < 1e-9, "PermDiv {v}");
+    }
+
+    #[test]
+    fn perm_diversity_monte_carlo_path_is_stable() {
+        // 8 clusters on one attribute triggers the MC path; determinism and
+        // range sanity.
+        let attr = AttrCounts::new(
+            (0..8)
+                .map(|c| {
+                    let mut row = vec![0.0; 8];
+                    row[c] = 10.0;
+                    row
+                })
+                .collect(),
+            vec![10.0; 8],
+        );
+        let a = perm_diversity(&attr, &(0..8).collect::<Vec<_>>());
+        let b = perm_diversity(&attr, &(0..8).collect::<Vec<_>>());
+        assert_eq!(a, b, "MC uses a fixed seed");
+        // All pairwise TVD = 1 → every permutation scores m−1 = 7.
+        assert!((a - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitive_div_prefers_distinct_attributes() {
+        let st = table();
+        // Distinct attributes per cluster: each singleton group contributes 1.
+        let st3 = ScoreTable::new(vec![
+            st.attr(0).clone(),
+            st.attr(1).clone(),
+            st.attr(0).clone(),
+        ]);
+        let distinct = sensitive_div(&st3, &[0, 1, 2]);
+        assert!((distinct - 1.0).abs() < 1e-12);
+        // All on the identical-distribution attribute: 0.
+        let same = sensitive_div(&st3, &[0, 0, 0]);
+        assert!(same.abs() < 1e-12);
+        assert!(distinct > same);
+    }
+
+    #[test]
+    fn heap_permutations_enumerates_factorial() {
+        let mut count = 0;
+        let mut items = vec![0, 1, 2, 3];
+        heap_permutations(&mut items, &mut |_| count += 1);
+        assert_eq!(count, 24);
+    }
+}

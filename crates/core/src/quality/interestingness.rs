@@ -1,0 +1,158 @@
+//! Interestingness: distributional shift between a cluster and the full data.
+//!
+//! *Sensitive* form (Equation 1): `TVD(π_A(D), π_A(D_c))` — range `[0, 1]`,
+//! sensitivity ≥ ½ (Proposition 4.1), unusable under DP.
+//!
+//! *Low-sensitivity* form (Definition 4.2):
+//! `Int_p(D, f, c, A) = ½ Σ_v |cnt_{A=v}(D_c) − (|D_c|/|D|)·cnt_{A=v}(D)|`
+//! `= |D_c| · TVD(π_A(D), π_A(D_c))` — identical per-cluster ranking,
+//! sensitivity exactly 1, range `[0, |D_c|]` (Proposition 4.2).
+
+use crate::counts::AttrCounts;
+
+/// Sensitive TVD interestingness of attribute table `attr` for cluster `c`
+/// (Equation 1). Empty clusters score 0 (their "distribution" is the zero
+/// vector, mirroring the `max{|D_c|, 1}` convention of Definition 4.5).
+pub fn sensitive_tvd(attr: &AttrCounts, c: usize) -> f64 {
+    let total = attr.total();
+    let size = attr.cluster_size(c);
+    if total <= 0.0 || size <= 0.0 {
+        return 0.0;
+    }
+    0.5 * attr
+        .marginal()
+        .iter()
+        .zip(attr.cluster_row(c))
+        .map(|(&m, &k)| (m / total - k / size).abs())
+        .sum::<f64>()
+}
+
+/// Sensitive Jensen–Shannon interestingness (Appendix A.1): JS *distance*
+/// between the cluster and full-data distributions, log base 2 so the range
+/// is `[0, 1]` as the appendix states.
+pub fn sensitive_js(attr: &AttrCounts, c: usize) -> f64 {
+    let total = attr.total();
+    let size = attr.cluster_size(c);
+    if total <= 0.0 || size <= 0.0 {
+        return 0.0;
+    }
+    let mut div = 0.0;
+    for (&m, &k) in attr.marginal().iter().zip(attr.cluster_row(c)) {
+        let p = m / total;
+        let q = k / size;
+        let mid = 0.5 * (p + q);
+        if p > 0.0 {
+            div += 0.5 * p * (p / mid).log2();
+        }
+        if q > 0.0 {
+            div += 0.5 * q * (q / mid).log2();
+        }
+    }
+    div.max(0.0).sqrt()
+}
+
+/// Low-sensitivity interestingness `Int_p` (Definition 4.2).
+pub fn int_p(attr: &AttrCounts, c: usize) -> f64 {
+    let total = attr.total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let ratio = attr.cluster_size(c) / total;
+    0.5 * attr
+        .cluster_row(c)
+        .iter()
+        .zip(attr.marginal())
+        .map(|(&k, &m)| (k - ratio * m).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(cluster: Vec<Vec<f64>>, marginal: Vec<f64>) -> AttrCounts {
+        AttrCounts::new(cluster, marginal)
+    }
+
+    #[test]
+    fn identical_distribution_scores_zero() {
+        // Cluster is a scaled copy of the full data: no shift.
+        let a = attr(vec![vec![10.0, 30.0], vec![10.0, 30.0]], vec![20.0, 60.0]);
+        assert!(sensitive_tvd(&a, 0).abs() < 1e-12);
+        assert!(int_p(&a, 0).abs() < 1e-12);
+        assert!(sensitive_js(&a, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_4_1_values() {
+        // §4.1: |D| = 100,000, 95% have A=1; cluster = single tuple with A=0.
+        let a = attr(vec![vec![1.0, 0.0]], vec![5_000.0, 95_000.0]);
+        assert!((sensitive_tvd(&a, 0) - 0.95).abs() < 1e-9);
+        // Int_p = |D_c| · TVD = 0.95.
+        assert!((int_p(&a, 0) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_4_1_neighbor_shift_is_half() {
+        // Add one tuple with A=1 to the cluster: TVD jumps by ≈ ½ (the
+        // sensitivity lower-bound construction of Proposition 4.1)...
+        let before = attr(vec![vec![1.0, 0.0]], vec![5_000.0, 95_000.0]);
+        let after = attr(vec![vec![1.0, 1.0]], vec![5_000.0, 95_001.0]);
+        let delta_tvd = (sensitive_tvd(&before, 0) - sensitive_tvd(&after, 0)).abs();
+        assert!(delta_tvd > 0.49, "TVD shift {delta_tvd} should be ≈ 0.5");
+        // ...while Int_p moves by at most 1 (Proposition 4.2).
+        let delta_intp = (int_p(&before, 0) - int_p(&after, 0)).abs();
+        assert!(delta_intp <= 1.0 + 1e-9, "Int_p shift {delta_intp}");
+    }
+
+    #[test]
+    fn int_p_equals_cluster_size_times_tvd() {
+        // The identity below Definition 4.2.
+        let a = attr(
+            vec![vec![7.0, 1.0, 4.0], vec![3.0, 9.0, 2.0]],
+            vec![10.0, 10.0, 6.0],
+        );
+        for c in 0..2 {
+            let lhs = int_p(&a, c);
+            let rhs = a.cluster_size(c) * sensitive_tvd(&a, c);
+            assert!((lhs - rhs).abs() < 1e-9, "cluster {c}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn int_p_range_is_zero_to_cluster_size() {
+        // Proposition 4.2 range bound, extremal case: cluster disjoint from rest.
+        let a = attr(vec![vec![10.0, 0.0]], vec![10.0, 90.0]);
+        let v = int_p(&a, 0);
+        assert!(v <= 10.0 + 1e-9);
+        assert!((v - 9.0).abs() < 1e-9); // 10 · TVD(10/100 vs 1) = 10 · 0.9
+    }
+
+    #[test]
+    fn empty_cluster_is_safe() {
+        let a = attr(vec![vec![0.0, 0.0]], vec![5.0, 5.0]);
+        assert_eq!(sensitive_tvd(&a, 0), 0.0);
+        assert_eq!(int_p(&a, 0), 0.0);
+        assert_eq!(sensitive_js(&a, 0), 0.0);
+    }
+
+    #[test]
+    fn js_sensitivity_construction_from_appendix() {
+        // Appendix A.1: d_JS jumps > ½ when adding one tuple to a singleton
+        // cluster in a large constant dataset.
+        let n = 1_000_000.0;
+        let before = attr(vec![vec![1.0, 0.0]], vec![n, 0.0]);
+        let after = attr(vec![vec![1.0, 1.0]], vec![n, 1.0]);
+        let delta = (sensitive_js(&before, 0) - sensitive_js(&after, 0)).abs();
+        assert!(delta > 0.5, "JS shift {delta}");
+    }
+
+    #[test]
+    fn ranking_preserved_between_tvd_and_int_p_within_cluster() {
+        // For a fixed cluster, Int_p and TVD order attributes identically.
+        let strong = attr(vec![vec![10.0, 0.0]], vec![10.0, 90.0]);
+        let weak = attr(vec![vec![5.0, 5.0]], vec![50.0, 50.0]);
+        assert!(sensitive_tvd(&strong, 0) > sensitive_tvd(&weak, 0));
+        assert!(int_p(&strong, 0) > int_p(&weak, 0));
+    }
+}

@@ -1,0 +1,23 @@
+//! Quality functions for histogram-based explanations (§4 of the paper).
+//!
+//! Two families live here:
+//!
+//! * **Sensitive originals** (prefixed `sensitive_`): TVD/Jensen–Shannon
+//!   interestingness, Dasgupta-style sufficiency, and TabEE's permutation
+//!   diversity. Their sensitivity is Ω(1) relative to a `[0, 1]` range
+//!   (Propositions 4.1, 4.3 and Appendix A.3), which is why they cannot
+//!   drive DP selection — but they remain the *evaluation* yardstick
+//!   ([`crate::eval::quality`]) and power the TabEE / DP-TabEE baselines.
+//! * **Low-sensitivity variants** (suffixed `_p`): `Int_p`, `Suf_p`, pairwise
+//!   `d` and `Div_p` — each with sensitivity exactly 1 and range
+//!   `[0, |D_c|]`-scaled, preserving the per-cluster attribute ranking of the
+//!   originals (the multiplicative-`|D_c|` identities of §4).
+//!
+//! The sensitivity bounds are not just documented: `tests/` in each module
+//! replays the adversarial neighboring datasets from the paper's proofs and
+//! property-tests random neighbors.
+
+pub mod diversity;
+pub mod interestingness;
+pub mod score;
+pub mod sufficiency;

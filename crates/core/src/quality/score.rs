@@ -1,0 +1,330 @@
+//! Combined score functions (§4.4): the single-cluster score driving Stage-1
+//! and the global score driving Stage-2.
+
+use crate::counts::ScoreTable;
+use crate::quality::diversity::pair_d;
+use crate::quality::interestingness::int_p;
+use crate::quality::sufficiency::suf_p;
+
+/// The weight vector `λ = (λ_Int, λ_Suf, λ_Div)` of Definition 4.8 —
+/// non-negative, summing to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Weight of interestingness.
+    pub int: f64,
+    /// Weight of sufficiency.
+    pub suf: f64,
+    /// Weight of diversity.
+    pub div: f64,
+}
+
+impl Weights {
+    /// The paper's default: equal thirds (validated by TabEE's user studies).
+    pub fn equal() -> Self {
+        Weights {
+            int: 1.0 / 3.0,
+            suf: 1.0 / 3.0,
+            div: 1.0 / 3.0,
+        }
+    }
+
+    /// Creates validated weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative/non-finite or the sum is not 1.
+    pub fn new(int: f64, suf: f64, div: f64) -> Self {
+        for (name, w) in [("int", int), ("suf", suf), ("div", div)] {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight {name} must be finite and non-negative, got {w}"
+            );
+        }
+        assert!(
+            ((int + suf + div) - 1.0).abs() < 1e-9,
+            "weights must sum to 1, got {}",
+            int + suf + div
+        );
+        Weights { int, suf, div }
+    }
+
+    /// The marginal Stage-1 weights `γ = (γ_Int, γ_Suf)` of Algorithm 2
+    /// line 1: `λ` restricted to interestingness/sufficiency and
+    /// renormalized. When both are zero (all weight on diversity), Stage-1
+    /// falls back to an even split — some ranking is still needed to build
+    /// candidate sets.
+    pub fn gamma(&self) -> (f64, f64) {
+        let denom = self.int + self.suf;
+        if denom <= 0.0 {
+            (0.5, 0.5)
+        } else {
+            (self.int / denom, self.suf / denom)
+        }
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::equal()
+    }
+}
+
+/// The single-cluster score `SScore_γ(D, f, c, A)` (Definition 4.7):
+/// `γ_Int·Int_p + γ_Suf·Suf_p`. Sensitivity ≤ 1 (Proposition 4.8), range
+/// `[0, |D_c|]`.
+pub fn sscore(st: &ScoreTable, c: usize, attr: usize, gamma: (f64, f64)) -> f64 {
+    let a = st.attr(attr);
+    gamma.0 * int_p(a, c) + gamma.1 * suf_p(a, c)
+}
+
+/// The global score `GlScore_λ(D, f, AC)` (Definition 4.8):
+/// `λ_Int·avg_c Int_p + λ_Suf·avg_c Suf_p + λ_Div·Div_p`.
+/// Sensitivity ≤ 1 (Proposition 4.9).
+pub fn glscore(st: &ScoreTable, assignment: &[usize], w: Weights) -> f64 {
+    let n = assignment.len();
+    assert!(n > 0, "assignment must cover at least one cluster");
+    assert_eq!(n, st.n_clusters(), "one attribute per cluster required");
+    let mut int_sum = 0.0;
+    let mut suf_sum = 0.0;
+    for (c, &a) in assignment.iter().enumerate() {
+        let t = st.attr(a);
+        int_sum += int_p(t, c);
+        suf_sum += suf_p(t, c);
+    }
+    let mut score = (w.int * int_sum + w.suf * suf_sum) / n as f64;
+    if n >= 2 && w.div > 0.0 {
+        score += w.div * crate::quality::diversity::div_p(st, assignment);
+    }
+    score
+}
+
+/// Pre-computed score components for fast enumeration of the `k^|C|`
+/// candidate combinations in Stage-2: per-(cluster, candidate) single scores
+/// and per-(pair of clusters, pair of candidates) diversities.
+///
+/// `glscore_cached` reproduces [`glscore`] exactly (tested), but evaluating a
+/// combination costs `O(|C|²)` array reads instead of `O(|C|²·|dom|)` count
+/// scans.
+#[derive(Debug)]
+pub struct GlScoreCache {
+    n_clusters: usize,
+    k: usize,
+    /// `int_suf[c][i]` = `λ_Int·Int_p + λ_Suf·Suf_p` for cluster `c`'s `i`-th
+    /// candidate, already divided by `|C|`.
+    int_suf: Vec<Vec<f64>>,
+    /// `pair[(c, i), (c2, j)]` = `λ_Div·d(c, c2, ·, ·) / binom(|C|, 2)`,
+    /// flattened; only `c < c2` entries are populated.
+    pair: Vec<f64>,
+}
+
+impl GlScoreCache {
+    /// Builds the cache for the given per-cluster candidate sets.
+    pub fn build(st: &ScoreTable, candidates: &[Vec<usize>], w: Weights) -> Self {
+        let n = candidates.len();
+        assert_eq!(n, st.n_clusters());
+        let k = candidates.iter().map(Vec::len).max().unwrap_or(0);
+        let int_suf: Vec<Vec<f64>> = candidates
+            .iter()
+            .enumerate()
+            .map(|(c, cands)| {
+                cands
+                    .iter()
+                    .map(|&a| {
+                        let t = st.attr(a);
+                        (w.int * int_p(t, c) + w.suf * suf_p(t, c)) / n as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        let pairs_norm = if n >= 2 {
+            (n * (n - 1) / 2) as f64
+        } else {
+            1.0
+        };
+        let mut pair = vec![0.0; n * k * n * k];
+        if n >= 2 && w.div > 0.0 {
+            for c in 0..n {
+                for (i, &a) in candidates[c].iter().enumerate() {
+                    for c2 in (c + 1)..n {
+                        for (j, &a2) in candidates[c2].iter().enumerate() {
+                            pair[((c * k + i) * n + c2) * k + j] =
+                                w.div * pair_d(st, c, c2, a, a2) / pairs_norm;
+                        }
+                    }
+                }
+            }
+        }
+        GlScoreCache {
+            n_clusters: n,
+            k,
+            int_suf,
+            pair,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Global score of the combination selecting candidate index `choice[c]`
+    /// for each cluster.
+    pub fn glscore_cached(&self, choice: &[usize]) -> f64 {
+        let n = self.n_clusters;
+        let k = self.k;
+        let mut score = 0.0;
+        for (c, &i) in choice.iter().enumerate() {
+            score += self.int_suf[c][i];
+            for (c2, &j) in choice.iter().enumerate().skip(c + 1) {
+                score += self.pair[((c * k + i) * n + c2) * k + j];
+            }
+        }
+        score
+    }
+
+    /// Incremental pair contribution of fixing cluster `c`'s candidate to `i`
+    /// given earlier clusters' choices — used by the DFS enumeration.
+    pub fn marginal_gain(&self, prefix: &[usize], c: usize, i: usize) -> f64 {
+        let n = self.n_clusters;
+        let k = self.k;
+        let mut gain = self.int_suf[c][i];
+        for (c0, &j) in prefix.iter().enumerate() {
+            debug_assert!(c0 < c);
+            gain += self.pair[((c0 * k + j) * n + c) * k + i];
+        }
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::AttrCounts;
+
+    fn table() -> ScoreTable {
+        let a0 = AttrCounts::new(vec![vec![8.0, 2.0], vec![1.0, 9.0]], vec![9.0, 11.0]);
+        let a1 = AttrCounts::new(vec![vec![5.0, 5.0], vec![5.0, 5.0]], vec![10.0, 10.0]);
+        let a2 = AttrCounts::new(vec![vec![10.0, 0.0], vec![0.0, 10.0]], vec![10.0, 10.0]);
+        ScoreTable::new(vec![a0, a1, a2])
+    }
+
+    #[test]
+    fn weights_validate() {
+        assert!(std::panic::catch_unwind(|| Weights::new(0.5, 0.5, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| Weights::new(-0.1, 0.6, 0.5)).is_err());
+        let w = Weights::new(0.0, 0.5, 0.5);
+        assert_eq!(w.int, 0.0);
+    }
+
+    #[test]
+    fn gamma_renormalizes() {
+        let w = Weights::new(0.2, 0.6, 0.2);
+        let (gi, gs) = w.gamma();
+        assert!((gi - 0.25).abs() < 1e-12);
+        assert!((gs - 0.75).abs() < 1e-12);
+        // Degenerate: everything on diversity.
+        let (gi, gs) = Weights::new(0.0, 0.0, 1.0).gamma();
+        assert_eq!((gi, gs), (0.5, 0.5));
+    }
+
+    #[test]
+    fn sscore_prefers_separating_attribute() {
+        let st = table();
+        let gamma = (0.5, 0.5);
+        // Attribute 2 perfectly separates cluster 0; attribute 1 is useless.
+        assert!(sscore(&st, 0, 2, gamma) > sscore(&st, 0, 1, gamma));
+    }
+
+    #[test]
+    fn glscore_prefers_informative_combination() {
+        let st = table();
+        let w = Weights::equal();
+        let good = glscore(&st, &[2, 2], w);
+        let bad = glscore(&st, &[1, 1], w);
+        assert!(good > bad, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn glscore_cached_matches_direct() {
+        let st = table();
+        let w = Weights::new(0.2, 0.3, 0.5);
+        let candidates = vec![vec![0usize, 1, 2], vec![0, 1, 2]];
+        let cache = GlScoreCache::build(&st, &candidates, w);
+        for i in 0..3 {
+            for j in 0..3 {
+                let cached = cache.glscore_cached(&[i, j]);
+                let direct = glscore(&st, &[candidates[0][i], candidates[1][j]], w);
+                assert!(
+                    (cached - direct).abs() < 1e-9,
+                    "choice ({i},{j}): cached {cached} vs direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_gain_sums_to_full_score() {
+        let st = table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 2], vec![1, 2]];
+        let cache = GlScoreCache::build(&st, &candidates, w);
+        for i in 0..2 {
+            for j in 0..2 {
+                let dfs = cache.marginal_gain(&[], 0, i) + cache.marginal_gain(&[i], 1, j);
+                let full = cache.glscore_cached(&[i, j]);
+                assert!((dfs - full).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_glscore_has_no_diversity_term() {
+        let a = AttrCounts::new(vec![vec![4.0, 0.0]], vec![4.0, 6.0]);
+        let st = ScoreTable::new(vec![a]);
+        let with_div = glscore(&st, &[0], Weights::equal());
+        let without = glscore(&st, &[0], Weights::new(0.5, 0.5, 0.0));
+        // Both only see int+suf; equal-thirds just scales them differently.
+        assert!(with_div > 0.0);
+        assert!(without > 0.0);
+    }
+
+    #[test]
+    fn glscore_neighbor_sensitivity_empirical_bound() {
+        // Random-ish neighbor check of Proposition 4.9: adding one tuple
+        // (value v, cluster c) moves GlScore by ≤ 1.
+        let w = Weights::equal();
+        let base = vec![
+            vec![vec![3.0, 1.0, 4.0], vec![1.0, 5.0, 9.0]],
+            vec![vec![2.0, 6.0, 5.0], vec![3.0, 5.0, 8.0]],
+        ];
+        let build = |cl: &Vec<Vec<Vec<f64>>>| {
+            ScoreTable::new(
+                cl.iter()
+                    .map(|rows| {
+                        let marg: Vec<f64> =
+                            (0..3).map(|v| rows.iter().map(|r| r[v]).sum()).collect();
+                        AttrCounts::new(rows.clone(), marg)
+                    })
+                    .collect(),
+            )
+        };
+        let st = build(&base);
+        for attr in 0..2 {
+            for c in 0..2 {
+                for v in 0..3 {
+                    let mut neighbor = base.clone();
+                    // One tuple changes EVERY attribute's counts; emulate by
+                    // bumping the same (c, v) in both attribute tables.
+                    for t in neighbor.iter_mut() {
+                        t[c][v] += 1.0;
+                    }
+                    let st2 = build(&neighbor);
+                    for assignment in [[0usize, 0], [0, 1], [1, 0], [attr, attr]] {
+                        let d =
+                            (glscore(&st, &assignment, w) - glscore(&st2, &assignment, w)).abs();
+                        assert!(d <= 1.0 + 1e-9, "moved by {d}");
+                    }
+                }
+            }
+        }
+    }
+}

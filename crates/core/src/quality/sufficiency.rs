@@ -1,0 +1,143 @@
+//! Sufficiency: does the explaining attribute's value determine membership?
+//!
+//! *Sensitive* form (§4.2, after Dasgupta et al. / TabEE): the global
+//! `Suf(D, f, AC)` averages, over tuples, the probability that a random tuple
+//! sharing `t`'s value on the explaining attribute lies in `t`'s cluster.
+//! Range `[0, 1]`, sensitivity ≥ ½ (Proposition 4.3).
+//!
+//! *Low-sensitivity* form (Definition 4.4):
+//! `Suf_p(D, f, c, A) = Σ_{v ∈ dom_{D_c}(A)} cnt_{A=v}(D_c)² / cnt_{A=v}(D)`
+//! with the identity `|D| · Suf = Σ_c Suf_p(c, AC(c))` (Proposition 4.4.1),
+//! sensitivity 1 and range `[0, |D_c|]` (Proposition 4.4.2).
+
+use crate::counts::AttrCounts;
+
+/// Low-sensitivity sufficiency `Suf_p` (Definition 4.4). Sums only over
+/// values active in the cluster, so no division by zero on exact counts; for
+/// noisy counts a marginal smaller than the cluster count is clamped up to it
+/// (the ratio is capped at the cluster count, preserving the `[0, |D_c|]`
+/// range).
+pub fn suf_p(attr: &AttrCounts, c: usize) -> f64 {
+    attr.cluster_row(c)
+        .iter()
+        .zip(attr.marginal())
+        .filter(|(&k, _)| k > 0.0)
+        .map(|(&k, &m)| k * k / m.max(k))
+        .sum()
+}
+
+/// Sensitive per-cluster sufficiency: `Suf_p / |D_c|` — the fraction of the
+/// cluster "explained" by its attribute values, in `[0, 1]`. Empty clusters
+/// score 0.
+pub fn sensitive_suf_cluster(attr: &AttrCounts, c: usize) -> f64 {
+    let size = attr.cluster_size(c);
+    if size <= 0.0 {
+        return 0.0;
+    }
+    suf_p(attr, c) / size
+}
+
+/// Sensitive global sufficiency `Suf(D, f, AC)` for an attribute combination,
+/// computed through the Proposition 4.4.1 identity
+/// `Suf = (1/|D|) Σ_c Suf_p(c, AC(c))`.
+///
+/// `assignment[c]` is the attribute table chosen for cluster `c`.
+pub fn sensitive_suf_global(tables: &[&AttrCounts], _n_clusters: usize) -> f64 {
+    let total: f64 = tables.first().map_or(0.0, |t| t.total());
+    if total <= 0.0 {
+        return 0.0;
+    }
+    tables
+        .iter()
+        .enumerate()
+        .map(|(c, t)| suf_p(t, c))
+        .sum::<f64>()
+        / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::AttrCounts;
+
+    #[test]
+    fn perfectly_sufficient_attribute_scores_cluster_size() {
+        // All of the cluster's values occur only inside it.
+        let a = AttrCounts::new(vec![vec![10.0, 0.0], vec![0.0, 20.0]], vec![10.0, 20.0]);
+        assert!((suf_p(&a, 0) - 10.0).abs() < 1e-12);
+        assert!((suf_p(&a, 1) - 20.0).abs() < 1e-12);
+        assert!((sensitive_suf_cluster(&a, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_values_reduce_sufficiency() {
+        // Cluster's single value also appears 90 times outside.
+        let a = AttrCounts::new(vec![vec![10.0, 0.0]], vec![100.0, 50.0]);
+        assert!((suf_p(&a, 0) - 1.0).abs() < 1e-12); // 10²/100
+        assert!((sensitive_suf_cluster(&a, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_proposition_4_3_construction() {
+        // Appendix A.2: D = {t1}, clusters {t1} and ∅, both explained by A.
+        // Global Suf = 1.
+        let before0 = AttrCounts::new(vec![vec![1.0], vec![0.0]], vec![1.0]);
+        let g_before = sensitive_suf_global(&[&before0, &before0], 2);
+        assert!((g_before - 1.0).abs() < 1e-12);
+        // Add t2 with the same value to cluster 2: Suf drops to ½.
+        let after = AttrCounts::new(vec![vec![1.0], vec![1.0]], vec![2.0]);
+        let g_after = sensitive_suf_global(&[&after, &after], 2);
+        assert!((g_after - 0.5).abs() < 1e-12);
+        // A single-tuple change moved the sensitive global by ½.
+        assert!((g_before - g_after).abs() > 0.49);
+    }
+
+    #[test]
+    fn suf_p_neighbor_moves_by_at_most_one() {
+        // Proposition 4.4.2's bound on the same construction.
+        let before = AttrCounts::new(vec![vec![1.0], vec![0.0]], vec![1.0]);
+        let after = AttrCounts::new(vec![vec![1.0], vec![1.0]], vec![2.0]);
+        for c in 0..2 {
+            let d = (suf_p(&before, c) - suf_p(&after, c)).abs();
+            assert!(d <= 1.0 + 1e-9, "cluster {c} moved by {d}");
+        }
+    }
+
+    #[test]
+    fn identity_with_global_definition() {
+        // |D|·Suf = Σ_c Suf_p — check on a 3-value, 2-cluster table.
+        let a = AttrCounts::new(
+            vec![vec![5.0, 2.0, 0.0], vec![1.0, 4.0, 3.0]],
+            vec![6.0, 6.0, 3.0],
+        );
+        let total = a.total();
+        let lhs = sensitive_suf_global(&[&a, &a], 2) * total;
+        let rhs = suf_p(&a, 0) + suf_p(&a, 1);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_scores_zero() {
+        let a = AttrCounts::new(vec![vec![0.0, 0.0]], vec![3.0, 4.0]);
+        assert_eq!(suf_p(&a, 0), 0.0);
+        assert_eq!(sensitive_suf_cluster(&a, 0), 0.0);
+    }
+
+    #[test]
+    fn noisy_counts_where_cluster_exceeds_marginal_stay_bounded() {
+        // Noise can make cnt(D_c) > cnt(D); the ratio is capped.
+        let a = AttrCounts::new(vec![vec![5.0]], vec![2.0]);
+        let v = suf_p(&a, 0);
+        assert!(
+            (v - 5.0).abs() < 1e-12,
+            "capped at the cluster count, got {v}"
+        );
+        assert!(v <= a.cluster_size(0) + 1e-9);
+    }
+
+    #[test]
+    fn range_never_exceeds_cluster_size() {
+        let a = AttrCounts::new(vec![vec![3.0, 4.0, 2.0]], vec![3.0, 10.0, 2.0]);
+        assert!(suf_p(&a, 0) <= a.cluster_size(0) + 1e-9);
+    }
+}

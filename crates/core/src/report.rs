@@ -1,0 +1,195 @@
+//! Markdown report generation — the shareable artifact of a DPClustX run.
+//!
+//! The demonstration's end product is something an analyst can paste into a
+//! document: per-cluster histograms, the generated textual descriptions, the
+//! selected attributes, and the privacy audit. Everything here is
+//! post-processing of already-released values, so it carries no privacy cost.
+
+use crate::explanation::GlobalExplanation;
+use crate::framework::DpClustXConfig;
+use crate::text;
+use dpx_dp::accuracy::geometric_error_bound;
+use dpx_dp::budget::{Accountant, Epsilon};
+use std::fmt::Write as _;
+
+/// Options controlling report contents.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// Include the per-bin markdown tables (can be long for wide domains).
+    pub include_tables: bool,
+    /// Include the ε audit trail.
+    pub include_audit: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            include_tables: true,
+            include_audit: true,
+        }
+    }
+}
+
+/// The per-bin accuracy note for a released explanation: 95%-confidence
+/// error bounds implied by the geometric mechanism at the configuration's
+/// histogram budgets (Algorithm 2's split: cluster histograms at `ε_Hist/2`,
+/// full-data histograms at `ε_Hist/(2·|A'|)`).
+pub fn accuracy_note(config: &DpClustXConfig, n_distinct_attributes: usize) -> Option<String> {
+    let eps_hist = Epsilon::new(config.eps_hist).ok()?;
+    let eps_cluster = eps_hist.split(2);
+    let eps_full = eps_cluster.split(n_distinct_attributes.max(1));
+    let beta = 0.05;
+    let t_cluster = geometric_error_bound(eps_cluster, beta);
+    let t_full = geometric_error_bound(eps_full, beta);
+    Some(format!(
+        "Each in-cluster bin is within ±{t_cluster} of its true count and each \
+full-data bin within ±{t_full}, each with 95% confidence \
+(geometric mechanism at ε_Hist = {}).",
+        config.eps_hist
+    ))
+}
+
+/// Renders a complete markdown report for a released explanation.
+pub fn markdown_report(
+    title: &str,
+    explanation: &GlobalExplanation,
+    accountant: Option<&Accountant>,
+    options: ReportOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+    let _ = writeln!(
+        out,
+        "Explained clusters: **{}** — selected attributes: {}\n",
+        explanation.per_cluster.len(),
+        explanation
+            .attribute_names()
+            .iter()
+            .map(|n| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    for e in &explanation.per_cluster {
+        let _ = writeln!(out, "## Cluster {} — `{}`\n", e.cluster, e.attribute_name);
+        let _ = writeln!(out, "> {}\n", text::describe(e));
+        if options.include_tables {
+            let pc = e.cluster_proportions();
+            let pr = e.rest_proportions();
+            let _ = writeln!(out, "| value | cluster % | rest % |");
+            let _ = writeln!(out, "|---|---:|---:|");
+            for (i, label) in e.bin_labels.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.1} | {:.1} |",
+                    label.replace('|', "\\|"),
+                    pc[i] * 100.0,
+                    pr[i] * 100.0
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    if options.include_audit {
+        if let Some(acc) = accountant {
+            let _ = writeln!(out, "## Privacy audit\n");
+            let _ = writeln!(out, "```");
+            let _ = write!(out, "{}", acc.audit());
+            let _ = writeln!(out, "```");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explanation::SingleClusterExplanation;
+    use dpx_dp::budget::Epsilon;
+
+    fn explanation() -> GlobalExplanation {
+        GlobalExplanation {
+            per_cluster: vec![SingleClusterExplanation {
+                cluster: 0,
+                attribute: 2,
+                attribute_name: "lab_proc".into(),
+                bin_labels: vec!["[0,50)".into(), "[50,100)|plus".into()],
+                hist_rest: vec![90.0, 10.0],
+                hist_cluster: vec![5.0, 95.0],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut acc = Accountant::new();
+        acc.charge("stage1", Epsilon::new(0.1).unwrap()).unwrap();
+        let md = markdown_report(
+            "Patient clusters",
+            &explanation(),
+            Some(&acc),
+            ReportOptions::default(),
+        );
+        assert!(md.starts_with("# Patient clusters"));
+        assert!(md.contains("## Cluster 0 — `lab_proc`"));
+        assert!(md.contains("| value | cluster % | rest % |"));
+        assert!(md.contains("## Privacy audit"));
+        assert!(md.contains("stage1"));
+        // Pipe characters in labels must be escaped for the table.
+        assert!(md.contains("[50,100)\\|plus"));
+    }
+
+    #[test]
+    fn options_trim_sections() {
+        let md = markdown_report(
+            "t",
+            &explanation(),
+            None,
+            ReportOptions {
+                include_tables: false,
+                include_audit: false,
+            },
+        );
+        assert!(!md.contains("| value |"));
+        assert!(!md.contains("Privacy audit"));
+        assert!(md.contains("> ")); // textual description stays
+    }
+
+    #[test]
+    fn accuracy_note_reports_tighter_bounds_for_larger_budgets() {
+        let loose = DpClustXConfig {
+            eps_hist: 0.01,
+            ..Default::default()
+        };
+        let tight = DpClustXConfig {
+            eps_hist: 10.0,
+            ..Default::default()
+        };
+        let extract = |cfg: &DpClustXConfig| -> u64 {
+            let note = accuracy_note(cfg, 2).unwrap();
+            // First ± number is the cluster bound.
+            note.split('±')
+                .nth(1)
+                .unwrap()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert!(extract(&loose) > extract(&tight));
+        // Invalid ε yields no note instead of a panic.
+        let bad = DpClustXConfig {
+            eps_hist: f64::NAN,
+            ..Default::default()
+        };
+        assert!(accuracy_note(&bad, 2).is_none());
+    }
+
+    #[test]
+    fn percentages_are_normalized() {
+        let md = markdown_report("t", &explanation(), None, ReportOptions::default());
+        assert!(md.contains("| [0,50) | 5.0 | 90.0 |"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Textual descriptions of histogram explanations.
+//!
+//! The paper attaches an LLM-generated sentence to each histogram (Figure 3b:
+//! "Values outside Cluster 1 are concentrated in the lower and mid-range (85%
+//! below 50), while Cluster 1 contains mainly higher values (95% above 50)").
+//! Per the substitution policy we generate the same kind of statement
+//! deterministically: find the split of the (ordered) domain that maximizes
+//! the mass contrast between the cluster and the rest, and report both sides.
+
+use crate::explanation::SingleClusterExplanation;
+
+/// A summary of where each distribution concentrates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContrastSummary {
+    /// Index of the first bin of the "upper" side of the best split.
+    pub split_bin: usize,
+    /// Label of the split boundary bin.
+    pub split_label: String,
+    /// Fraction of the rest-of-data mass strictly below the split.
+    pub rest_below: f64,
+    /// Fraction of the cluster mass at or above the split.
+    pub cluster_above: f64,
+}
+
+/// Finds the domain split maximizing `rest_below + cluster_above` — the
+/// sharpest "cluster sits on the other side" statement the histogram
+/// supports. Returns `None` for histograms with fewer than two bins or with
+/// no mass on either side.
+pub fn best_contrast(e: &SingleClusterExplanation) -> Option<ContrastSummary> {
+    let pc = e.cluster_proportions();
+    let pr = e.rest_proportions();
+    let n = pc.len();
+    if n < 2 || pc.iter().sum::<f64>() <= 0.0 || pr.iter().sum::<f64>() <= 0.0 {
+        return None;
+    }
+    let mut best: Option<ContrastSummary> = None;
+    let mut rest_below = 0.0;
+    let mut cluster_below = 0.0;
+    for split in 1..n {
+        rest_below += pr[split - 1];
+        cluster_below += pc[split - 1];
+        let cluster_above = 1.0 - cluster_below;
+        let score = rest_below + cluster_above;
+        let mirror = (1.0 - rest_below) + cluster_below;
+        // Consider the split in both directions; keep the orientation with
+        // the larger contrast (cluster high vs cluster low).
+        let (rb, ca, s) = if score >= mirror {
+            (rest_below, cluster_above, score)
+        } else {
+            (1.0 - rest_below, cluster_below, mirror)
+        };
+        let candidate = ContrastSummary {
+            split_bin: split,
+            split_label: e.bin_labels[split].clone(),
+            rest_below: rb,
+            cluster_above: ca,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| s > b.rest_below + b.cluster_above)
+        {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Renders the Figure-3b style sentence for one single-cluster explanation.
+pub fn describe(e: &SingleClusterExplanation) -> String {
+    match best_contrast(e) {
+        Some(c) if c.rest_below + c.cluster_above > 1.2 => {
+            format!(
+                "The `{}` column values differ significantly. Values outside Cluster {} are \
+                 concentrated below {} ({:.0}% of them), while Cluster {} concentrates on the \
+                 other side ({:.0}% at or above {}).",
+                e.attribute_name,
+                e.cluster,
+                c.split_label,
+                c.rest_below * 100.0,
+                e.cluster,
+                c.cluster_above * 100.0,
+                c.split_label,
+            )
+        }
+        _ => {
+            // No sharp split: report the modal values instead.
+            let argmax = |h: &[f64]| {
+                h.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            };
+            let pc = e.cluster_proportions();
+            let pr = e.rest_proportions();
+            let mc = argmax(&pc);
+            let mr = argmax(&pr);
+            format!(
+                "In `{}`, Cluster {} peaks at {} ({:.0}%) while the remaining data peaks at \
+                 {} ({:.0}%).",
+                e.attribute_name,
+                e.cluster,
+                e.bin_labels[mc],
+                pc[mc] * 100.0,
+                e.bin_labels[mr],
+                pr[mr] * 100.0,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explanation(cluster_hist: Vec<f64>, rest_hist: Vec<f64>) -> SingleClusterExplanation {
+        let n = cluster_hist.len();
+        SingleClusterExplanation {
+            cluster: 1,
+            attribute: 0,
+            attribute_name: "lab_proc".into(),
+            bin_labels: (0..n)
+                .map(|i| format!("[{},{})", i * 10, (i + 1) * 10))
+                .collect(),
+            hist_rest: rest_hist,
+            hist_cluster: cluster_hist,
+        }
+    }
+
+    #[test]
+    fn paper_example_shape_produces_high_contrast() {
+        // Rest concentrated low, cluster concentrated high (Fig. 3 shape).
+        let e = explanation(
+            vec![0.0, 0.0, 1.0, 4.0, 20.0, 30.0, 25.0, 10.0],
+            vec![10.0, 25.0, 30.0, 20.0, 10.0, 4.0, 1.0, 0.0],
+        );
+        let c = best_contrast(&e).unwrap();
+        assert!(c.rest_below > 0.8, "rest below {}", c.rest_below);
+        assert!(c.cluster_above > 0.9, "cluster above {}", c.cluster_above);
+        let text = describe(&e);
+        assert!(text.contains("lab_proc"));
+        assert!(text.contains("differ significantly"));
+        assert!(text.contains("Cluster 1"));
+    }
+
+    #[test]
+    fn reversed_orientation_also_detected() {
+        // Cluster low, rest high.
+        let e = explanation(vec![30.0, 20.0, 2.0, 0.0], vec![1.0, 2.0, 20.0, 40.0]);
+        let c = best_contrast(&e).unwrap();
+        assert!(c.rest_below + c.cluster_above > 1.7);
+    }
+
+    #[test]
+    fn flat_distributions_fall_back_to_modes() {
+        let e = explanation(vec![10.0, 11.0, 10.0], vec![10.0, 10.0, 11.0]);
+        let text = describe(&e);
+        assert!(text.contains("peaks at"));
+    }
+
+    #[test]
+    fn degenerate_histograms_are_safe() {
+        let e = explanation(vec![0.0, 0.0], vec![0.0, 0.0]);
+        assert!(best_contrast(&e).is_none());
+        let _ = describe(&e); // must not panic
+        let single = SingleClusterExplanation {
+            cluster: 0,
+            attribute: 0,
+            attribute_name: "x".into(),
+            bin_labels: vec!["only".into()],
+            hist_rest: vec![5.0],
+            hist_cluster: vec![3.0],
+        };
+        assert!(best_contrast(&single).is_none());
+    }
+}

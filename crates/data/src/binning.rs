@@ -1,0 +1,228 @@
+//! Discretization of raw numeric columns into interval domains.
+//!
+//! The paper bins numeric and large-domain attributes "to ensure interpretable
+//! histograms" (§6.1, following its refs [FEDEX, TabEE]); domain sizes after
+//! binning range from 2 to 39. This module provides the two standard
+//! strategies — equal-width and quantile (equal-frequency) — and produces both
+//! the coded column and the matching interval [`Domain`].
+
+use crate::schema::Domain;
+
+/// A binning strategy for a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinStrategy {
+    /// `n` equal-width intervals spanning `[min, max]` of the data.
+    EqualWidth(usize),
+    /// `n` quantile bins with (approximately) equal occupancy.
+    Quantile(usize),
+}
+
+/// Result of binning: coded values plus the interval domain describing them.
+#[derive(Debug, Clone)]
+pub struct Binned {
+    /// One code per input value, each `< domain.size()`.
+    pub codes: Vec<u32>,
+    /// The interval domain (bin edges rendered as labels).
+    pub domain: Domain,
+    /// Bin edges: `edges[i]..edges[i+1]` is bin `i` (last bin right-closed).
+    pub edges: Vec<f64>,
+}
+
+/// Bins a numeric column with the chosen strategy.
+///
+/// Empty input yields a single catch-all bin and no codes. Non-finite values
+/// are clamped into the closest bin.
+///
+/// # Panics
+/// Panics if the strategy requests zero bins.
+pub fn bin_numeric(values: &[f64], strategy: BinStrategy) -> Binned {
+    let n_bins = match strategy {
+        BinStrategy::EqualWidth(n) | BinStrategy::Quantile(n) => n,
+    };
+    assert!(n_bins > 0, "cannot bin into 0 bins");
+    if values.is_empty() {
+        return Binned {
+            codes: Vec::new(),
+            domain: Domain::categorical(["[0,0]"]),
+            edges: vec![0.0, 0.0],
+        };
+    }
+    let edges = match strategy {
+        BinStrategy::EqualWidth(n) => equal_width_edges(values, n),
+        BinStrategy::Quantile(n) => quantile_edges(values, n),
+    };
+    let codes = values.iter().map(|&v| code_for(v, &edges)).collect();
+    let labels: Vec<String> = (0..edges.len() - 1)
+        .map(|i| {
+            if i + 2 == edges.len() {
+                format!("[{:.6},{:.6}]", edges[i], edges[i + 1])
+            } else {
+                format!("[{:.6},{:.6})", edges[i], edges[i + 1])
+            }
+        })
+        .collect();
+    Binned {
+        codes,
+        domain: Domain::categorical(labels),
+        edges,
+    }
+}
+
+fn equal_width_edges(values: &[f64], n: usize) -> Vec<f64> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() || !max.is_finite() {
+        // All values non-finite: a degenerate single-interval layout.
+        min = 0.0;
+        max = 0.0;
+    }
+    if min == max {
+        // Degenerate: widen artificially so every value lands in bin 0.
+        max = min + 1.0;
+    }
+    let width = (max - min) / n as f64;
+    (0..=n).map(|i| min + i as f64 * width).collect()
+}
+
+fn quantile_edges(values: &[f64], n: usize) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return vec![0.0, 1.0];
+    }
+    sorted.sort_by(f64::total_cmp);
+    let mut edges = Vec::with_capacity(n + 1);
+    edges.push(sorted[0]);
+    for i in 1..n {
+        let idx = (i * sorted.len()) / n;
+        let e = sorted[idx.min(sorted.len() - 1)];
+        // Keep edges strictly increasing; collapse ties.
+        if e > *edges.last().expect("edges non-empty") {
+            edges.push(e);
+        }
+    }
+    let last = sorted[sorted.len() - 1];
+    if last > *edges.last().expect("edges non-empty") {
+        edges.push(last);
+    } else {
+        edges.push(edges.last().expect("edges non-empty") + 1.0);
+    }
+    edges
+}
+
+fn code_for(v: f64, edges: &[f64]) -> u32 {
+    let n_bins = edges.len() - 1;
+    if !v.is_finite() {
+        return if v == f64::NEG_INFINITY {
+            0
+        } else {
+            (n_bins - 1) as u32
+        };
+    }
+    if v <= edges[0] {
+        return 0;
+    }
+    if v >= edges[n_bins] {
+        return (n_bins - 1) as u32;
+    }
+    // Binary search for the bin whose [lo, hi) contains v.
+    let mut lo = 0usize;
+    let mut hi = n_bins;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if v >= edges[mid] {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_assigns_expected_bins() {
+        let values = [0.0, 5.0, 10.0, 95.0, 100.0];
+        let b = bin_numeric(&values, BinStrategy::EqualWidth(10));
+        assert_eq!(b.domain.size(), 10);
+        assert_eq!(b.codes[0], 0);
+        assert_eq!(b.codes[1], 0);
+        assert_eq!(b.codes[2], 1);
+        assert_eq!(b.codes[3], 9);
+        assert_eq!(b.codes[4], 9, "max value lands in the last bin");
+    }
+
+    #[test]
+    fn all_codes_in_domain() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 50.0).collect();
+        for strat in [BinStrategy::EqualWidth(8), BinStrategy::Quantile(8)] {
+            let b = bin_numeric(&values, strat);
+            assert!(b.codes.iter().all(|&c| (c as usize) < b.domain.size()));
+            assert_eq!(b.codes.len(), values.len());
+        }
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let b = bin_numeric(&values, BinStrategy::Quantile(4));
+        let mut counts = vec![0usize; b.domain.size()];
+        for &c in &b.codes {
+            counts[c as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 2500.0).abs() < 260.0,
+                "quantile bin occupancy {c} too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_handles_heavy_ties() {
+        // 90% of the data is the single value 5; tied edges must collapse.
+        let mut values = vec![5.0; 900];
+        values.extend((0..100).map(|i| i as f64 / 10.0));
+        let b = bin_numeric(&values, BinStrategy::Quantile(10));
+        assert!(b.domain.size() >= 1);
+        assert!(b.codes.iter().all(|&c| (c as usize) < b.domain.size()));
+    }
+
+    #[test]
+    fn constant_column_gets_single_usable_bin() {
+        let values = vec![7.0; 50];
+        let b = bin_numeric(&values, BinStrategy::EqualWidth(5));
+        assert!(b.codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let b = bin_numeric(&[], BinStrategy::Quantile(3));
+        assert!(b.codes.is_empty());
+        assert_eq!(b.domain.size(), 1);
+    }
+
+    #[test]
+    fn out_of_range_and_nonfinite_values_clamp() {
+        let values = [0.0, 1.0, 2.0];
+        let b = bin_numeric(&values, BinStrategy::EqualWidth(2));
+        assert_eq!(code_for(-100.0, &b.edges), 0);
+        assert_eq!(code_for(100.0, &b.edges), 1);
+        assert_eq!(code_for(f64::NEG_INFINITY, &b.edges), 0);
+        assert_eq!(code_for(f64::INFINITY, &b.edges), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 bins")]
+    fn zero_bins_panics() {
+        bin_numeric(&[1.0], BinStrategy::EqualWidth(0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal CSV import/export for coded datasets.
+//!
+//! Serializes a [`Dataset`] with a header row of attribute names and one row
+//! of value *labels* per tuple, so exported files are human-readable. Import
+//! reconstructs codes against a provided schema. Quoting follows RFC 4180 for
+//! the comma/quote/newline cases; this is intentionally a flat single-table
+//! format (see DESIGN.md for why no external dependency is used).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+use std::io::{BufRead, Write};
+
+/// Writes `data` as CSV (header + label rows) to `w`.
+pub fn write_csv<W: Write>(data: &Dataset, w: &mut W) -> std::io::Result<()> {
+    let schema = data.schema();
+    let header: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    writeln!(w, "{}", join_escaped(&header))?;
+    for row in 0..data.n_rows() {
+        let labels: Vec<&str> = (0..schema.arity())
+            .map(|a| {
+                schema
+                    .attribute(a)
+                    .domain
+                    .label(data.column(a)[row])
+                    .expect("dataset values are validated against domains")
+            })
+            .collect();
+        writeln!(w, "{}", join_escaped(&labels))?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV written by [`write_csv`], validating against `schema`.
+///
+/// The header must list exactly the schema's attribute names in order, and
+/// every field must be a label of the corresponding domain.
+pub fn read_csv<R: BufRead>(schema: Schema, r: R) -> Result<Dataset, DataError> {
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })?;
+    let header = header.map_err(|e| DataError::Csv {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    let names = split_escaped(&header).map_err(|m| DataError::Csv {
+        line: 1,
+        message: m,
+    })?;
+    if names.len() != schema.arity()
+        || names
+            .iter()
+            .zip(schema.attributes())
+            .any(|(n, a)| *n != a.name)
+    {
+        return Err(DataError::Csv {
+            line: 1,
+            message: format!("header {names:?} does not match schema"),
+        });
+    }
+    let mut data = Dataset::empty(schema);
+    for (i, line) in lines {
+        let line = line.map_err(|e| DataError::Csv {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_escaped(&line).map_err(|m| DataError::Csv {
+            line: i + 1,
+            message: m,
+        })?;
+        if fields.len() != data.schema().arity() {
+            return Err(DataError::Csv {
+                line: i + 1,
+                message: format!(
+                    "expected {} fields, got {}",
+                    data.schema().arity(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (a, field) in fields.iter().enumerate() {
+            let code = data
+                .schema()
+                .attribute(a)
+                .domain
+                .code_of(field)
+                .ok_or_else(|| DataError::Csv {
+                    line: i + 1,
+                    message: format!(
+                        "'{field}' is not in the domain of '{}'",
+                        data.schema().attribute(a).name
+                    ),
+                })?;
+            row.push(code);
+        }
+        data.push_row(&row)?;
+    }
+    Ok(data)
+}
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n')
+}
+
+fn join_escaped(fields: &[&str]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if needs_quoting(f) {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                (*f).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn split_escaped(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Domain};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", Domain::categorical(["[60,70)", "[70,80)"])).unwrap(),
+            Attribute::new(
+                "diag",
+                Domain::categorical(["Circulatory", "Diabetes, TypeII"]),
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let data = Dataset::from_rows(schema(), &[vec![0, 1], vec![1, 0], vec![0, 0]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let back = read_csv(schema(), buf.as_slice()).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        for r in 0..3 {
+            assert_eq!(back.row(r), data.row(r));
+        }
+    }
+
+    #[test]
+    fn labels_with_commas_are_quoted() {
+        let data = Dataset::from_rows(schema(), &[vec![0, 1]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"Diabetes, TypeII\""));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "wrong,hdr\n[60,70),Circulatory\n";
+        let err = read_csv(schema(), csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_label_rejected_with_line_number() {
+        let csv = "age,diag\n\"[60,70)\",Circulatory\n\"[60,70)\",Oncology\n";
+        let err = read_csv(schema(), csv.as_bytes()).unwrap_err();
+        match err {
+            DataError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("Oncology"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let csv = "age,diag\n\"[60,70)\"\n";
+        let err = read_csv(schema(), csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "age,diag\n\"[60,70)\",Circulatory\n\n";
+        let data = read_csv(schema(), csv.as_bytes()).unwrap();
+        assert_eq!(data.n_rows(), 1);
+    }
+
+    #[test]
+    fn escaped_quotes_roundtrip() {
+        let s = Schema::new(vec![Attribute::new(
+            "q",
+            Domain::categorical(["say \"hi\"", "plain"]),
+        )
+        .unwrap()])
+        .unwrap();
+        let data = Dataset::from_rows(s.clone(), &[vec![0], vec![1]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let back = read_csv(s, buf.as_slice()).unwrap();
+        assert_eq!(back.row(0), vec![0]);
+        assert_eq!(back.row(1), vec![1]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let csv = "age,diag\n\"[60,70),Circulatory\n";
+        assert!(read_csv(schema(), csv.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Columnar datasets of domain-coded values.
+//!
+//! A [`Dataset`] is a bag of tuples over a [`Schema`] (§2 of the paper),
+//! stored column-major: quality functions and histogram construction only ever
+//! touch one or two columns at a time, so the columnar layout keeps those
+//! scans cache-friendly (per the databases performance guidance) and makes
+//! projection `π_A(D)` a zero-copy slice borrow.
+
+use crate::error::DataError;
+use crate::histogram::Histogram;
+use crate::schema::Schema;
+
+/// A dataset (bag of tuples) over a fixed schema, stored column-major.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    /// `columns[a][row]` is the code of attribute `a` in tuple `row`.
+    columns: Vec<Vec<u32>>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Dataset {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// Creates a dataset from row-major coded tuples, validating every value
+    /// against its domain.
+    pub fn from_rows(schema: Schema, rows: &[Vec<u32>]) -> Result<Self, DataError> {
+        let mut ds = Dataset::empty(schema);
+        ds.reserve(rows.len());
+        for row in rows {
+            ds.push_row(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Creates a dataset directly from columns. Validates lengths and domains.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<u32>>) -> Result<Self, DataError> {
+        if columns.len() != schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (a, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(DataError::SchemaMismatch(format!(
+                    "column '{}' has {} rows, expected {}",
+                    schema.attribute(a).name,
+                    col.len(),
+                    n_rows
+                )));
+            }
+            let dom = &schema.attribute(a).domain;
+            if let Some(&bad) = col.iter().find(|&&v| !dom.contains(v)) {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: schema.attribute(a).name.clone(),
+                    code: bad,
+                    domain_size: dom.size(),
+                });
+            }
+        }
+        Ok(Dataset {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Pre-allocates space for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
+    }
+
+    /// Appends one tuple, validating arity and domains.
+    pub fn push_row(&mut self, row: &[u32]) -> Result<(), DataError> {
+        if row.len() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (a, &v) in row.iter().enumerate() {
+            let dom = &self.schema.attribute(a).domain;
+            if !dom.contains(v) {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: self.schema.attribute(a).name.clone(),
+                    code: v,
+                    domain_size: dom.size(),
+                });
+            }
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// The schema of this dataset.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `|D|`.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the dataset has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The projection `π_A(D)` of the dataset onto attribute index `a`, as a
+    /// borrowed column slice.
+    #[inline]
+    pub fn column(&self, a: usize) -> &[u32] {
+        &self.columns[a]
+    }
+
+    /// Projection by attribute name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[u32], DataError> {
+        Ok(self.column(self.schema.index_of(name)?))
+    }
+
+    /// Reconstructs tuple `row` (row-major view); mainly for tests and I/O.
+    pub fn row(&self, row: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// `cnt_{A=a}(D)`: occurrences of code `value` in attribute `a`'s column.
+    pub fn count(&self, a: usize, value: u32) -> u64 {
+        self.columns[a].iter().filter(|&&v| v == value).count() as u64
+    }
+
+    /// The exact histogram `h_A(D)` over the full domain of attribute `a`.
+    pub fn histogram(&self, a: usize) -> Histogram {
+        Histogram::from_codes(self.column(a), self.schema.attribute(a).domain.size())
+    }
+
+    /// The active domain `dom_D(A)`: codes appearing at least once.
+    pub fn active_domain(&self, a: usize) -> Vec<u32> {
+        let h = self.histogram(a);
+        (0..self.schema.attribute(a).domain.size() as u32)
+            .filter(|&v| h.count(v) > 0)
+            .collect()
+    }
+
+    /// Restricts the dataset to the given row indices (a sampled or filtered
+    /// sub-bag). Indices may repeat (bags allow duplicates).
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Projects the dataset onto a subset of attribute indices, producing a
+    /// dataset over the projected schema (Fig. 9c's attribute sampling).
+    pub fn select_attributes(&self, attrs: &[usize]) -> Dataset {
+        let schema = self.schema.project(attrs);
+        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        Dataset {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Appends extra columns (e.g. correlated twins), returning a new dataset.
+    pub fn with_extra_columns(
+        &self,
+        extra: Vec<(crate::schema::Attribute, Vec<u32>)>,
+    ) -> Result<Dataset, DataError> {
+        let (attrs, cols): (Vec<_>, Vec<_>) = extra.into_iter().unzip();
+        for (attr, col) in attrs.iter().zip(&cols) {
+            if col.len() != self.n_rows {
+                return Err(DataError::SchemaMismatch(format!(
+                    "extra column '{}' has {} rows, expected {}",
+                    attr.name,
+                    col.len(),
+                    self.n_rows
+                )));
+            }
+            if let Some(&bad) = col.iter().find(|&&v| !attr.domain.contains(v)) {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: attr.name.clone(),
+                    code: bad,
+                    domain_size: attr.domain.size(),
+                });
+            }
+        }
+        let schema = self.schema.extend(attrs)?;
+        let mut columns = self.columns.clone();
+        columns.extend(cols);
+        Ok(Dataset {
+            schema,
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Domain};
+
+    fn small_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", Domain::indexed(3)).unwrap(),
+            Attribute::new("b", Domain::indexed(2)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_read_back_rows() {
+        let mut ds = Dataset::empty(small_schema());
+        ds.push_row(&[0, 1]).unwrap();
+        ds.push_row(&[2, 0]).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.row(0), vec![0, 1]);
+        assert_eq!(ds.row(1), vec![2, 0]);
+        assert_eq!(ds.column(0), &[0, 2]);
+    }
+
+    #[test]
+    fn push_validates_arity_and_domain() {
+        let mut ds = Dataset::empty(small_schema());
+        assert!(matches!(
+            ds.push_row(&[0]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            ds.push_row(&[3, 0]),
+            Err(DataError::ValueOutOfDomain { .. })
+        ));
+        assert_eq!(ds.n_rows(), 0, "failed pushes must not mutate");
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let s = small_schema();
+        assert!(Dataset::from_columns(s.clone(), vec![vec![0, 1]]).is_err());
+        assert!(Dataset::from_columns(s.clone(), vec![vec![0, 1], vec![0]]).is_err());
+        assert!(Dataset::from_columns(s.clone(), vec![vec![0, 9], vec![0, 1]]).is_err());
+        let ok = Dataset::from_columns(s, vec![vec![0, 1], vec![0, 1]]).unwrap();
+        assert_eq!(ok.n_rows(), 2);
+    }
+
+    #[test]
+    fn count_and_histogram_agree() {
+        let ds = Dataset::from_rows(
+            small_schema(),
+            &[vec![0, 0], vec![0, 1], vec![1, 1], vec![0, 0]],
+        )
+        .unwrap();
+        assert_eq!(ds.count(0, 0), 3);
+        assert_eq!(ds.count(0, 2), 0);
+        let h = ds.histogram(0);
+        assert_eq!(h.count(0), 3);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn active_domain_skips_unused_codes() {
+        let ds = Dataset::from_rows(small_schema(), &[vec![0, 0], vec![2, 0]]).unwrap();
+        assert_eq!(ds.active_domain(0), vec![0, 2]);
+        assert_eq!(ds.active_domain(1), vec![0]);
+    }
+
+    #[test]
+    fn select_rows_allows_duplicates() {
+        let ds = Dataset::from_rows(small_schema(), &[vec![0, 0], vec![1, 1]]).unwrap();
+        let sub = ds.select_rows(&[1, 1, 0]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.column(0), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn select_attributes_projects_schema_and_data() {
+        let ds = Dataset::from_rows(small_schema(), &[vec![2, 1]]).unwrap();
+        let proj = ds.select_attributes(&[1]);
+        assert_eq!(proj.schema().arity(), 1);
+        assert_eq!(proj.schema().attribute(0).name, "b");
+        assert_eq!(proj.column(0), &[1]);
+        assert_eq!(proj.n_rows(), 1);
+    }
+
+    #[test]
+    fn with_extra_columns_validates_and_appends() {
+        let ds = Dataset::from_rows(small_schema(), &[vec![0, 0], vec![1, 1]]).unwrap();
+        let attr = Attribute::new("c", Domain::indexed(2)).unwrap();
+        let out = ds
+            .with_extra_columns(vec![(attr.clone(), vec![1, 0])])
+            .unwrap();
+        assert_eq!(out.schema().arity(), 3);
+        assert_eq!(out.column_by_name("c").unwrap(), &[1, 0]);
+        // wrong length rejected
+        assert!(ds.with_extra_columns(vec![(attr, vec![1])]).is_err());
+    }
+
+    #[test]
+    fn column_by_name_unknown_errors() {
+        let ds = Dataset::empty(small_schema());
+        assert!(ds.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn empty_dataset_histogram_is_all_zero() {
+        let ds = Dataset::empty(small_schema());
+        let h = ds.histogram(0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.len(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors raised while building or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Number of values in the offending row.
+        got: usize,
+    },
+    /// A value code was outside its attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute name.
+        attribute: String,
+        /// Offending code.
+        code: u32,
+        /// Domain size of the attribute.
+        domain_size: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A domain was constructed with fewer than one value.
+    EmptyDomain(String),
+    /// Two datasets or histograms with incompatible schemas/domains were combined.
+    SchemaMismatch(String),
+    /// CSV input was malformed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} attributes"
+                )
+            }
+            DataError::ValueOutOfDomain {
+                attribute,
+                code,
+                domain_size,
+            } => write!(
+                f,
+                "value code {code} out of domain for attribute '{attribute}' (size {domain_size})"
+            ),
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute '{name}'"),
+            DataError::EmptyDomain(name) => {
+                write!(
+                    f,
+                    "domain of attribute '{name}' must have at least one value"
+                )
+            }
+            DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_details() {
+        let e = DataError::ValueOutOfDomain {
+            attribute: "age".into(),
+            code: 99,
+            domain_size: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains("99") && s.contains('8'));
+    }
+}

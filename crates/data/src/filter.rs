@@ -1,0 +1,169 @@
+//! Conjunctive predicates over coded tuples.
+//!
+//! The building block for ad-hoc counting queries in interactive sessions
+//! (PINQ-style "how many tuples satisfy `age = [60,70) AND diag_1 =
+//! Circulatory`?"). A [`Filter`] is a conjunction of `attribute = value`
+//! clauses; counting matches has sensitivity 1, so a session can release it
+//! with any 1-sensitive mechanism.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Schema;
+
+/// A conjunction of equality clauses `attribute = value` (coded).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Filter {
+    clauses: Vec<(usize, u32)>,
+}
+
+impl Filter {
+    /// The empty filter (matches every tuple).
+    pub fn all() -> Self {
+        Filter::default()
+    }
+
+    /// Adds a clause by attribute index and value code, validating both
+    /// against the schema.
+    pub fn and(mut self, schema: &Schema, attr: usize, value: u32) -> Result<Self, DataError> {
+        if attr >= schema.arity() {
+            return Err(DataError::UnknownAttribute(format!("#{attr}")));
+        }
+        let dom = &schema.attribute(attr).domain;
+        if !dom.contains(value) {
+            return Err(DataError::ValueOutOfDomain {
+                attribute: schema.attribute(attr).name.clone(),
+                code: value,
+                domain_size: dom.size(),
+            });
+        }
+        self.clauses.push((attr, value));
+        Ok(self)
+    }
+
+    /// Adds a clause by attribute name and value label.
+    pub fn and_named(self, schema: &Schema, attr: &str, label: &str) -> Result<Self, DataError> {
+        let idx = schema.index_of(attr)?;
+        let code = schema
+            .attribute(idx)
+            .domain
+            .code_of(label)
+            .ok_or_else(|| DataError::UnknownAttribute(format!("{attr}={label}")))?;
+        self.and(schema, idx, code)
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the filter has no clauses (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Whether a coded row satisfies every clause.
+    pub fn matches(&self, row: &[u32]) -> bool {
+        self.clauses.iter().all(|&(a, v)| row[a] == v)
+    }
+
+    /// Counts matching tuples in `data` (columnar evaluation; no row
+    /// materialization). This query has sensitivity 1 under add/remove-one
+    /// neighbors.
+    pub fn count(&self, data: &Dataset) -> u64 {
+        if self.clauses.is_empty() {
+            return data.n_rows() as u64;
+        }
+        // Evaluate clause-by-clause over columns, short-circuiting a bitmask.
+        let mut keep: Vec<bool> = vec![true; data.n_rows()];
+        for &(a, v) in &self.clauses {
+            for (slot, &x) in keep.iter_mut().zip(data.column(a)) {
+                *slot = *slot && x == v;
+            }
+        }
+        keep.iter().filter(|&&k| k).count() as u64
+    }
+
+    /// Row indices of matching tuples.
+    pub fn select(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.n_rows())
+            .filter(|&r| self.clauses.iter().all(|&(a, v)| data.column(a)[r] == v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Domain};
+
+    fn world() -> (Schema, Dataset) {
+        let schema = Schema::new(vec![
+            Attribute::new("age", Domain::categorical(["young", "old"])).unwrap(),
+            Attribute::new("diag", Domain::categorical(["a", "b", "c"])).unwrap(),
+        ])
+        .unwrap();
+        let rows = vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 2], vec![0, 1]];
+        let data = Dataset::from_rows(schema.clone(), &rows).unwrap();
+        (schema, data)
+    }
+
+    #[test]
+    fn empty_filter_counts_everything() {
+        let (_, data) = world();
+        assert_eq!(Filter::all().count(&data), 5);
+        assert!(Filter::all().is_empty());
+    }
+
+    #[test]
+    fn single_clause_counts() {
+        let (schema, data) = world();
+        let f = Filter::all().and(&schema, 0, 0).unwrap();
+        assert_eq!(f.count(&data), 3);
+        assert_eq!(f.select(&data), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn conjunction_counts() {
+        let (schema, data) = world();
+        let f = Filter::all()
+            .and_named(&schema, "age", "young")
+            .unwrap()
+            .and_named(&schema, "diag", "b")
+            .unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.count(&data), 2);
+        assert!(f.matches(&[0, 1]));
+        assert!(!f.matches(&[1, 1]));
+    }
+
+    #[test]
+    fn contradictory_clauses_count_zero() {
+        let (schema, data) = world();
+        let f = Filter::all()
+            .and(&schema, 0, 0)
+            .unwrap()
+            .and(&schema, 0, 1)
+            .unwrap();
+        assert_eq!(f.count(&data), 0);
+    }
+
+    #[test]
+    fn invalid_clauses_rejected() {
+        let (schema, _) = world();
+        assert!(Filter::all().and(&schema, 9, 0).is_err());
+        assert!(Filter::all().and(&schema, 0, 9).is_err());
+        assert!(Filter::all().and_named(&schema, "age", "ancient").is_err());
+        assert!(Filter::all().and_named(&schema, "nope", "a").is_err());
+    }
+
+    #[test]
+    fn count_matches_select_len() {
+        let (schema, data) = world();
+        for a in 0..2usize {
+            for v in 0..schema.attribute(a).domain.size() as u32 {
+                let f = Filter::all().and(&schema, a, v).unwrap();
+                assert_eq!(f.count(&data) as usize, f.select(&data).len());
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Exact histograms `h_A(D)` and distances between them.
+//!
+//! Histograms are vectors of counts over a fixed, data-independent domain
+//! (§2). The paper's quality functions are all expressible in terms of
+//! histogram L1 arithmetic (Corollaries A.1/A.2 in the appendix); this module
+//! provides that arithmetic plus total-variation and Jensen–Shannon distances
+//! used by the *sensitive* (non-private) quality functions and the evaluation
+//! `Quality` measure.
+
+use std::fmt;
+
+/// An exact histogram: `counts[a] = cnt_{A=a}(D)` for every `a ∈ dom(A)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds an all-zero histogram with `domain_size` bins.
+    pub fn zeros(domain_size: usize) -> Self {
+        Histogram {
+            counts: vec![0; domain_size],
+        }
+    }
+
+    /// Builds a histogram by counting coded values. Codes must be `< domain_size`.
+    ///
+    /// # Panics
+    /// Panics (in debug) on out-of-domain codes; in release they are ignored
+    /// defensively after a debug assertion — datasets validate domains at
+    /// construction so this cannot trigger via the public `Dataset` API.
+    pub fn from_codes(codes: &[u32], domain_size: usize) -> Self {
+        let mut counts = vec![0u64; domain_size];
+        for &c in codes {
+            debug_assert!((c as usize) < domain_size, "code {c} out of domain");
+            if let Some(slot) = counts.get_mut(c as usize) {
+                *slot += 1;
+            }
+        }
+        Histogram { counts }
+    }
+
+    /// Builds a histogram from explicit counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Histogram { counts }
+    }
+
+    /// Number of bins `|dom(A)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the histogram has zero bins.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Count in bin `code`.
+    #[inline]
+    pub fn count(&self, code: u32) -> u64 {
+        self.counts[code as usize]
+    }
+
+    /// All counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all counts (the L1 norm; equals `|D|` for a full projection).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The normalized histogram (empirical distribution). An empty histogram
+    /// (total 0) normalizes to all-zeros rather than dividing by zero.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let t = total as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Bin-wise sum.
+    ///
+    /// # Panics
+    /// Panics if bin counts differ.
+    pub fn add(&self, other: &Histogram) -> Histogram {
+        assert_eq!(self.len(), other.len(), "histogram domains must match");
+        Histogram {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Bin-wise saturating difference `max(self − other, 0)`.
+    pub fn saturating_sub(&self, other: &Histogram) -> Histogram {
+        assert_eq!(self.len(), other.len(), "histogram domains must match");
+        Histogram {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.saturating_sub(b))
+                .collect(),
+        }
+    }
+
+    /// Total-variation distance between the *normalized* histograms
+    /// (Equation 1 of the paper):
+    /// `TVD(p, q) = ½ Σ_a |p(a) − q(a)|`.
+    ///
+    /// If either histogram is empty (total 0), its "distribution" is the zero
+    /// vector, matching the `max{|D_c|, 1}` guard in Definition 4.5.
+    pub fn tvd(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.len(), other.len(), "histogram domains must match");
+        let p = self.normalized();
+        let q = other.normalized();
+        0.5 * p.iter().zip(&q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+    }
+
+    /// Jensen–Shannon *distance* (square root of the JS divergence, log
+    /// base 2, so the range is `[0, 1]` as the paper's Appendix A.1 states)
+    /// between the normalized histograms — the alternative interestingness
+    /// measure discussed there.
+    pub fn js_distance(&self, other: &Histogram) -> f64 {
+        assert_eq!(self.len(), other.len(), "histogram domains must match");
+        let p = self.normalized();
+        let q = other.normalized();
+        let mut div = 0.0;
+        for (&a, &b) in p.iter().zip(&q) {
+            let m = 0.5 * (a + b);
+            if a > 0.0 {
+                div += 0.5 * a * (a / m).log2();
+            }
+            if b > 0.0 {
+                div += 0.5 * b * (b / m).log2();
+            }
+        }
+        // Clamp tiny negative round-off before the sqrt.
+        div.max(0.0).sqrt()
+    }
+
+    /// L1 distance between raw (unnormalized) count vectors — the building
+    /// block of the paper's low-sensitivity functions (Corollary A.1).
+    pub fn l1_distance_scaled(&self, other: &Histogram, self_w: f64, other_w: f64) -> f64 {
+        assert_eq!(self.len(), other.len(), "histogram domains must match");
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (self_w * a as f64 - other_w * b as f64).abs())
+            .sum()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_codes_counts_correctly() {
+        let h = Histogram::from_codes(&[0, 1, 1, 3, 3, 3], 4);
+        assert_eq!(h.counts(), &[1, 2, 0, 3]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let h = Histogram::from_codes(&[0, 1, 2, 2], 3);
+        let n = h.normalized();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_normalizes_to_zero() {
+        let h = Histogram::zeros(3);
+        assert_eq!(h.normalized(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn tvd_identical_is_zero_disjoint_is_one() {
+        let a = Histogram::from_counts(vec![5, 0, 5]);
+        assert_eq!(a.tvd(&a), 0.0);
+        let b = Histogram::from_counts(vec![0, 7, 0]);
+        assert!((a.tvd(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_is_symmetric_and_bounded() {
+        let a = Histogram::from_counts(vec![3, 1, 0, 6]);
+        let b = Histogram::from_counts(vec![1, 1, 1, 1]);
+        let d = a.tvd(&b);
+        assert!((d - b.tvd(&a)).abs() < 1e-15);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn tvd_matches_paper_example() {
+        // Paper §4.1 example: 95%/5% vs 0%/100% → TVD 0.95.
+        let full = Histogram::from_counts(vec![95_000, 5_000]);
+        let cluster = Histogram::from_counts(vec![0, 1]);
+        assert!((full.tvd(&cluster) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn js_distance_bounds_and_symmetry() {
+        let a = Histogram::from_counts(vec![10, 0]);
+        let b = Histogram::from_counts(vec![0, 10]);
+        let d = a.js_distance(&b);
+        // Max JS distance with log base 2 is exactly 1.
+        assert!((d - 1.0).abs() < 1e-12);
+        assert_eq!(a.js_distance(&a), 0.0);
+        let c = Histogram::from_counts(vec![3, 7]);
+        assert!((a.js_distance(&c) - c.js_distance(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn add_and_saturating_sub() {
+        let a = Histogram::from_counts(vec![5, 1]);
+        let b = Histogram::from_counts(vec![2, 3]);
+        assert_eq!(a.add(&b).counts(), &[7, 4]);
+        assert_eq!(a.saturating_sub(&b).counts(), &[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "domains must match")]
+    fn mismatched_domains_panic() {
+        let a = Histogram::zeros(2);
+        let b = Histogram::zeros(3);
+        let _ = a.tvd(&b);
+    }
+
+    #[test]
+    fn l1_distance_scaled_matches_low_sensitivity_interestingness_form() {
+        // Int_p = ½‖h_A(D_c) − (|D_c|/|D|)·h_A(D)‖₁ (Corollary A.1).
+        let cluster = Histogram::from_counts(vec![10, 0]);
+        let full = Histogram::from_counts(vec![10, 90]);
+        let l1 = cluster.l1_distance_scaled(&full, 1.0, 10.0 / 100.0);
+        // |10 − 1| + |0 − 9| = 18 → Int_p = 9; also |D_c|·TVD = 10·0.9 = 9.
+        assert!((0.5 * l1 - 9.0).abs() < 1e-12);
+        assert!((0.5 * l1 - 10.0 * full.tvd(&cluster)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! # dpx-data — tabular data substrate for DPClustX
+//!
+//! DPClustX (the paper) assumes a single-table relational model where every
+//! attribute has a **discrete, finite, data-independent domain** (§2, "Data").
+//! This crate provides that model from scratch:
+//!
+//! * [`schema`] — attribute domains (named categorical values or numeric bins),
+//!   attributes, and table schemas. Domains are data-independent by
+//!   construction, which is what lets DP histograms span the full domain.
+//! * [`dataset`] — a columnar dataset of domain-coded values with projections
+//!   (`π_A(D)`), per-value counts (`cnt_{A=a}(D)`), and active domains.
+//! * [`histogram`] — exact histograms `h_A(D)` with total-variation and
+//!   Jensen–Shannon distances, normalization, and vector arithmetic.
+//! * [`contingency`] — one-pass (cluster × value) count tables per attribute;
+//!   the workhorse that lets every quality function in `dpclustx` be evaluated
+//!   from counts without re-scanning the data.
+//! * [`binning`] — equal-width and quantile discretization of raw numeric
+//!   columns into interval domains (the paper bins Diabetes / Stack Overflow
+//!   attributes for interpretable histograms).
+//! * [`stats`] — χ², Cramér's V (used by the correlation-robustness
+//!   experiment), and entropy.
+//! * [`sample`] — row sampling and the per-cluster `η`-fraction sampling used
+//!   by Figure 8b.
+//! * [`csv`] — minimal CSV import/export of coded datasets.
+//! * [`synth`] — synthetic generators standing in for the paper's three real
+//!   datasets (US Census PUMS 1990, Diabetes 130-US, Stack Overflow 2018),
+//!   built on a latent-group mixture so that clusters genuinely exist and some
+//!   attributes genuinely explain them. See DESIGN.md, "Substitutions".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod contingency;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod filter;
+pub mod histogram;
+pub mod product;
+pub mod sample;
+pub mod schema;
+pub mod schema_io;
+pub mod stats;
+pub mod synth;
+
+pub use contingency::ContingencyTable;
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use histogram::Histogram;
+pub use schema::{Attribute, Domain, Schema};

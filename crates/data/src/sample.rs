@@ -1,0 +1,165 @@
+//! Row sampling utilities.
+//!
+//! Two experiments need sampling: Fig. 9d samples a fraction of all tuples
+//! uniformly, and Fig. 8b samples an `η` fraction of *each cluster* (keeping
+//! cluster proportions) to study small-cluster behaviour.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Uniformly samples `⌈rate·n⌉` row indices without replacement.
+///
+/// # Panics
+/// Panics unless `0 < rate ≤ 1`.
+pub fn sample_rows<R: Rng + ?Sized>(n: usize, rate: f64, rng: &mut R) -> Vec<usize> {
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "rate must be in (0,1], got {rate}"
+    );
+    let target = ((n as f64 * rate).ceil() as usize).clamp(usize::from(n > 0), n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    indices.truncate(target);
+    indices
+}
+
+/// Samples an `η` fraction of each cluster independently (Fig. 8b), returning
+/// the sampled dataset together with the corresponding labels. Every
+/// *non-empty* cluster retains at least one tuple so the clustering stays
+/// total over the surviving labels.
+pub fn sample_per_cluster<R: Rng + ?Sized>(
+    data: &Dataset,
+    labels: &[usize],
+    n_clusters: usize,
+    eta: f64,
+    rng: &mut R,
+) -> (Dataset, Vec<usize>) {
+    assert!(eta > 0.0 && eta <= 1.0, "eta must be in (0,1], got {eta}");
+    assert_eq!(labels.len(), data.n_rows());
+    let mut by_cluster: Vec<Vec<usize>> = vec![Vec::new(); n_clusters];
+    for (row, &c) in labels.iter().enumerate() {
+        by_cluster[c].push(row);
+    }
+    let mut keep: Vec<usize> = Vec::new();
+    for members in &mut by_cluster {
+        if members.is_empty() {
+            continue;
+        }
+        members.shuffle(rng);
+        let target = ((members.len() as f64 * eta).ceil() as usize).clamp(1, members.len());
+        keep.extend_from_slice(&members[..target]);
+    }
+    keep.sort_unstable();
+    let sampled = data.select_rows(&keep);
+    let sampled_labels = keep.iter().map(|&r| labels[r]).collect();
+    (sampled, sampled_labels)
+}
+
+/// Uniformly samples `frac` of the attribute indices (at least one), used by
+/// the attribute-scaling experiment (Fig. 9c).
+pub fn sample_attributes<R: Rng + ?Sized>(
+    n_attributes: usize,
+    frac: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "frac must be in (0,1], got {frac}"
+    );
+    let target = ((n_attributes as f64 * frac).ceil() as usize).clamp(1, n_attributes);
+    let mut indices: Vec<usize> = (0..n_attributes).collect();
+    indices.shuffle(rng);
+    indices.truncate(target);
+    indices.sort_unstable();
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("x", Domain::indexed(4)).unwrap()]).unwrap();
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![(i % 4) as u32]).collect();
+        Dataset::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn sample_rows_respects_rate_and_uniqueness() {
+        let mut r = rng();
+        let idx = sample_rows(1000, 0.25, &mut r);
+        assert_eq!(idx.len(), 250);
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 250);
+        assert!(dedup.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_rows_full_rate_returns_everything() {
+        let mut r = rng();
+        let idx = sample_rows(10, 1.0, &mut r);
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn zero_rate_panics() {
+        let mut r = rng();
+        sample_rows(10, 0.0, &mut r);
+    }
+
+    #[test]
+    fn per_cluster_sampling_keeps_proportions() {
+        let mut r = rng();
+        let data = dataset(1000);
+        // Clusters of sizes 700 / 300.
+        let labels: Vec<usize> = (0..1000).map(|i| usize::from(i >= 700)).collect();
+        let (sampled, sl) = sample_per_cluster(&data, &labels, 2, 0.1, &mut r);
+        assert_eq!(sampled.n_rows(), sl.len());
+        let c0 = sl.iter().filter(|&&c| c == 0).count();
+        let c1 = sl.iter().filter(|&&c| c == 1).count();
+        assert_eq!(c0, 70);
+        assert_eq!(c1, 30);
+    }
+
+    #[test]
+    fn per_cluster_sampling_never_empties_a_cluster() {
+        let mut r = rng();
+        let data = dataset(101);
+        // Cluster 1 has a single member.
+        let labels: Vec<usize> = (0..101).map(|i| usize::from(i == 50)).collect();
+        let (_, sl) = sample_per_cluster(&data, &labels, 2, 0.001, &mut r);
+        assert!(sl.contains(&1), "tiny cluster must survive");
+        assert!(sl.contains(&0));
+    }
+
+    #[test]
+    fn per_cluster_sampling_tolerates_declared_empty_cluster() {
+        let mut r = rng();
+        let data = dataset(10);
+        let labels = vec![0usize; 10];
+        let (sampled, sl) = sample_per_cluster(&data, &labels, 3, 0.5, &mut r);
+        assert_eq!(sampled.n_rows(), 5);
+        assert!(sl.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn sample_attributes_sorted_unique_at_least_one() {
+        let mut r = rng();
+        let idx = sample_attributes(47, 0.5, &mut r);
+        assert_eq!(idx.len(), 24);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        let one = sample_attributes(47, 0.001, &mut r);
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Attribute domains and table schemas.
+//!
+//! Following §2 of the paper, every attribute `A_i` has a *discrete, finite,
+//! data-independent* domain `dom(A_i)`. Data independence matters for privacy:
+//! DP histograms must be released over the whole domain, not just the values
+//! observed in the sensitive data (which would itself leak). Values inside a
+//! dataset are stored as `u32` codes indexing into their domain.
+
+use crate::error::DataError;
+use std::fmt;
+use std::sync::Arc;
+
+/// The finite domain of one attribute: an ordered list of value labels.
+///
+/// A domain may represent categorical values (`"Female"`, `"Male"`) or
+/// numeric bins (`"[40,50)"`); either way it is just an indexed label list.
+/// Cloning is cheap (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    labels: Arc<Vec<String>>,
+}
+
+impl Domain {
+    /// Builds a domain from explicit labels.
+    pub fn categorical<S: Into<String>>(labels: impl IntoIterator<Item = S>) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        Domain {
+            labels: Arc::new(labels),
+        }
+    }
+
+    /// Builds an anonymous domain of `size` values labelled `v0..v{size-1}`.
+    pub fn indexed(size: usize) -> Self {
+        Domain::categorical((0..size).map(|i| format!("v{i}")))
+    }
+
+    /// Builds a domain of half-open numeric intervals `[lo, lo+w), …` —
+    /// the binned-numeric form used throughout the paper's examples
+    /// (e.g. `lab_proc ∈ [40, 50)`).
+    pub fn intervals(lo: f64, width: f64, bins: usize) -> Self {
+        Domain::categorical((0..bins).map(|i| {
+            let a = lo + i as f64 * width;
+            let b = a + width;
+            format!("[{a},{b})")
+        }))
+    }
+
+    /// Number of values in the domain, `|dom(A)|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of value code `code`, if in range.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Finds the code of a label.
+    pub fn code_of(&self, label: &str) -> Option<u32> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as u32)
+    }
+
+    /// Iterates over `(code, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, l.as_str()))
+    }
+
+    /// Whether `code` is a valid value of this domain.
+    #[inline]
+    pub fn contains(&self, code: u32) -> bool {
+        (code as usize) < self.labels.len()
+    }
+}
+
+/// An attribute: a name plus its domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"lab_proc"`.
+    pub name: String,
+    /// The attribute's data-independent domain.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute, rejecting empty domains.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Result<Self, DataError> {
+        let name = name.into();
+        if domain.size() == 0 {
+            return Err(DataError::EmptyDomain(name));
+        }
+        Ok(Attribute { name, domain })
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} values)", self.name, self.domain.size())
+    }
+}
+
+/// A single-table schema `R(A_1, …, A_d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Arc<Vec<Attribute>>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes. Attribute names must be unique.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, DataError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(DataError::SchemaMismatch(format!(
+                    "duplicate attribute name '{}'",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema {
+            attributes: Arc::new(attributes),
+        })
+    }
+
+    /// Number of attributes `d`.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    #[inline]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Finds an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, DataError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Returns a new schema restricted to the given attribute indices (in the
+    /// given order). Used by the attribute-sampling experiment (Fig. 9c).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        let attrs = indices
+            .iter()
+            .map(|&i| self.attributes[i].clone())
+            .collect();
+        Schema {
+            attributes: Arc::new(attrs),
+        }
+    }
+
+    /// Returns a new schema with extra attributes appended.
+    pub fn extend(&self, extra: Vec<Attribute>) -> Result<Schema, DataError> {
+        let mut attrs = (*self.attributes).clone();
+        attrs.extend(extra);
+        Schema::new(attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_domain_roundtrips_labels() {
+        let d = Domain::categorical(["No", "Steady", "Up", "Down"]);
+        assert_eq!(d.size(), 4);
+        assert_eq!(d.label(1), Some("Steady"));
+        assert_eq!(d.code_of("Down"), Some(3));
+        assert_eq!(d.code_of("Sideways"), None);
+        assert!(d.contains(3));
+        assert!(!d.contains(4));
+    }
+
+    #[test]
+    fn indexed_domain_labels() {
+        let d = Domain::indexed(3);
+        assert_eq!(d.label(0), Some("v0"));
+        assert_eq!(d.label(2), Some("v2"));
+        assert_eq!(d.label(3), None);
+    }
+
+    #[test]
+    fn interval_domain_formats_bins() {
+        let d = Domain::intervals(0.0, 10.0, 8);
+        assert_eq!(d.size(), 8);
+        assert_eq!(d.label(4), Some("[40,50)"));
+    }
+
+    #[test]
+    fn attribute_rejects_empty_domain() {
+        let err = Attribute::new("x", Domain::categorical(Vec::<String>::new())).unwrap_err();
+        assert_eq!(err, DataError::EmptyDomain("x".into()));
+    }
+
+    #[test]
+    fn schema_rejects_duplicate_names() {
+        let a = Attribute::new("age", Domain::indexed(2)).unwrap();
+        let b = Attribute::new("age", Domain::indexed(3)).unwrap();
+        assert!(Schema::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn schema_lookup_and_projection() {
+        let s = Schema::new(vec![
+            Attribute::new("a", Domain::indexed(2)).unwrap(),
+            Attribute::new("b", Domain::indexed(3)).unwrap(),
+            Attribute::new("c", Domain::indexed(4)).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zz").is_err());
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.attribute(0).name, "c");
+        assert_eq!(p.attribute(1).name, "a");
+    }
+
+    #[test]
+    fn schema_extend_checks_duplicates() {
+        let s = Schema::new(vec![Attribute::new("a", Domain::indexed(2)).unwrap()]).unwrap();
+        let ok = s
+            .extend(vec![Attribute::new("b", Domain::indexed(2)).unwrap()])
+            .unwrap();
+        assert_eq!(ok.arity(), 2);
+        assert!(s
+            .extend(vec![Attribute::new("a", Domain::indexed(2)).unwrap()])
+            .is_err());
+    }
+
+    #[test]
+    fn domain_iter_order_is_stable() {
+        let d = Domain::categorical(["x", "y"]);
+        let pairs: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain-text schema serialization.
+//!
+//! CSV files carry value labels but not domains; a schema sidecar file makes
+//! a dataset self-describing. The format is one attribute per line:
+//!
+//! ```text
+//! age: [0,10) | [10,20) | [20,30)
+//! gender: Female | Male
+//! ```
+//!
+//! Separators inside labels are escaped (`\|`, `\\`, `\n` → `\n`).
+
+use crate::error::DataError;
+use crate::schema::{Attribute, Domain, Schema};
+use std::io::{BufRead, Write};
+
+fn escape(label: &str) -> String {
+    label
+        .replace('\\', "\\\\")
+        .replace('|', "\\|")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Splits on unescaped `|` separators.
+fn split_labels(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                cur.push('\\');
+                if let Some(next) = chars.next() {
+                    cur.push(next);
+                }
+            }
+            '|' => parts.push(std::mem::take(&mut cur)),
+            other => cur.push(other),
+        }
+    }
+    parts.push(cur);
+    parts.iter().map(|p| unescape(p.trim())).collect()
+}
+
+/// Writes `schema` in the sidecar text format.
+pub fn write_schema<W: Write>(schema: &Schema, w: &mut W) -> std::io::Result<()> {
+    for attr in schema.attributes() {
+        let labels: Vec<String> = attr.domain.iter().map(|(_, l)| escape(l)).collect();
+        writeln!(w, "{}: {}", escape(&attr.name), labels.join(" | "))?;
+    }
+    Ok(())
+}
+
+/// Reads a schema from the sidecar text format.
+pub fn read_schema<R: BufRead>(r: R) -> Result<Schema, DataError> {
+    let mut attributes = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| DataError::Csv {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, rest) = line.split_once(':').ok_or_else(|| DataError::Csv {
+            line: i + 1,
+            message: "expected 'name: label | label | …'".into(),
+        })?;
+        let labels = split_labels(rest);
+        if labels.is_empty() || labels.iter().all(String::is_empty) {
+            return Err(DataError::EmptyDomain(name.trim().to_string()));
+        }
+        attributes.push(Attribute::new(
+            unescape(name.trim()),
+            Domain::categorical(labels),
+        )?);
+    }
+    Schema::new(attributes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", Domain::categorical(["[0,10)", "[10,20)"])).unwrap(),
+            Attribute::new(
+                "diag",
+                Domain::categorical(["Circulatory", "A|B weird", "back\\slash"]),
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_schema() {
+        let s = schema();
+        let mut buf = Vec::new();
+        write_schema(&s, &mut buf).unwrap();
+        let back = read_schema(buf.as_slice()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn escaped_separators_roundtrip() {
+        let s = schema();
+        let mut buf = Vec::new();
+        write_schema(&s, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("A\\|B weird"));
+        let back = read_schema(text.as_bytes()).unwrap();
+        assert_eq!(back.attribute(1).domain.label(1), Some("A|B weird"));
+        assert_eq!(back.attribute(1).domain.label(2), Some("back\\slash"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# comment\n\nx: a | b\n";
+        let s = read_schema(text.as_bytes()).unwrap();
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.attribute(0).domain.size(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(read_schema("no colon here\n".as_bytes()).is_err());
+        assert!(read_schema("x:\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(read_schema("x: a | b\nx: c | d\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Association statistics between categorical attributes.
+//!
+//! The correlation-robustness experiment (§6.2, "Impact of attribute
+//! correlations") generates, for each original attribute, a correlated twin
+//! with a Cramér's V of 0.85. This module provides χ² and Cramér's V from
+//! coded columns, plus entropy helpers used in analysis.
+
+/// Pearson's χ² statistic of the joint distribution of two coded columns.
+///
+/// # Panics
+/// Panics if column lengths differ.
+pub fn chi_square(x: &[u32], y: &[u32], dom_x: usize, dom_y: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must be aligned");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint = vec![0u64; dom_x * dom_y];
+    let mut mx = vec![0u64; dom_x];
+    let mut my = vec![0u64; dom_y];
+    for (&a, &b) in x.iter().zip(y) {
+        joint[a as usize * dom_y + b as usize] += 1;
+        mx[a as usize] += 1;
+        my[b as usize] += 1;
+    }
+    let n = n as f64;
+    let mut chi2 = 0.0;
+    for (i, &cx) in mx.iter().enumerate() {
+        if cx == 0 {
+            continue;
+        }
+        for (j, &cy) in my.iter().enumerate() {
+            if cy == 0 {
+                continue;
+            }
+            let expected = cx as f64 * cy as f64 / n;
+            let observed = joint[i * dom_y + j] as f64;
+            chi2 += (observed - expected).powi(2) / expected;
+        }
+    }
+    chi2
+}
+
+/// Cramér's V association measure in `[0, 1]`:
+/// `V = sqrt(χ² / (n · (min(r, c) − 1)))` where `r`, `c` are the numbers of
+/// *observed* categories. Returns 0 when either column is constant.
+pub fn cramers_v(x: &[u32], y: &[u32], dom_x: usize, dom_y: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must be aligned");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let observed = |col: &[u32], dom: usize| -> usize {
+        let mut seen = vec![false; dom];
+        for &v in col {
+            seen[v as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    let r = observed(x, dom_x);
+    let c = observed(y, dom_y);
+    let k = r.min(c);
+    if k <= 1 {
+        return 0.0;
+    }
+    let chi2 = chi_square(x, y, dom_x, dom_y);
+    let v2 = chi2 / (x.len() as f64 * (k - 1) as f64);
+    v2.max(0.0).sqrt().min(1.0)
+}
+
+/// Shannon entropy (nats) of a coded column's empirical distribution.
+pub fn entropy(codes: &[u32], dom: usize) -> f64 {
+    if codes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0u64; dom];
+    for &c in codes {
+        counts[c as usize] += 1;
+    }
+    let n = codes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_columns_have_v_one() {
+        let x: Vec<u32> = (0..1000).map(|i| (i % 4) as u32).collect();
+        let v = cramers_v(&x, &x, 4, 4);
+        assert!((v - 1.0).abs() < 1e-9, "V = {v}");
+    }
+
+    #[test]
+    fn independent_columns_have_v_near_zero() {
+        // Deterministic pseudo-independent pattern: x cycles every 4, y every 5.
+        let x: Vec<u32> = (0..20_000).map(|i| (i % 4) as u32).collect();
+        let y: Vec<u32> = (0..20_000).map(|i| (i % 5) as u32).collect();
+        let v = cramers_v(&x, &y, 4, 5);
+        assert!(v < 0.05, "V = {v}");
+    }
+
+    #[test]
+    fn constant_column_yields_zero() {
+        let x = vec![0u32; 100];
+        let y: Vec<u32> = (0..100).map(|i| (i % 3) as u32).collect();
+        assert_eq!(cramers_v(&x, &y, 2, 3), 0.0);
+    }
+
+    #[test]
+    fn chi_square_zero_for_independence_pattern() {
+        // Perfectly balanced joint: every (i, j) cell equal.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                for _ in 0..10 {
+                    x.push(i);
+                    y.push(j);
+                }
+            }
+        }
+        let chi2 = chi_square(&x, &y, 3, 3);
+        assert!(chi2.abs() < 1e-9, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn partial_association_is_intermediate() {
+        // y copies x 80% of the time, else shifted — V strictly between 0 and 1.
+        let x: Vec<u32> = (0..10_000).map(|i| (i % 4) as u32).collect();
+        let y: Vec<u32> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 5 == 0 { (v + 1) % 4 } else { v })
+            .collect();
+        let v = cramers_v(&x, &y, 4, 4);
+        assert!(v > 0.5 && v < 0.95, "V = {v}");
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let codes: Vec<u32> = (0..8000).map(|i| (i % 8) as u32).collect();
+        let h = entropy(&codes, 8);
+        assert!((h - (8f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_constant_is_zero() {
+        assert_eq!(entropy(&[3u32; 100], 5), 0.0);
+        assert_eq!(entropy(&[], 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_lengths_panic() {
+        chi_square(&[0], &[0, 1], 2, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Synthetic stand-in for the US Census (PUMS 1990) dataset.
+//!
+//! The real dataset is a 1% PUMS person-record sample: 2,458,285 tuples and 68
+//! discrete attributes. We reproduce the 68-attribute schema with the PUMS
+//! naming convention (`i*` for individual categorical codes, `d*` for
+//! discretized numerics) and plant latent-group signal in the work-related
+//! attributes the paper's case study surfaces: `iRlabor` (employment status),
+//! `iWork89` (worked in 1989), `dHours` (hours worked last week), `iYearwrk`
+//! (last year worked), and `iMeans` (transportation to work) — plus `dAge`,
+//! `iSchool`, `dIncome1`, `dTravtime`, `iFertil`.
+
+use super::{AttrModel, Marginal, SynthSpec};
+use crate::schema::{Attribute, Domain};
+
+/// The real dataset's full size; experiments default to a laptop-scale sample.
+pub const FULL_ROWS: usize = 2_458_285;
+
+fn attr(name: &str, dom: usize, model: AttrModel) -> (Attribute, AttrModel) {
+    (
+        Attribute::new(name, Domain::indexed(dom)).expect("non-empty domain"),
+        model,
+    )
+}
+
+fn signal(dom: usize, n_groups: usize, spread: f64, shift: usize) -> AttrModel {
+    AttrModel::Signal {
+        centers: super::rotated_centers(dom, n_groups, shift),
+        spread,
+        background: 0.06,
+    }
+}
+
+fn focused(dom: usize, n_groups: usize, spread: f64, special: usize) -> AttrModel {
+    AttrModel::Signal {
+        centers: super::focused_centers(dom, n_groups, special),
+        spread,
+        background: 0.06,
+    }
+}
+
+/// Builds the Census spec with `n_groups` latent groups.
+///
+/// # Panics
+/// Panics if `n_groups == 0`.
+pub fn spec(n_groups: usize) -> SynthSpec {
+    assert!(n_groups > 0, "need at least one latent group");
+    let mut attributes = Vec::with_capacity(68);
+
+    // --- Signal attributes (work/life-stage cluster structure, §6.3).
+    // The case-study correlations are built in: {iWork89, iYearwrk} both
+    // single out group 1 (no work data), {dHours, iMeans} both single out
+    // group 2 (working) — the paper's §6.3 explanation of why DPClustX and
+    // TabEE pick different-but-equivalent attributes.
+    attributes.push(attr("iRlabor", 7, focused(7, n_groups, 0.8, 0)));
+    attributes.push(attr("iWork89", 3, focused(3, n_groups, 0.45, 1)));
+    attributes.push(attr("dHours", 8, focused(8, n_groups, 1.0, 2)));
+    attributes.push(attr("iYearwrk", 7, focused(7, n_groups, 0.8, 1)));
+    attributes.push(attr("iMeans", 11, focused(11, n_groups, 1.2, 2)));
+    attributes.push(attr("dAge", 8, signal(8, n_groups, 1.1, 0)));
+    attributes.push(attr("iSchool", 4, focused(4, n_groups, 0.6, 1)));
+    attributes.push(attr("dIncome1", 10, signal(10, n_groups, 1.3, 1)));
+    attributes.push(attr("dTravtime", 8, focused(8, n_groups, 1.2, 3)));
+    attributes.push(attr("iFertil", 13, signal(13, n_groups, 1.6, 2)));
+
+    // --- Noise attributes: the remaining 58 PUMS person-record fields.
+    let noise: [(&str, usize, f64); 58] = [
+        ("iSex", 2, 0.1),
+        ("iMarital", 5, 0.8),
+        ("dIncome2", 9, 1.8),
+        ("dIncome3", 9, 2.0),
+        ("dIncome4", 6, 2.2),
+        ("dIncome5", 5, 2.4),
+        ("dIncome6", 5, 2.5),
+        ("dIncome7", 5, 2.4),
+        ("dIncome8", 5, 2.6),
+        ("iEnglish", 5, 1.6),
+        ("iCitizen", 5, 1.9),
+        ("dAncstry1", 12, 1.0),
+        ("dAncstry2", 12, 1.3),
+        ("iClass", 10, 1.1),
+        ("dDepart", 8, 0.9),
+        ("iDisabl1", 3, 1.5),
+        ("iDisabl2", 3, 1.6),
+        ("dHour89", 8, 0.7),
+        ("dHispanic", 5, 2.1),
+        ("iImmigr", 11, 1.8),
+        ("dIndustry", 13, 0.8),
+        ("iKorean", 3, 2.8),
+        ("iLang1", 3, 1.4),
+        ("iLooking", 3, 1.7),
+        ("iMay75880", 3, 1.9),
+        ("iMilitary", 5, 1.5),
+        ("iMobility", 3, 0.6),
+        ("iMobillim", 3, 1.8),
+        ("dOccup", 13, 0.7),
+        ("iOthrserv", 3, 2.3),
+        ("iPerscare", 3, 2.0),
+        ("dPOB", 17, 1.2),
+        ("dPoverty", 3, 0.5),
+        ("dPwgt1", 8, 0.4),
+        ("iRagechld", 5, 1.1),
+        ("dRearning", 8, 0.9),
+        ("iRelat1", 13, 1.4),
+        ("iRelat2", 3, 2.2),
+        ("iRemplpar", 10, 1.3),
+        ("iRiders", 9, 1.7),
+        ("iRownchld", 3, 0.8),
+        ("dRpincome", 10, 1.0),
+        ("iRPOB", 10, 1.1),
+        ("iRrelchld", 3, 0.9),
+        ("iRspouse", 7, 0.9),
+        ("iRvetserv", 8, 1.9),
+        ("iSept80", 3, 2.4),
+        ("iSubfam1", 4, 2.1),
+        ("iSubfam2", 3, 2.3),
+        ("iTmpabsnt", 4, 1.7),
+        ("iVietnam", 3, 2.0),
+        ("dWeek89", 5, 0.6),
+        ("iWwii", 3, 2.2),
+        ("iYearsch", 11, 0.9),
+        ("dYrsserv", 6, 2.1),
+        ("iAvail", 3, 1.8),
+        ("iFeb55", 3, 2.5),
+        ("dRaces", 9, 1.9),
+    ];
+    for (name, dom, skew) in noise {
+        attributes.push(attr(name, dom, AttrModel::Noise(Marginal::Zipf(skew))));
+    }
+
+    debug_assert_eq!(attributes.len(), 68);
+    SynthSpec {
+        name: "census".into(),
+        attributes,
+        group_weights: (0..n_groups).map(|g| 1.0 + 0.12 * g as f64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_68_unique_attributes() {
+        let s = spec(3);
+        assert_eq!(s.attributes.len(), 68);
+        let _ = s.schema();
+    }
+
+    #[test]
+    fn case_study_attributes_present() {
+        let schema = spec(3).schema();
+        for name in ["iRlabor", "iWork89", "dHours", "iYearwrk", "iMeans"] {
+            assert!(schema.index_of(name).is_ok(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn generates_at_scale() {
+        let mut r = StdRng::seed_from_u64(11);
+        let out = spec(3).generate(50_000, &mut r);
+        assert_eq!(out.data.n_rows(), 50_000);
+        assert_eq!(out.data.schema().arity(), 68);
+    }
+
+    #[test]
+    fn labor_attribute_singles_out_group_zero() {
+        let mut r = StdRng::seed_from_u64(13);
+        let out = spec(3).generate(30_000, &mut r);
+        let col = out.data.column_by_name("iRlabor").unwrap();
+        let mean_of = |g: usize| {
+            let v: Vec<f64> = col
+                .iter()
+                .zip(&out.latent_groups)
+                .filter(|(_, &lg)| lg == g)
+                .map(|(&x, _)| x as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        // iRlabor is focused on group 0 (§6.3 case-study structure).
+        assert!(mean_of(0) - mean_of(1) > 2.0);
+        assert!(mean_of(0) - mean_of(2) > 2.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic stand-in for the 2018 Stack Overflow Developer Survey.
+//!
+//! The real dataset, after the paper's preprocessing (textual and
+//! multiple-choice columns dropped, `ConvertedSalary` binned, >60%-missing
+//! columns removed), has 98,855 respondents and 60 attributes with domain
+//! sizes from 2 to 22. Latent-group signal lives in the
+//! career-stage attributes (`YearsCodingProf`, `ConvertedSalary`,
+//! `Employment`, `Student`, `FormalEducation`, `Age`, `JobSatisfaction`).
+
+use super::{AttrModel, Marginal, SynthSpec};
+use crate::schema::{Attribute, Domain};
+
+/// The real dataset's size.
+pub const FULL_ROWS: usize = 98_855;
+
+fn attr(name: &str, dom: usize, model: AttrModel) -> (Attribute, AttrModel) {
+    (
+        Attribute::new(name, Domain::indexed(dom)).expect("non-empty domain"),
+        model,
+    )
+}
+
+fn signal(dom: usize, n_groups: usize, spread: f64, shift: usize) -> AttrModel {
+    AttrModel::Signal {
+        centers: super::rotated_centers(dom, n_groups, shift),
+        spread,
+        background: 0.07,
+    }
+}
+
+fn focused(dom: usize, n_groups: usize, spread: f64, special: usize) -> AttrModel {
+    AttrModel::Signal {
+        centers: super::focused_centers(dom, n_groups, special),
+        spread,
+        background: 0.07,
+    }
+}
+
+/// Builds the Stack Overflow spec with `n_groups` latent groups.
+///
+/// # Panics
+/// Panics if `n_groups == 0`.
+pub fn spec(n_groups: usize) -> SynthSpec {
+    assert!(n_groups > 0, "need at least one latent group");
+    let mut attributes = Vec::with_capacity(60);
+
+    // --- Signal: career-stage structure; Student/FormalEducation both single
+    // out the student group (a built-in correlated pair).
+    attributes.push(attr("YearsCodingProf", 11, signal(11, n_groups, 1.1, 0)));
+    attributes.push(attr("ConvertedSalary", 12, signal(12, n_groups, 1.2, 1)));
+    attributes.push(attr("Employment", 7, focused(7, n_groups, 0.8, 0)));
+    attributes.push(attr("Student", 3, focused(3, n_groups, 0.45, 1)));
+    attributes.push(attr("FormalEducation", 9, focused(9, n_groups, 1.0, 1)));
+    attributes.push(attr("Age", 8, signal(8, n_groups, 1.0, 2)));
+    attributes.push(attr("JobSatisfaction", 7, focused(7, n_groups, 0.9, 2)));
+
+    // --- Noise: the remaining 53 survey columns.
+    let noise: [(&str, usize, f64); 53] = [
+        ("Hobby", 2, 0.4),
+        ("OpenSource", 2, 0.5),
+        ("Country", 22, 1.1),
+        ("UndergradMajor", 12, 1.2),
+        ("CompanySize", 8, 0.9),
+        ("YearsCoding", 11, 0.8),
+        ("CareerSatisfaction", 7, 0.7),
+        ("HopeFiveYears", 6, 0.9),
+        ("JobSearchStatus", 3, 0.7),
+        ("LastNewJob", 6, 0.8),
+        ("TimeFullyProductive", 6, 1.0),
+        ("AgreeDisagree1", 5, 0.6),
+        ("AgreeDisagree2", 5, 0.7),
+        ("AgreeDisagree3", 5, 0.8),
+        ("OperatingSystem", 4, 0.9),
+        ("NumberMonitors", 5, 1.3),
+        ("CheckInCode", 6, 1.0),
+        ("AdBlocker", 3, 0.6),
+        ("AdBlockerDisable", 3, 0.9),
+        ("AIDangerous", 4, 0.8),
+        ("AIInteresting", 4, 0.7),
+        ("AIResponsible", 4, 0.9),
+        ("AIFuture", 3, 0.6),
+        ("EthicsChoice", 3, 0.8),
+        ("EthicsReport", 4, 0.9),
+        ("EthicsResponsible", 3, 0.7),
+        ("EthicalImplications", 3, 0.6),
+        ("StackOverflowRecommend", 11, 1.0),
+        ("StackOverflowVisit", 6, 0.8),
+        ("StackOverflowHasAccount", 3, 0.5),
+        ("StackOverflowParticipate", 6, 0.9),
+        ("StackOverflowJobs", 3, 0.7),
+        ("StackOverflowDevStory", 4, 0.8),
+        ("StackOverflowJobsRecommend", 11, 1.2),
+        ("StackOverflowConsiderMember", 3, 0.6),
+        ("HypotheticalTools1", 5, 0.9),
+        ("HypotheticalTools2", 5, 0.8),
+        ("HypotheticalTools3", 5, 0.9),
+        ("HypotheticalTools4", 5, 1.0),
+        ("HypotheticalTools5", 5, 0.9),
+        ("WakeTime", 8, 0.9),
+        ("HoursComputer", 5, 0.7),
+        ("HoursOutside", 5, 0.8),
+        ("SkipMeals", 4, 1.1),
+        ("ErgonomicDevices", 4, 1.0),
+        ("Exercise", 4, 0.8),
+        ("Gender", 4, 1.9),
+        ("SexualOrientation", 5, 2.1),
+        ("EducationParents", 9, 0.9),
+        ("RaceEthnicity", 9, 1.5),
+        ("Dependents", 3, 0.6),
+        ("MilitaryUS", 3, 2.4),
+        ("SurveyTooLong", 3, 0.7),
+    ];
+    for (name, dom, skew) in noise {
+        attributes.push(attr(name, dom, AttrModel::Noise(Marginal::Zipf(skew))));
+    }
+
+    debug_assert_eq!(attributes.len(), 60);
+    SynthSpec {
+        name: "stackoverflow".into(),
+        attributes,
+        group_weights: (0..n_groups).map(|g| 1.0 + 0.15 * g as f64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn has_60_unique_attributes_with_paper_domain_range() {
+        let s = spec(5);
+        assert_eq!(s.attributes.len(), 60);
+        let _ = s.schema();
+        for (a, _) in &s.attributes {
+            assert!(
+                (2..=22).contains(&a.domain.size()),
+                "{} domain size {} outside 2..=22",
+                a.name,
+                a.domain.size()
+            );
+        }
+    }
+
+    #[test]
+    fn generates_valid_data() {
+        let mut r = StdRng::seed_from_u64(3);
+        let out = spec(4).generate(10_000, &mut r);
+        assert_eq!(out.data.n_rows(), 10_000);
+        assert_eq!(out.data.schema().arity(), 60);
+    }
+
+    #[test]
+    fn salary_separates_groups() {
+        let mut r = StdRng::seed_from_u64(5);
+        let out = spec(2).generate(20_000, &mut r);
+        let col = out.data.column_by_name("ConvertedSalary").unwrap();
+        let mean_of = |g: usize| {
+            let v: Vec<f64> = col
+                .iter()
+                .zip(&out.latent_groups)
+                .filter(|(_, &lg)| lg == g)
+                .map(|(&x, _)| x as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        // Rotated multi-group signal: groups land on different peaks.
+        assert!((mean_of(1) - mean_of(0)).abs() > 4.0);
+    }
+}

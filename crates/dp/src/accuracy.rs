@@ -1,0 +1,147 @@
+//! Accuracy control: translating error requirements into privacy budgets.
+//!
+//! The paper notes (§2.1) that DP histogram mechanisms "are accompanied by
+//! utility bounds, enabling accuracy control by translating accuracy
+//! requirements into the required privacy budget". This module does that
+//! translation for the geometric mechanism: exact tail probabilities, `(α,
+//! β)`-accuracy bounds per bin, and the inverse question — the ε needed so
+//! that every bin of a `b`-bin histogram is within `t` of the truth with
+//! probability `1 − β`.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+
+/// Exact two-sided tail of the two-sided geometric distribution with ratio
+/// `alpha`: `P(|Z| ≥ t) = 2·α^t / (1 + α)` for integer `t ≥ 1` (and 1 for
+/// `t = 0`).
+pub fn geometric_tail(alpha: f64, t: u64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "ratio must be in [0,1), got {alpha}"
+    );
+    if t == 0 {
+        return 1.0;
+    }
+    2.0 * alpha.powi(t.min(i32::MAX as u64) as i32) / (1.0 + alpha)
+}
+
+/// The `(t, β)`-accuracy of one geometric-mechanism release at level `eps`:
+/// the smallest integer `t` with `P(|noise| ≥ t) ≤ β`.
+pub fn geometric_error_bound(eps: Epsilon, beta: f64) -> u64 {
+    assert!(beta > 0.0 && beta < 1.0, "β must be in (0,1)");
+    let alpha = (-eps.get()).exp();
+    if alpha == 0.0 {
+        return 0;
+    }
+    // Solve 2 α^t / (1+α) ≤ β  ⇒  t ≥ ln(β(1+α)/2) / ln α.
+    let t = ((beta * (1.0 + alpha) / 2.0).ln() / alpha.ln()).ceil();
+    t.max(0.0) as u64
+}
+
+/// The ε per bin so that *every* bin of a `bins`-bin histogram deviates by
+/// less than `max_error` with probability at least `1 − beta` (union bound
+/// over bins). This is the planning inverse of [`geometric_error_bound`].
+pub fn epsilon_for_histogram_error(
+    max_error: u64,
+    beta: f64,
+    bins: usize,
+) -> Result<Epsilon, DpError> {
+    assert!(beta > 0.0 && beta < 1.0, "β must be in (0,1)");
+    assert!(bins > 0, "histogram needs at least one bin");
+    if max_error == 0 {
+        // Exactness is impossible under DP.
+        return Err(DpError::InvalidEpsilon(f64::INFINITY));
+    }
+    let per_bin_beta = beta / bins as f64;
+    // From 2 α^t/(1+α) ≤ β' with the safe relaxation 2 α^t ≤ β'
+    // (1 + α ≥ 1): α ≤ (β'/2)^{1/t} ⇒ ε ≥ −ln(β'/2)/t.
+    let eps = -(per_bin_beta / 2.0).ln() / max_error as f64;
+    Epsilon::new(eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Sensitivity;
+    use crate::geometric::geometric_mechanism;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tail_formula_matches_empirical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let eps = Epsilon::new(0.5).unwrap();
+        let alpha = (-0.5f64).exp();
+        let n = 200_000;
+        for t in [1u64, 3, 5] {
+            let hits = (0..n)
+                .filter(|_| {
+                    geometric_mechanism(0, eps, Sensitivity::ONE, &mut rng).unsigned_abs() >= t
+                })
+                .count() as f64
+                / n as f64;
+            let theory = geometric_tail(alpha, t);
+            assert!(
+                (hits - theory).abs() < 0.01,
+                "t={t}: empirical {hits} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_and_is_tight() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let eps = Epsilon::new(0.2).unwrap();
+        let beta = 0.05;
+        let t = geometric_error_bound(eps, beta);
+        assert!(t > 0);
+        let n = 100_000;
+        let violations = (0..n)
+            .filter(|_| geometric_mechanism(0, eps, Sensitivity::ONE, &mut rng).unsigned_abs() >= t)
+            .count() as f64
+            / n as f64;
+        assert!(violations <= beta * 1.2, "violation rate {violations}");
+        // Tightness: t−1 must violate more often than β.
+        let loose = (0..n)
+            .filter(|_| {
+                geometric_mechanism(0, eps, Sensitivity::ONE, &mut rng).unsigned_abs() >= t - 1
+            })
+            .count() as f64
+            / n as f64;
+        assert!(loose > beta, "bound not tight: rate at t−1 is {loose}");
+    }
+
+    #[test]
+    fn inverse_planning_roundtrips() {
+        // Ask for error < 10 on an 8-bin histogram at 95% confidence; the
+        // returned ε must deliver it.
+        let eps = epsilon_for_histogram_error(10, 0.05, 8).unwrap();
+        let per_bin_bound = geometric_error_bound(eps, 0.05 / 8.0);
+        assert!(
+            per_bin_bound <= 10,
+            "ε={} yields per-bin bound {per_bin_bound} > 10",
+            eps.get()
+        );
+    }
+
+    #[test]
+    fn tighter_requirements_cost_more_epsilon() {
+        let loose = epsilon_for_histogram_error(100, 0.05, 8).unwrap();
+        let tight = epsilon_for_histogram_error(5, 0.05, 8).unwrap();
+        assert!(tight.get() > loose.get());
+        let few_bins = epsilon_for_histogram_error(10, 0.05, 2).unwrap();
+        let many_bins = epsilon_for_histogram_error(10, 0.05, 64).unwrap();
+        assert!(many_bins.get() > few_bins.get());
+    }
+
+    #[test]
+    fn zero_error_is_impossible() {
+        assert!(epsilon_for_histogram_error(0, 0.05, 4).is_err());
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(geometric_tail(0.5, 0), 1.0);
+        assert_eq!(geometric_tail(0.0, 3), 0.0);
+    }
+}

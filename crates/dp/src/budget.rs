@@ -1,0 +1,387 @@
+//! Privacy parameters and budget accounting.
+//!
+//! The paper's Algorithm 2 composes three stages — candidate-set selection
+//! (`ε_CandSet`), combination selection (`ε_TopComb`) and histogram release
+//! (`ε_Hist`) — via *sequential composition*, while the per-cluster histograms
+//! inside the last stage compose in *parallel* because clusters are disjoint
+//! (Proposition 2.1). The [`Accountant`] here makes that arithmetic explicit
+//! and auditable: every mechanism invocation records a labelled charge, and the
+//! total is checked against a cap so an experiment can assert, at run time,
+//! that it spent exactly the ε it claims (Theorem 5.1).
+
+use crate::error::DpError;
+use std::fmt;
+
+/// A validated privacy parameter `ε > 0`.
+///
+/// `Epsilon` is a unit-like newtype: it can only be constructed through
+/// [`Epsilon::new`], which rejects non-finite and non-positive values, so any
+/// `Epsilon` reaching a mechanism is known-good.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Creates a new `Epsilon`, rejecting values that are not finite and `> 0`.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Epsilon(value))
+        } else {
+            Err(DpError::InvalidEpsilon(value))
+        }
+    }
+
+    /// Returns the raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Splits this budget into `parts` equal shares (sequential composition in
+    /// reverse: running `parts` mechanisms each with the returned ε composes
+    /// back to `self`).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split(self, parts: usize) -> Epsilon {
+        assert!(parts > 0, "cannot split a budget into 0 parts");
+        // Dividing a positive finite float by a positive integer stays positive
+        // and finite, so the invariant is preserved without re-validation.
+        Epsilon(self.0 / parts as f64)
+    }
+
+    /// Splits this budget by an arbitrary positive fraction in `(0, 1]`.
+    pub fn fraction(self, frac: f64) -> Result<Epsilon, DpError> {
+        if !(frac.is_finite() && frac > 0.0 && frac <= 1.0) {
+            return Err(DpError::InvalidEpsilon(self.0 * frac));
+        }
+        Epsilon::new(self.0 * frac)
+    }
+
+    /// Sequentially composes two budgets: a mechanism spending `self` followed
+    /// by one spending `other` spends `self + other` in total.
+    pub fn compose(self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// The global (L1) sensitivity of a query, per Definition 2.6 of the paper.
+///
+/// DPClustX's whole design revolves around driving this quantity down to `1`
+/// for its quality functions; the mechanisms in this crate scale their noise by
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Sensitivity(f64);
+
+impl Sensitivity {
+    /// Sensitivity 1 — the bound proved for all of DPClustX's low-sensitivity
+    /// quality functions (Propositions 4.2, 4.4, 4.6, 4.8, 4.9).
+    pub const ONE: Sensitivity = Sensitivity(1.0);
+
+    /// Creates a new `Sensitivity`, rejecting values not finite and `> 0`.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Sensitivity(value))
+        } else {
+            Err(DpError::InvalidSensitivity(value))
+        }
+    }
+
+    /// Returns the raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// One recorded privacy charge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Charge {
+    /// Human-readable label, e.g. `"stage1/topk/cluster-3"`.
+    pub label: String,
+    /// ε spent by this charge.
+    pub epsilon: f64,
+    /// How this charge composes with its siblings.
+    pub kind: ChargeKind,
+}
+
+/// How a charge composes with other charges in the same accountant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargeKind {
+    /// Sequential composition: ε adds up.
+    Sequential,
+    /// Parallel composition over disjoint data partitions: within one named
+    /// parallel group only the *maximum* ε counts.
+    Parallel,
+}
+
+/// A privacy-budget accountant with an optional hard cap.
+///
+/// Charges tagged [`ChargeKind::Sequential`] add up; charges recorded through
+/// [`Accountant::charge_parallel`] with the same group name contribute only
+/// their maximum (Proposition 2.1, parallel composition). Post-processing is
+/// free and therefore simply never recorded.
+///
+/// # Example
+/// ```
+/// use dpx_dp::budget::{Accountant, Epsilon};
+/// let mut acc = Accountant::with_cap(Epsilon::new(0.3).unwrap());
+/// acc.charge("stage1", Epsilon::new(0.1).unwrap()).unwrap();
+/// acc.charge_parallel("hist/cluster", "c0", Epsilon::new(0.05).unwrap()).unwrap();
+/// acc.charge_parallel("hist/cluster", "c1", Epsilon::new(0.05).unwrap()).unwrap();
+/// // Parallel group counts once: total is 0.1 + 0.05, not 0.1 + 0.10.
+/// assert!((acc.spent() - 0.15).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accountant {
+    cap: Option<f64>,
+    sequential: Vec<Charge>,
+    /// `(group, max ε seen, members)`
+    parallel: Vec<(String, f64, Vec<Charge>)>,
+}
+
+impl Accountant {
+    /// Creates an accountant with no cap (pure bookkeeping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an accountant that rejects charges once the total would exceed
+    /// `cap`.
+    pub fn with_cap(cap: Epsilon) -> Self {
+        Accountant {
+            cap: Some(cap.get()),
+            ..Self::default()
+        }
+    }
+
+    /// Total ε spent so far (sequential sum + max of each parallel group).
+    pub fn spent(&self) -> f64 {
+        let seq: f64 = self.sequential.iter().map(|c| c.epsilon).sum();
+        let par: f64 = self.parallel.iter().map(|(_, max, _)| *max).sum();
+        seq + par
+    }
+
+    fn check_cap(&self, extra: f64) -> Result<(), DpError> {
+        if let Some(cap) = self.cap {
+            let spent = self.spent();
+            // A tiny tolerance absorbs float round-off from repeated splits.
+            if spent + extra > cap * (1.0 + 1e-9) {
+                return Err(DpError::BudgetExceeded {
+                    spent,
+                    requested: extra,
+                    cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a sequentially-composing charge.
+    pub fn charge(&mut self, label: impl Into<String>, eps: Epsilon) -> Result<(), DpError> {
+        self.check_cap(eps.get())?;
+        self.sequential.push(Charge {
+            label: label.into(),
+            epsilon: eps.get(),
+            kind: ChargeKind::Sequential,
+        });
+        Ok(())
+    }
+
+    /// Records a charge belonging to the parallel-composition group `group`.
+    ///
+    /// All members of a group must act on *disjoint* partitions of the data
+    /// (e.g. per-cluster histograms); the group then costs only its maximum ε.
+    pub fn charge_parallel(
+        &mut self,
+        group: impl Into<String>,
+        member: impl Into<String>,
+        eps: Epsilon,
+    ) -> Result<(), DpError> {
+        let group = group.into();
+        let charge = Charge {
+            label: member.into(),
+            epsilon: eps.get(),
+            kind: ChargeKind::Parallel,
+        };
+        if let Some(idx) = self.parallel.iter().position(|(g, _, _)| *g == group) {
+            let extra = (eps.get() - self.parallel[idx].1).max(0.0);
+            self.check_cap(extra)?;
+            let entry = &mut self.parallel[idx];
+            entry.1 = entry.1.max(eps.get());
+            entry.2.push(charge);
+        } else {
+            self.check_cap(eps.get())?;
+            self.parallel.push((group, eps.get(), vec![charge]));
+        }
+        Ok(())
+    }
+
+    /// Number of individual charges recorded (for audit output).
+    pub fn num_charges(&self) -> usize {
+        self.sequential.len() + self.parallel.iter().map(|(_, _, m)| m.len()).sum::<usize>()
+    }
+
+    /// Iterates over all sequential charges (audit trail).
+    pub fn sequential_charges(&self) -> impl Iterator<Item = &Charge> {
+        self.sequential.iter()
+    }
+
+    /// Iterates over parallel groups as `(group name, effective ε, members)`.
+    pub fn parallel_groups(&self) -> impl Iterator<Item = (&str, f64, &[Charge])> {
+        self.parallel
+            .iter()
+            .map(|(g, max, m)| (g.as_str(), *max, m.as_slice()))
+    }
+
+    /// Renders a human-readable audit trail of the spend.
+    pub fn audit(&self) -> String {
+        let mut out = String::new();
+        for c in &self.sequential {
+            out.push_str(&format!("  seq  {:<40} ε={}\n", c.label, c.epsilon));
+        }
+        for (g, max, members) in &self.parallel {
+            out.push_str(&format!(
+                "  par  {:<40} ε={} (max over {} members)\n",
+                g,
+                max,
+                members.len()
+            ));
+        }
+        out.push_str(&format!("  total ε = {}\n", self.spent()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_rejects_bad_values() {
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn epsilon_split_and_compose_roundtrip() {
+        let e = Epsilon::new(0.9).unwrap();
+        let part = e.split(3);
+        assert!((part.get() - 0.3).abs() < 1e-15);
+        let back = part.compose(part).compose(part);
+        assert!((back.get() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 parts")]
+    fn epsilon_split_zero_panics() {
+        let _ = Epsilon::new(1.0).unwrap().split(0);
+    }
+
+    #[test]
+    fn epsilon_fraction_validates() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(e.fraction(0.5).is_ok());
+        assert!(e.fraction(0.0).is_err());
+        assert!(e.fraction(1.5).is_err());
+        assert!(e.fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sensitivity_rejects_bad_values() {
+        assert!(Sensitivity::new(0.0).is_err());
+        assert!(Sensitivity::new(-3.0).is_err());
+        assert!(Sensitivity::new(f64::NAN).is_err());
+        assert_eq!(Sensitivity::ONE.get(), 1.0);
+    }
+
+    #[test]
+    fn accountant_sequential_sums() {
+        let mut acc = Accountant::new();
+        acc.charge("a", Epsilon::new(0.1).unwrap()).unwrap();
+        acc.charge("b", Epsilon::new(0.2).unwrap()).unwrap();
+        assert!((acc.spent() - 0.3).abs() < 1e-12);
+        assert_eq!(acc.num_charges(), 2);
+    }
+
+    #[test]
+    fn accountant_parallel_takes_max() {
+        let mut acc = Accountant::new();
+        acc.charge_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        acc.charge_parallel("hist", "c1", Epsilon::new(0.07).unwrap())
+            .unwrap();
+        acc.charge_parallel("hist", "c2", Epsilon::new(0.02).unwrap())
+            .unwrap();
+        assert!((acc.spent() - 0.07).abs() < 1e-12);
+        assert_eq!(acc.num_charges(), 3);
+    }
+
+    #[test]
+    fn accountant_two_parallel_groups_are_sequential_between_them() {
+        let mut acc = Accountant::new();
+        acc.charge_parallel("g1", "a", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        acc.charge_parallel("g2", "b", Epsilon::new(0.2).unwrap())
+            .unwrap();
+        assert!((acc.spent() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_enforces_cap() {
+        let mut acc = Accountant::with_cap(Epsilon::new(0.3).unwrap());
+        acc.charge("a", Epsilon::new(0.2).unwrap()).unwrap();
+        let err = acc.charge("b", Epsilon::new(0.2).unwrap()).unwrap_err();
+        match err {
+            DpError::BudgetExceeded { spent, cap, .. } => {
+                assert!((spent - 0.2).abs() < 1e-12);
+                assert!((cap - 0.3).abs() < 1e-12);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // The failed charge must not have been recorded.
+        assert!((acc.spent() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_cap_parallel_only_charges_increment() {
+        let mut acc = Accountant::with_cap(Epsilon::new(0.1).unwrap());
+        for i in 0..100 {
+            // 100 parallel members at ε=0.1 fit exactly: only the max counts.
+            acc.charge_parallel("h", format!("m{i}"), Epsilon::new(0.1).unwrap())
+                .unwrap();
+        }
+        assert!((acc.spent() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_cap_tolerates_split_roundoff() {
+        // ε/3 three times must re-compose to ε within the cap, despite float error.
+        let cap = Epsilon::new(0.1).unwrap();
+        let mut acc = Accountant::with_cap(cap);
+        let part = cap.split(3);
+        for i in 0..3 {
+            acc.charge(format!("p{i}"), part).unwrap();
+        }
+    }
+
+    #[test]
+    fn audit_mentions_labels() {
+        let mut acc = Accountant::new();
+        acc.charge("stage1", Epsilon::new(0.1).unwrap()).unwrap();
+        acc.charge_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        let audit = acc.audit();
+        assert!(audit.contains("stage1"));
+        assert!(audit.contains("hist"));
+        assert!(audit.contains("total"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Composition calculators: planning tools for budget allocation.
+//!
+//! The paper composes mechanisms with *basic* (sequential) composition —
+//! ε's add up — which the [`crate::budget::Accountant`] enforces. When an
+//! analyst plans a long session, the *advanced composition theorem*
+//! (Dwork–Rothblum–Vadhan) gives a tighter bound at the cost of a small δ:
+//! `k` mechanisms at ε each satisfy
+//! `(ε·sqrt(2k·ln(1/δ)) + k·ε·(e^ε − 1), δ)`-DP. These helpers answer the
+//! planning questions ("how many ε=0.1 queries fit a (1, 1e-6) budget?")
+//! without touching data, so they carry no privacy cost themselves.
+
+use crate::budget::Epsilon;
+
+/// An (ε, δ) differential-privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxDp {
+    /// The ε parameter.
+    pub epsilon: f64,
+    /// The δ parameter (0 for pure DP).
+    pub delta: f64,
+}
+
+/// Basic composition: `k` mechanisms at ε each are `k·ε`-DP (pure).
+pub fn basic_composition(eps: Epsilon, k: usize) -> ApproxDp {
+    ApproxDp {
+        epsilon: eps.get() * k as f64,
+        delta: 0.0,
+    }
+}
+
+/// Advanced composition (Dwork–Roth Theorem 3.20): `k` mechanisms at ε each
+/// satisfy `(ε√(2k ln(1/δ')) + kε(e^ε − 1), δ')`-DP for any `δ' > 0`.
+///
+/// # Panics
+/// Panics unless `0 < delta_prime < 1` and `k > 0`.
+pub fn advanced_composition(eps: Epsilon, k: usize, delta_prime: f64) -> ApproxDp {
+    assert!(
+        delta_prime > 0.0 && delta_prime < 1.0,
+        "δ' must be in (0,1), got {delta_prime}"
+    );
+    assert!(k > 0, "k must be positive");
+    let e = eps.get();
+    let k_f = k as f64;
+    ApproxDp {
+        epsilon: e * (2.0 * k_f * (1.0 / delta_prime).ln()).sqrt() + k_f * e * (e.exp() - 1.0),
+        delta: delta_prime,
+    }
+}
+
+/// The smaller of the basic and advanced bounds at the same δ' — what a
+/// planner should actually use (advanced only wins for large `k` and small ε).
+pub fn best_composition(eps: Epsilon, k: usize, delta_prime: f64) -> ApproxDp {
+    let basic = basic_composition(eps, k);
+    let advanced = advanced_composition(eps, k, delta_prime);
+    if basic.epsilon <= advanced.epsilon {
+        basic
+    } else {
+        advanced
+    }
+}
+
+/// How many mechanisms at `eps_each` fit a total `(eps_total, δ)` budget,
+/// using the better of basic/advanced composition. Returns 0 if even one
+/// does not fit.
+pub fn max_queries(eps_each: Epsilon, eps_total: f64, delta: f64) -> usize {
+    assert!(eps_total > 0.0, "total budget must be positive");
+    let mut k = 0usize;
+    loop {
+        let next = k + 1;
+        let bound = if delta > 0.0 {
+            best_composition(eps_each, next, delta).epsilon
+        } else {
+            basic_composition(eps_each, next).epsilon
+        };
+        if bound > eps_total {
+            return k;
+        }
+        k = next;
+        // Budgets are finite; ε_each > 0 guarantees termination well below
+        // this backstop.
+        if k > 10_000_000 {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_is_linear() {
+        let b = basic_composition(Epsilon::new(0.1).unwrap(), 10);
+        assert!((b.epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(b.delta, 0.0);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_queries() {
+        let eps = Epsilon::new(0.01).unwrap();
+        let k = 10_000;
+        let basic = basic_composition(eps, k);
+        let adv = advanced_composition(eps, k, 1e-6);
+        assert!(
+            adv.epsilon < basic.epsilon,
+            "advanced {} should beat basic {}",
+            adv.epsilon,
+            basic.epsilon
+        );
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_queries() {
+        let eps = Epsilon::new(0.5).unwrap();
+        let basic = basic_composition(eps, 2);
+        let adv = advanced_composition(eps, 2, 1e-6);
+        assert!(basic.epsilon < adv.epsilon);
+        let best = best_composition(eps, 2, 1e-6);
+        assert_eq!(best, basic);
+    }
+
+    #[test]
+    fn advanced_formula_matches_hand_computation() {
+        let eps = Epsilon::new(0.1).unwrap();
+        let adv = advanced_composition(eps, 100, 1e-5);
+        let expected =
+            0.1 * (2.0f64 * 100.0 * (1e5f64).ln()).sqrt() + 100.0 * 0.1 * (0.1f64.exp() - 1.0);
+        assert!((adv.epsilon - expected).abs() < 1e-12);
+        assert_eq!(adv.delta, 1e-5);
+    }
+
+    #[test]
+    fn max_queries_pure_dp() {
+        // ε = 0.1 queries into ε_total = 1: exactly 10 under basic composition.
+        assert_eq!(max_queries(Epsilon::new(0.1).unwrap(), 1.0, 0.0), 10);
+        assert_eq!(max_queries(Epsilon::new(2.0).unwrap(), 1.0, 0.0), 0);
+    }
+
+    #[test]
+    fn max_queries_with_delta_is_at_least_pure() {
+        let pure = max_queries(Epsilon::new(0.01).unwrap(), 1.0, 0.0);
+        let approx = max_queries(Epsilon::new(0.01).unwrap(), 1.0, 1e-6);
+        assert!(approx >= pure, "approx {approx} < pure {pure}");
+    }
+
+    #[test]
+    #[should_panic(expected = "δ' must be in (0,1)")]
+    fn bad_delta_panics() {
+        advanced_composition(Epsilon::new(0.1).unwrap(), 5, 0.0);
+    }
+}

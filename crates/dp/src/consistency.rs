@@ -1,0 +1,155 @@
+//! Consistency post-processing for partitioned noisy histograms
+//! (Hay–Rastogi–Miklau–Suciu 2010, cited by the paper as a histogram
+//! accuracy booster).
+//!
+//! Algorithm 2 releases a noisy full-data histogram `h̃_A` *and* noisy
+//! per-cluster histograms `h̃^c` whose true counterparts satisfy
+//! `Σ_c h^c = h_A` exactly (clusters partition the data). The noisy copies
+//! violate that identity; projecting them back onto the constraint is free
+//! post-processing and provably reduces mean squared error.
+//!
+//! For each bin, with one parent estimate `f` and `k` child estimates
+//! `c_1 … c_k` (independent noise of equal variance), the least-squares
+//! projection onto `Σ c_i = f` is
+//!
+//! ```text
+//! r    = (f − Σ c_i) / (k + 1)
+//! f'   = f − r
+//! c'_i = c_i + r
+//! ```
+//!
+//! i.e. the residual is split evenly between the parent and the children,
+//! after which `Σ c'_i = f'` holds exactly.
+
+/// Projects a parent histogram and its `k` child histograms onto the
+/// partition constraint `Σ_children = parent`, bin-wise least squares
+/// assuming equal noise variance. Returns the adjusted parent; children are
+/// adjusted in place. Negative results are *not* clamped here (clamping
+/// afterwards is also post-processing but breaks exact consistency; callers
+/// choose their trade-off).
+///
+/// # Panics
+/// Panics if the children's bin counts disagree with the parent's.
+pub fn enforce_partition_consistency(parent: &[f64], children: &mut [Vec<f64>]) -> Vec<f64> {
+    let bins = parent.len();
+    assert!(
+        children.iter().all(|c| c.len() == bins),
+        "children must share the parent's domain"
+    );
+    let k = children.len();
+    if k == 0 {
+        return parent.to_vec();
+    }
+    let mut adjusted_parent = Vec::with_capacity(bins);
+    for v in 0..bins {
+        let child_sum: f64 = children.iter().map(|c| c[v]).sum();
+        let residual = (parent[v] - child_sum) / (k + 1) as f64;
+        for c in children.iter_mut() {
+            c[v] += residual;
+        }
+        adjusted_parent.push(parent[v] - residual);
+    }
+    adjusted_parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Epsilon;
+    use crate::histogram::{GeometricHistogram, HistogramMechanism};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_satisfies_partition_constraint_exactly() {
+        let parent = vec![100.0, 50.0, 10.0];
+        let mut children = vec![vec![40.0, 30.0, 2.0], vec![70.0, 10.0, 9.0]];
+        let adjusted = enforce_partition_consistency(&parent, &mut children);
+        for v in 0..3 {
+            let sum: f64 = children.iter().map(|c| c[v]).sum();
+            assert!(
+                (sum - adjusted[v]).abs() < 1e-9,
+                "bin {v}: children {sum} vs parent {}",
+                adjusted[v]
+            );
+        }
+    }
+
+    #[test]
+    fn already_consistent_inputs_are_unchanged() {
+        let parent = vec![10.0, 20.0];
+        let mut children = vec![vec![4.0, 15.0], vec![6.0, 5.0]];
+        let before = children.clone();
+        let adjusted = enforce_partition_consistency(&parent, &mut children);
+        assert_eq!(adjusted, parent);
+        assert_eq!(children, before);
+    }
+
+    #[test]
+    fn residual_split_is_even() {
+        // Parent 12, one child 0: residual 12 split halves → parent 6, child 6.
+        let parent = vec![12.0];
+        let mut children = vec![vec![0.0]];
+        let adjusted = enforce_partition_consistency(&parent, &mut children);
+        assert!((adjusted[0] - 6.0).abs() < 1e-12);
+        assert!((children[0][0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_children_is_identity() {
+        let parent = vec![3.0, 4.0];
+        let mut children: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(
+            enforce_partition_consistency(&parent, &mut children),
+            parent
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share the parent's domain")]
+    fn mismatched_domains_panic() {
+        let mut children = vec![vec![0.0]];
+        enforce_partition_consistency(&[0.0, 1.0], &mut children);
+    }
+
+    /// The whole point: consistency reduces mean squared error of the noisy
+    /// estimates (here, empirically over repeated noise draws).
+    #[test]
+    fn consistency_reduces_mse_empirically() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let eps = Epsilon::new(0.5).unwrap();
+        let true_children: Vec<Vec<u64>> = vec![vec![100, 40, 7], vec![50, 90, 3]];
+        let true_parent: Vec<u64> = (0..3)
+            .map(|v| true_children.iter().map(|c| c[v]).sum())
+            .collect();
+        let mech = GeometricHistogram;
+        let runs = 3_000;
+        let mut mse_raw = 0.0;
+        let mut mse_adj = 0.0;
+        for _ in 0..runs {
+            let noisy_parent = mech.privatize(&true_parent, eps, &mut rng);
+            let mut noisy_children: Vec<Vec<f64>> = true_children
+                .iter()
+                .map(|c| mech.privatize(c, eps, &mut rng))
+                .collect();
+            // Raw error on all estimates.
+            for v in 0..3 {
+                mse_raw += (noisy_parent[v] - true_parent[v] as f64).powi(2);
+                for (c, t) in noisy_children.iter().zip(&true_children) {
+                    mse_raw += (c[v] - t[v] as f64).powi(2);
+                }
+            }
+            let adjusted = enforce_partition_consistency(&noisy_parent, &mut noisy_children);
+            for v in 0..3 {
+                mse_adj += (adjusted[v] - true_parent[v] as f64).powi(2);
+                for (c, t) in noisy_children.iter().zip(&true_children) {
+                    mse_adj += (c[v] - t[v] as f64).powi(2);
+                }
+            }
+        }
+        assert!(
+            mse_adj < mse_raw * 0.95,
+            "consistency should reduce MSE: raw {mse_raw:.0} vs adjusted {mse_adj:.0}"
+        );
+    }
+}

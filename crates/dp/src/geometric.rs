@@ -1,0 +1,249 @@
+//! The two-sided geometric mechanism (Ghosh–Roughgarden–Sundararajan 2009).
+//!
+//! This is the discrete analogue of the Laplace mechanism and is what the
+//! paper's experiments use for DP histogram release (via DiffPrivLib). For an
+//! integer-valued query with sensitivity `Δ`, adding two-sided geometric noise
+//! with ratio `α = exp(−ε/Δ)` satisfies `ε`-DP, and the mechanism is
+//! *universally utility-maximizing* for count queries.
+
+use crate::budget::{Epsilon, Sensitivity};
+use rand::Rng;
+
+/// Samples from the two-sided geometric distribution with ratio `alpha ∈ (0,1)`:
+/// `P(Z = z) = (1 − α) / (1 + α) · α^|z|` for all integers `z`.
+///
+/// Implemented as the difference of two i.i.d. geometric variables with
+/// success probability `1 − α` (the difference of two geometrics on
+/// `{0, 1, …}` is exactly the discrete Laplace).
+///
+/// # Panics
+/// Panics if `alpha` is not strictly inside `(0, 1)`.
+pub fn sample_two_sided_geometric<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> i64 {
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "two-sided geometric ratio must be in [0,1), got {alpha}"
+    );
+    // α can underflow to exactly 0 for very large ε; the noise is then
+    // deterministically 0.
+    if alpha == 0.0 {
+        return 0;
+    }
+    sample_geometric(1.0 - alpha, rng) - sample_geometric(1.0 - alpha, rng)
+}
+
+/// Samples a geometric variable on `{0, 1, 2, …}` with success probability
+/// `p`: the number of failures before the first success.
+///
+/// Uses the inversion `⌊ln(U) / ln(1 − p)⌋`, exact for `U ~ Uniform(0, 1)`.
+fn sample_geometric<R: Rng + ?Sized>(p: f64, rng: &mut R) -> i64 {
+    debug_assert!(p > 0.0 && p <= 1.0);
+    // For very large ε the ratio α underflows so far that 1 − α rounds to
+    // exactly 1.0; the geometric is then deterministically 0 (no noise).
+    if p >= 1.0 {
+        return 0;
+    }
+    // Guard against u == 0 which would give ln(0) = -inf.
+    let u = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let v = (u.ln() / (1.0 - p).ln()).floor();
+    // For tiny p the value can be astronomically large; saturate rather than
+    // overflow. 2^62 is far beyond any count that matters.
+    if v >= (1i64 << 62) as f64 {
+        1i64 << 62
+    } else {
+        v as i64
+    }
+}
+
+/// The geometric mechanism: releases `value + TwoSidedGeometric(exp(−ε/Δ))`.
+pub fn geometric_mechanism<R: Rng + ?Sized>(
+    value: i64,
+    eps: Epsilon,
+    sensitivity: Sensitivity,
+    rng: &mut R,
+) -> i64 {
+    let alpha = (-eps.get() / sensitivity.get()).exp();
+    value.saturating_add(sample_two_sided_geometric(alpha, rng))
+}
+
+/// Releases a vector of integer counts under the geometric mechanism, where
+/// the vector query as a whole has L1 sensitivity `Δ` (one tuple changes one
+/// count by one for histograms, so `Δ = 1` covers the entire vector).
+pub fn geometric_mechanism_vec<R: Rng + ?Sized>(
+    values: &[i64],
+    eps: Epsilon,
+    sensitivity: Sensitivity,
+    rng: &mut R,
+) -> Vec<i64> {
+    let alpha = (-eps.get() / sensitivity.get()).exp();
+    values
+        .iter()
+        .map(|&v| v.saturating_add(sample_two_sided_geometric(alpha, rng)))
+        .collect()
+}
+
+/// Variance of the two-sided geometric distribution with ratio `alpha`:
+/// `2α / (1 − α)²`.
+pub fn two_sided_geometric_variance(alpha: f64) -> f64 {
+    2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn noise_is_integer_and_symmetric() {
+        let mut r = rng();
+        let n = 100_000;
+        let pos = (0..n)
+            .filter(|_| sample_two_sided_geometric(0.5, &mut r) > 0)
+            .count() as f64;
+        let neg = (0..n)
+            .filter(|_| sample_two_sided_geometric(0.5, &mut r) < 0)
+            .count() as f64;
+        assert!((pos - neg).abs() / (n as f64) < 0.01);
+    }
+
+    #[test]
+    fn pmf_matches_theory_at_zero() {
+        // P(Z=0) = (1-α)/(1+α).
+        let mut r = rng();
+        let alpha = 0.6;
+        let n = 200_000;
+        let zeros = (0..n)
+            .filter(|_| sample_two_sided_geometric(alpha, &mut r) == 0)
+            .count() as f64
+            / n as f64;
+        let expected = (1.0 - alpha) / (1.0 + alpha);
+        assert!(
+            (zeros - expected).abs() < 0.01,
+            "P(Z=0) {zeros} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn pmf_ratio_between_adjacent_values_is_alpha() {
+        let mut r = rng();
+        let alpha = 0.7;
+        let n = 400_000;
+        let mut count1 = 0u64;
+        let mut count2 = 0u64;
+        for _ in 0..n {
+            match sample_two_sided_geometric(alpha, &mut r) {
+                1 => count1 += 1,
+                2 => count2 += 1,
+                _ => {}
+            }
+        }
+        let ratio = count2 as f64 / count1 as f64;
+        assert!(
+            (ratio - alpha).abs() < 0.05,
+            "P(2)/P(1) = {ratio}, expected {alpha}"
+        );
+    }
+
+    #[test]
+    fn variance_matches_closed_form() {
+        let mut r = rng();
+        let alpha: f64 = 0.5;
+        let n = 300_000;
+        let var = (0..n)
+            .map(|_| {
+                let z = sample_two_sided_geometric(alpha, &mut r) as f64;
+                z * z
+            })
+            .sum::<f64>()
+            / n as f64;
+        let expected = two_sided_geometric_variance(alpha);
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn alpha_zero_is_noiseless() {
+        let mut r = rng();
+        assert_eq!(sample_two_sided_geometric(0.0, &mut r), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in [0,1)")]
+    fn alpha_one_panics() {
+        let mut r = rng();
+        sample_two_sided_geometric(1.0, &mut r);
+    }
+
+    #[test]
+    fn mechanism_centers_on_true_value() {
+        let mut r = rng();
+        let eps = Epsilon::new(1.0).unwrap();
+        let n = 100_000;
+        let mean = (0..n)
+            .map(|_| geometric_mechanism(100, eps, Sensitivity::ONE, &mut r) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 100.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn higher_epsilon_means_less_noise() {
+        let mut r = rng();
+        let n = 50_000;
+        let spread = |eps: f64, r: &mut StdRng| -> f64 {
+            let e = Epsilon::new(eps).unwrap();
+            (0..n)
+                .map(|_| (geometric_mechanism(0, e, Sensitivity::ONE, r)).abs() as f64)
+                .sum::<f64>()
+                / n as f64
+        };
+        let loose = spread(0.1, &mut r);
+        let tight = spread(2.0, &mut r);
+        assert!(
+            loose > 4.0 * tight,
+            "ε=0.1 spread {loose} should dwarf ε=2 spread {tight}"
+        );
+    }
+
+    #[test]
+    fn vec_mechanism_preserves_length_and_is_integer() {
+        let mut r = rng();
+        let out = geometric_mechanism_vec(
+            &[5, 10, 0, 3],
+            Epsilon::new(0.5).unwrap(),
+            Sensitivity::ONE,
+            &mut r,
+        );
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn extreme_high_epsilon_is_noiseless() {
+        let mut r = rng();
+        let eps = Epsilon::new(1000.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(geometric_mechanism(42, eps, Sensitivity::ONE, &mut r), 42);
+        }
+    }
+
+    #[test]
+    fn extreme_low_epsilon_does_not_overflow() {
+        let mut r = rng();
+        let eps = Epsilon::new(1e-9).unwrap();
+        // Must not panic on overflow; saturating arithmetic protects us.
+        for _ in 0..1000 {
+            let _ = geometric_mechanism(i64::MAX - 1, eps, Sensitivity::ONE, &mut r);
+        }
+    }
+}

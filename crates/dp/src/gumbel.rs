@@ -1,0 +1,123 @@
+//! Gumbel noise, the engine of the one-shot top-k mechanism.
+//!
+//! The Gumbel distribution with scale `σ` has CDF `F(z) = exp(−exp(−z/σ))`.
+//! Its key property (the *Gumbel-max trick*): if `G_i ~ Gumbel(1)` i.i.d.,
+//! then `argmax_i (x_i + G_i)` is distributed as `softmax(x)` — exactly the
+//! exponential mechanism's output distribution. Durfee & Rogers extend this to
+//! top-k: sorting `x_i + Gumbel(σ)` and taking the first k is identical in
+//! distribution to `k` sequential exponential-mechanism draws without
+//! replacement.
+
+use rand::Rng;
+
+/// Samples one draw from `Gumbel(0, scale)` via inversion:
+/// `X = −σ · ln(−ln U)` for `U ~ Uniform(0, 1)`.
+///
+/// # Panics
+/// Panics if `scale` is not finite and strictly positive.
+pub fn sample_gumbel<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "Gumbel scale must be finite and > 0, got {scale}"
+    );
+    // Reject u == 0 (ln(0) = -inf) and u == 1 is unreachable from gen::<f64>().
+    let u = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    -scale * (-u.ln()).ln()
+}
+
+/// The Euler–Mascheroni constant: the mean of `Gumbel(0, 1)`.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Variance of `Gumbel(0, σ)`: `π²σ²/6`.
+pub fn gumbel_variance(scale: f64) -> f64 {
+    std::f64::consts::PI.powi(2) * scale * scale / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBADCAB)
+    }
+
+    #[test]
+    fn mean_is_gamma_times_scale() {
+        let mut r = rng();
+        let scale = 3.0;
+        let n = 300_000;
+        let mean = (0..n).map(|_| sample_gumbel(scale, &mut r)).sum::<f64>() / n as f64;
+        let expected = EULER_GAMMA * scale;
+        assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn variance_matches_pi_squared_over_six() {
+        let mut r = rng();
+        let scale = 2.0;
+        let n = 300_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gumbel(scale, &mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected = gumbel_variance(scale);
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn cdf_matches_at_zero() {
+        // F(0) = exp(-exp(0)) = exp(-1) ≈ 0.3679 for any scale.
+        let mut r = rng();
+        let n = 200_000;
+        let below = (0..n).filter(|_| sample_gumbel(1.5, &mut r) < 0.0).count() as f64 / n as f64;
+        assert!(
+            (below - (-1.0f64).exp()).abs() < 0.01,
+            "F(0) empirical {below}"
+        );
+    }
+
+    #[test]
+    fn gumbel_max_trick_realizes_softmax() {
+        // argmax(x_i + Gumbel(1)) must select index i with prob softmax(x)_i.
+        let mut r = rng();
+        let x = [0.0_f64, 1.0, 2.0];
+        let z: f64 = x.iter().map(|v| v.exp()).sum();
+        let probs: Vec<f64> = x.iter().map(|v| v.exp() / z).collect();
+        let n = 200_000;
+        let mut hits = [0usize; 3];
+        for _ in 0..n {
+            let noisy: Vec<f64> = x.iter().map(|&v| v + sample_gumbel(1.0, &mut r)).collect();
+            let arg = noisy
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            hits[arg] += 1;
+        }
+        for i in 0..3 {
+            let emp = hits[i] as f64 / n as f64;
+            assert!(
+                (emp - probs[i]).abs() < 0.01,
+                "index {i}: empirical {emp} vs softmax {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite")]
+    fn negative_scale_panics() {
+        let mut r = rng();
+        sample_gumbel(-1.0, &mut r);
+    }
+}

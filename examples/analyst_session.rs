@@ -1,0 +1,96 @@
+//! An interactive analyst session under one hard privacy cap — the
+//! demonstration scenario: cluster privately, explain, poke at histograms,
+//! and watch the budget run out.
+//!
+//! ```text
+//! cargo run --release --example analyst_session
+//! ```
+
+use dpclustx::session::Session;
+use dpclustx_suite::prelude::*;
+use dpx_dp::sparse_vector::SvtOutcome;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let synth = synth::diabetes::spec(3).generate(25_000, &mut rng);
+    let data = synth.data;
+    let schema = data.schema().clone();
+
+    // The organization grants this analyst a total budget of ε = 1.6.
+    let mut session = Session::new(data, Epsilon::new(1.6).unwrap(), 42);
+    println!(
+        "session opened over {} tuples, cap ε = 1.6\n",
+        session.n_rows()
+    );
+
+    // 1. Private clustering (ε = 1.0, the paper's setting).
+    session
+        .cluster_dp_kmeans(3, Epsilon::new(1.0).unwrap())
+        .expect("within budget");
+    println!(
+        "① DP-k-means done               spent ε = {:.3}",
+        session.spent()
+    );
+
+    // 2. Private explanation (ε = 0.3).
+    let explanation = session
+        .explain(DpClustXConfig::default())
+        .expect("within budget");
+    println!(
+        "② DPClustX explanation done     spent ε = {:.3}  → attributes {:?}",
+        session.spent(),
+        explanation.attribute_names()
+    );
+    for e in &explanation.per_cluster {
+        println!("   {}", text::describe(e));
+    }
+
+    // 3. A threshold probe via the sparse vector technique (ε = 0.2):
+    //    "is any medication column dominated by 'Steady' (> 6000 records)?"
+    let steady_probes: Vec<(usize, u32)> = schema
+        .attributes()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.domain.code_of("Steady").is_some())
+        .map(|(i, a)| (i, a.domain.code_of("Steady").expect("checked")))
+        .collect();
+    let outcome = session
+        .first_attribute_above(&steady_probes, 6_000.0, Epsilon::new(0.2).unwrap())
+        .expect("within budget");
+    match outcome {
+        SvtOutcome::Above(i) => println!(
+            "③ SVT probe                     spent ε = {:.3}  → first 'Steady'-heavy column: {}",
+            session.spent(),
+            schema.attribute(steady_probes[i].0).name
+        ),
+        SvtOutcome::AllBelow => println!(
+            "③ SVT probe                     spent ε = {:.3}  → none above threshold",
+            session.spent()
+        ),
+    }
+
+    // 4. One more ad-hoc histogram (ε = 0.1)…
+    let age = schema.index_of("age").expect("age exists");
+    let hist = session
+        .noisy_histogram(age, Epsilon::new(0.1).unwrap())
+        .expect("within budget");
+    println!(
+        "④ Noisy age histogram           spent ε = {:.3}  → {:?}",
+        session.spent(),
+        hist.iter().map(|&v| v as i64).collect::<Vec<_>>()
+    );
+
+    // 5. …and the next request busts the cap: the session refuses.
+    let denied = session.explain(DpClustXConfig::default());
+    println!(
+        "⑤ Second explanation request    → {}",
+        match denied {
+            Err(e) => format!("DENIED: {e}"),
+            Ok(_) => "unexpectedly allowed!".into(),
+        }
+    );
+
+    println!("\nfull audit trail:\n{}", session.audit());
+}

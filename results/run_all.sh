@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every experiment output under results/.
+set -x
+B="cargo run -p dpx-bench --release --bin"
+$B fig5_quality        > results/fig5_quality.txt        2> results/fig5_quality.log
+$B fig6_mae            > results/fig6_mae.txt            2> results/fig6_mae.log
+$B fig7_candidates     > results/fig7_candidates.txt     2> results/fig7_candidates.log
+$B table1_weights      > results/table1_weights.txt      2> results/table1_weights.log
+$B fig8a_num_clusters  > results/fig8a_num_clusters.txt  2> results/fig8a_num_clusters.log
+$B fig8b_cluster_size  > results/fig8b_cluster_size.txt  2> results/fig8b_cluster_size.log
+$B exp_correlations    > results/exp_correlations.txt    2> results/exp_correlations.log
+$B case_study          > results/case_study.txt          2> results/case_study.log
+$B exp_hist_accuracy   > results/exp_hist_accuracy.txt   2> results/exp_hist_accuracy.log
+$B exp_binning         > results/exp_binning.txt          2> results/exp_binning.log
+$B fig9_time -- --mode candidates --runs 5 > results/fig9b_time_candidates.txt 2> results/fig9b.log
+$B fig9_time -- --mode attributes --runs 5 > results/fig9c_time_attributes.txt 2> results/fig9c.log
+$B fig9_time -- --mode rows       --runs 5 > results/fig9d_time_rows.txt       2> results/fig9d.log
+$B fig9_time -- --mode clusters   --runs 3 > results/fig9a_time_clusters.txt   2> results/fig9a.log
+echo ALL_DONE

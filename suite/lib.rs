@@ -1,0 +1,27 @@
+//! # dpclustx-suite — workspace umbrella
+//!
+//! Re-exports the workspace crates so the runnable `examples/` and the
+//! cross-crate integration tests in `tests/` have a single dependency root.
+//! Library users should depend on the individual crates (`dpclustx`,
+//! `dpx-dp`, `dpx-data`, `dpx-clustering`) directly.
+
+pub use dpclustx as core;
+pub use dpx_clustering as clustering;
+pub use dpx_data as data;
+pub use dpx_dp as dp;
+
+/// Convenience prelude used by the examples.
+pub mod prelude {
+    pub use dpclustx::baselines::tabee;
+    pub use dpclustx::counts::ScoreTable;
+    pub use dpclustx::eval::{mae, quality, QualityEvaluator};
+    pub use dpclustx::explanation::{GlobalExplanation, SingleClusterExplanation};
+    pub use dpclustx::framework::{DpClustX, DpClustXConfig};
+    pub use dpclustx::quality::score::Weights;
+    pub use dpclustx::text;
+    pub use dpx_clustering::{ClusterModel, ClusteringMethod};
+    pub use dpx_data::contingency::ClusteredCounts;
+    pub use dpx_data::synth;
+    pub use dpx_data::Dataset;
+    pub use dpx_dp::budget::{Accountant, Epsilon, Sensitivity};
+}

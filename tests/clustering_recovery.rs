@@ -1,0 +1,67 @@
+//! Integration: the clustering substrate genuinely recovers the synthetic
+//! generators' latent groups — the precondition for any of the explanation
+//! experiments to be meaningful.
+
+use dpclustx_suite::prelude::*;
+use dpx_clustering::metrics::{adjusted_rand_index, purity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn recovery(kind: &str, method: ClusteringMethod, rows: usize, k: usize) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let synth = match kind {
+        "census" => synth::census::spec(k).generate(rows, &mut rng),
+        "diabetes" => synth::diabetes::spec(k).generate(rows, &mut rng),
+        _ => synth::stackoverflow::spec(k).generate(rows, &mut rng),
+    };
+    let model = method.fit(&synth.data, k, &mut rng);
+    let labels = model.assign_all(&synth.data);
+    (
+        adjusted_rand_index(&labels, &synth.latent_groups),
+        purity(&labels, &synth.latent_groups),
+    )
+}
+
+#[test]
+fn kmeans_recovers_latent_groups_on_all_datasets() {
+    for kind in ["census", "diabetes", "stackoverflow"] {
+        let (ari, pur) = recovery(kind, ClusteringMethod::KMeans, 8_000, 3);
+        assert!(ari > 0.5, "{kind}: k-means ARI {ari}");
+        assert!(pur > 0.7, "{kind}: k-means purity {pur}");
+    }
+}
+
+#[test]
+fn gmm_and_kmodes_recover_structure_on_diabetes() {
+    // GMM with diagonal covariance on heavily categorical data is weaker
+    // than k-means here; it must still clearly beat chance (ARI ≈ 0).
+    let (ari_gmm, _) = recovery("diabetes", ClusteringMethod::Gmm, 8_000, 3);
+    assert!(ari_gmm > 0.2, "GMM ARI {ari_gmm}");
+    let (ari_kmodes, pur_kmodes) = recovery("diabetes", ClusteringMethod::KModes, 8_000, 3);
+    // k-modes on mixed data is weaker but must beat chance clearly.
+    assert!(
+        ari_kmodes > 0.2 || pur_kmodes > 0.6,
+        "k-modes ARI {ari_kmodes}, purity {pur_kmodes}"
+    );
+}
+
+#[test]
+fn dp_kmeans_recovery_improves_with_budget() {
+    let (ari_tight, _) = recovery(
+        "diabetes",
+        ClusteringMethod::DpKMeans { epsilon: 0.05 },
+        8_000,
+        3,
+    );
+    let (ari_loose, _) = recovery(
+        "diabetes",
+        ClusteringMethod::DpKMeans { epsilon: 10.0 },
+        8_000,
+        3,
+    );
+    assert!(
+        ari_loose > ari_tight - 0.05,
+        "ε=10 ARI {ari_loose} should be ≥ ε=0.05 ARI {ari_tight}"
+    );
+    assert!(ari_loose > 0.4, "ε=10 DP-k-means ARI {ari_loose}");
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration: every clustering method × every synthetic dataset
+//! through the full DPClustX pipeline.
+
+use dpclustx::framework::{DpClustX, DpClustXConfig};
+use dpclustx_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn datasets(n_groups: usize, rows: usize, seed: u64) -> Vec<(&'static str, Dataset)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        (
+            "census",
+            synth::census::spec(n_groups).generate(rows, &mut rng).data,
+        ),
+        (
+            "diabetes",
+            synth::diabetes::spec(n_groups)
+                .generate(rows, &mut rng)
+                .data,
+        ),
+        (
+            "stackoverflow",
+            synth::stackoverflow::spec(n_groups)
+                .generate(rows, &mut rng)
+                .data,
+        ),
+    ]
+}
+
+#[test]
+fn every_method_and_dataset_explains() {
+    let n_clusters = 3;
+    for (name, data) in datasets(n_clusters, 2_000, 1) {
+        for method in ClusteringMethod::all() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let model = method.fit(&data, n_clusters, &mut rng);
+            let labels = model.assign_all(&data);
+            let outcome = DpClustX::new(DpClustXConfig::default())
+                .explain(&data, &labels, n_clusters, &mut rng)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", method.name()));
+            assert_eq!(outcome.explanation.per_cluster.len(), n_clusters);
+            for (c, e) in outcome.explanation.per_cluster.iter().enumerate() {
+                assert_eq!(e.cluster, c);
+                assert!(e.attribute < data.schema().arity());
+                assert_eq!(
+                    e.hist_cluster.len(),
+                    data.schema().attribute(e.attribute).domain.size()
+                );
+                assert!(e.hist_cluster.iter().all(|&v| v >= 0.0));
+                assert!(e.hist_rest.iter().all(|&v| v >= 0.0));
+            }
+            // Budget audited to exactly the configured total.
+            let total = DpClustXConfig::default().total_epsilon();
+            assert!(
+                (outcome.accountant.spent() - total).abs() < 1e-9,
+                "{name}/{}: spent {} != {total}",
+                method.name(),
+                outcome.accountant.spent()
+            );
+        }
+    }
+}
+
+#[test]
+fn explanation_attributes_match_assignment() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let synth = synth::diabetes::spec(3).generate(3_000, &mut rng);
+    let labels = synth.latent_groups.clone();
+    let outcome = DpClustX::new(DpClustXConfig::default())
+        .explain(&synth.data, &labels, 3, &mut rng)
+        .unwrap();
+    assert_eq!(
+        outcome.explanation.attribute_combination(),
+        outcome.assignment
+    );
+    for e in &outcome.explanation.per_cluster {
+        assert_eq!(
+            e.attribute_name,
+            synth.data.schema().attribute(e.attribute).name
+        );
+    }
+}
+
+#[test]
+fn generous_budget_recovers_ground_truth_signal() {
+    // With near-infinite ε the full pipeline on well-separated latent groups
+    // must select genuinely informative attributes for every cluster.
+    let mut rng = StdRng::seed_from_u64(4);
+    let synth = synth::census::spec(3).generate(12_000, &mut rng);
+    let labels = synth.latent_groups.clone();
+    let cfg = DpClustXConfig {
+        eps_cand_set: 1_000.0,
+        eps_top_comb: 1_000.0,
+        eps_hist: 10.0,
+        ..Default::default()
+    };
+    let outcome = DpClustX::new(cfg)
+        .explain(&synth.data, &labels, 3, &mut rng)
+        .unwrap();
+    let signal = [
+        "iRlabor",
+        "iWork89",
+        "dHours",
+        "iYearwrk",
+        "iMeans",
+        "dAge",
+        "iSchool",
+        "dIncome1",
+        "dTravtime",
+        "iFertil",
+    ];
+    for e in &outcome.explanation.per_cluster {
+        assert!(
+            signal.contains(&e.attribute_name.as_str()),
+            "cluster {} got noise attribute {}",
+            e.cluster,
+            e.attribute_name
+        );
+    }
+}
+
+#[test]
+fn works_with_user_defined_predicate_clustering() {
+    // The paper's model also covers user-defined predicates as clustering
+    // functions; DPClustX only ever sees the labels.
+    let mut rng = StdRng::seed_from_u64(5);
+    let synth = synth::diabetes::spec(2).generate(4_000, &mut rng);
+    let data = synth.data;
+    let age_idx = data.schema().index_of("age").unwrap();
+    let model = dpx_clustering::model::PredicateModel::new(2, move |row: &[u32]| {
+        usize::from(row[age_idx] >= 6) // elderly vs the rest
+    });
+    let labels = model.assign_all(&data);
+    let outcome = DpClustX::new(DpClustXConfig {
+        eps_cand_set: 50.0,
+        eps_top_comb: 50.0,
+        eps_hist: 1.0,
+        ..Default::default()
+    })
+    .explain(&data, &labels, 2, &mut rng)
+    .unwrap();
+    // Age perfectly determines the split; a near-noiseless run should pick it.
+    assert!(
+        outcome.explanation.attribute_names().contains(&"age"),
+        "expected 'age' among {:?}",
+        outcome.explanation.attribute_names()
+    );
+}
+
+#[test]
+fn tiny_dataset_and_singleton_clusters_are_safe() {
+    // Degenerate inputs: 3 tuples, 3 singleton clusters.
+    let mut rng = StdRng::seed_from_u64(6);
+    let synth = synth::diabetes::spec(3).generate(3, &mut rng);
+    let labels = vec![0usize, 1, 2];
+    let outcome = DpClustX::new(DpClustXConfig::default())
+        .explain(&synth.data, &labels, 3, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.explanation.per_cluster.len(), 3);
+}
+
+#[test]
+fn empty_cluster_label_space_is_supported() {
+    // A declared cluster with no members (realistic for DP clustering).
+    let mut rng = StdRng::seed_from_u64(7);
+    let synth = synth::diabetes::spec(2).generate(500, &mut rng);
+    let labels: Vec<usize> = (0..500).map(|i| i % 2).collect();
+    // Declare 3 clusters; cluster 2 is empty.
+    let outcome = DpClustX::new(DpClustXConfig::default())
+        .explain(&synth.data, &labels, 3, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.explanation.per_cluster.len(), 3);
+}
