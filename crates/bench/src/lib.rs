@@ -11,8 +11,12 @@ pub mod args;
 pub mod context;
 pub mod datasets;
 pub mod explainers;
-pub mod parallel;
 pub mod table;
+
+/// Ordered parallel map, re-exported from the core crate. The helper used to
+/// live here; the staged engine promoted it to `dpclustx::parallel` so the
+/// pipeline stages and the sweep binaries share one implementation.
+pub use dpclustx::parallel;
 
 pub use args::Args;
 pub use context::ExperimentContext;

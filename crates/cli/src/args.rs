@@ -1,4 +1,5 @@
-//! Subcommand + `--flag value` argument parsing.
+//! Subcommand + `--flag value` argument parsing, with bare `--flag`
+//! booleans.
 
 use crate::CliError;
 use std::collections::HashMap;
@@ -13,8 +14,13 @@ pub struct Cli {
 
 impl Cli {
     /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// A flag followed by a non-flag token takes that token as its value; a
+    /// flag followed by another `--flag` (or by nothing) is a bare boolean
+    /// and stores `"true"` — so `explain --timings --seed 7` and
+    /// `explain --seed 7 --timings` both work.
     pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Result<Cli, CliError> {
-        let mut iter = iter.into_iter();
+        let mut iter = iter.into_iter().peekable();
         let command = iter
             .next()
             .ok_or_else(|| CliError::Usage("missing subcommand (try 'help')".into()))?;
@@ -23,12 +29,22 @@ impl Cli {
             let name = arg
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected --flag, got '{arg}'")))?;
-            let value = iter
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("just peeked"),
+                _ => "true".to_string(),
+            };
             flags.insert(name.to_string(), value);
         }
         Ok(Cli { command, flags })
+    }
+
+    /// A boolean flag: `true` when present bare (`--timings`) or set to
+    /// anything but `false`/`0`, `false` when absent.
+    pub fn bool(&self, name: &str) -> bool {
+        match self.flags.get(name) {
+            None => false,
+            Some(v) => v != "false" && v != "0",
+        }
     }
 
     /// A required string flag.
@@ -138,6 +154,18 @@ mod tests {
     #[test]
     fn missing_subcommand_errors() {
         assert!(cli(&[]).is_err());
+    }
+
+    #[test]
+    fn bare_boolean_flags_parse_in_any_position() {
+        let c = cli(&["explain", "--timings", "--clusters", "3"]).unwrap();
+        assert!(c.bool("timings"));
+        assert_eq!(c.required_usize("clusters").unwrap(), 3);
+        let c = cli(&["explain", "--clusters", "3", "--timings"]).unwrap();
+        assert!(c.bool("timings"));
+        assert!(!c.bool("absent"));
+        let c = cli(&["explain", "--timings", "false"]).unwrap();
+        assert!(!c.bool("timings"));
     }
 
     #[test]

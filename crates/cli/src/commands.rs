@@ -4,6 +4,7 @@ use crate::args::Cli;
 use crate::CliError;
 use dpclustx::baselines::tabee;
 use dpclustx::counts::ScoreTable;
+use dpclustx::engine::{CollectingObserver, ExplainEngine};
 use dpclustx::eval::{mae, QualityEvaluator};
 use dpclustx::framework::{DpClustX, DpClustXConfig};
 use dpclustx::stage1::rank_attributes;
@@ -110,7 +111,7 @@ fn explain<W: std::io::Write>(cli: &Cli, out: &mut W, evaluate: bool) -> Result<
         k: cli.usize("k", 3)?,
         eps_cand_set: cli.f64("eps-cand", 0.1)?,
         eps_top_comb: cli.f64("eps-comb", 0.1)?,
-        eps_hist: cli.f64("eps-hist", 0.1)?,
+        eps_hist: Some(cli.f64("eps-hist", 0.1)?),
         weights: cli.weights()?,
         consistency: cli.string("consistency", "off") == "on",
     };
@@ -126,12 +127,28 @@ fn explain<W: std::io::Write>(cli: &Cli, out: &mut W, evaluate: bool) -> Result<
         n_clusters
     )?;
 
-    let outcome = DpClustX::new(config).explain(&data, &labels, n_clusters, &mut rng)?;
+    let timings = cli.bool("timings");
+    let mut observer = CollectingObserver::new();
+    let outcome = if timings {
+        ExplainEngine::new(config).explain_uncached(
+            &data,
+            &labels,
+            n_clusters,
+            &dpx_dp::histogram::GeometricHistogram,
+            &mut rng,
+            &mut observer,
+        )?
+    } else {
+        DpClustX::new(config).explain(&data, &labels, n_clusters, &mut rng)?
+    };
     writeln!(
         out,
         "\nselected attributes: {:?}",
         outcome.explanation.attribute_names()
     )?;
+    if timings {
+        writeln!(out, "\nstage timings:\n{}", observer.report())?;
+    }
     writeln!(out, "\nprivacy audit:\n{}", outcome.accountant.audit())?;
     for e in &outcome.explanation.per_cluster {
         writeln!(out, "{}", e.render())?;
@@ -177,7 +194,7 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
         k: cli.usize("k", 3)?,
         eps_cand_set: cli.f64("eps-cand", 0.1)?,
         eps_top_comb: cli.f64("eps-comb", 0.1)?,
-        eps_hist: cli.f64("eps-hist", 0.1)?,
+        eps_hist: Some(cli.f64("eps-hist", 0.1)?),
         weights: cli.weights()?,
         consistency: cli.string("consistency", "off") == "on",
     };
@@ -336,6 +353,47 @@ mod tests {
         .unwrap();
         assert!(text.contains("ranked candidates for cluster 1"));
         assert_eq!(text.matches("SScore").count(), 5);
+    }
+
+    #[test]
+    fn explain_timings_reports_all_four_stages() {
+        let dir = tmpdir();
+        let prefix = dir.join("timed");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "1000",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        let text = run_cli(&[
+            "explain",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--clusters",
+            "3",
+            "--timings",
+        ])
+        .unwrap();
+        assert!(text.contains("stage timings:"));
+        for stage in [
+            "build-counts",
+            "candidate-selection",
+            "combination-selection",
+            "histogram-release",
+        ] {
+            assert!(text.contains(stage), "missing stage '{stage}' in:\n{text}");
+        }
+        assert!(text.contains("stage1/select-candidates"));
+        assert!(text.contains("privacy audit"));
     }
 
     #[test]

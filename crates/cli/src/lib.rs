@@ -77,8 +77,10 @@ USAGE:
   dpclustx-cli explain  --data <file.csv> --schema <file.schema> --clusters K
                     [--method <kmeans|dp-kmeans|kmodes|agglomerative|gmm>]
                     [--clust-eps E] [--eps-cand E] [--eps-comb E] [--eps-hist E]
-                    [--k N] [--weights INT,SUF,DIV] [--seed S]
+                    [--k N] [--weights INT,SUF,DIV] [--seed S] [--timings]
       Clusters the data and prints the DP explanation with a privacy audit.
+      --timings additionally prints the staged-engine report: per-stage wall
+      time, ε charged per ledger label, and stage metrics.
 
   dpclustx-cli evaluate ... (same flags as explain)
       Additionally compares against the non-private TabEE reference

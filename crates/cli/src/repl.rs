@@ -87,7 +87,7 @@ pub fn run_session<I: BufRead, W: std::io::Write>(
                         k: 3,
                         eps_cand_set: eps.get() / 3.0,
                         eps_top_comb: eps.get() / 3.0,
-                        eps_hist: eps.get() / 3.0,
+                        eps_hist: Some(eps.get() / 3.0),
                         weights: Weights::equal(),
                         consistency: false,
                     };

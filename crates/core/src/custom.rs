@@ -16,7 +16,8 @@ use dpx_dp::budget::{Epsilon, Sensitivity};
 use dpx_dp::gumbel::sample_gumbel;
 use dpx_dp::topk::one_shot_top_k;
 use dpx_dp::DpError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A user-supplied single-cluster score: `(table, cluster, attribute) → ℝ`
 /// with the stated sensitivity (Definition 2.6) under add/remove-one-tuple
@@ -39,6 +40,10 @@ pub struct GlobalScore<F: Fn(&ScoreTable, &[usize]) -> f64> {
 
 /// Stage-1 with a custom single-cluster score: per-cluster one-shot top-k at
 /// `eps_cand_set / |C|` each, noise calibrated to the supplied sensitivity.
+///
+/// Follows the same per-cluster seed-splitting discipline as
+/// [`crate::stage1::select_candidates`], so with the standard score and the
+/// same master seed the two paths produce identical candidate sets.
 pub fn select_candidates_custom<F, R>(
     st: &ScoreTable,
     score: &SingleClusterScore<F>,
@@ -59,15 +64,17 @@ where
         });
     }
     let eps_topk = eps_cand_set.split(n_clusters);
+    let seeds: Vec<u64> = (0..n_clusters).map(|_| rng.gen()).collect();
     let mut sets = Vec::with_capacity(n_clusters);
-    for c in 0..n_clusters {
+    for (c, seed) in seeds.into_iter().enumerate() {
         let scores: Vec<f64> = (0..n_attrs).map(|a| (score.score)(st, c, a)).collect();
+        let mut task_rng = StdRng::seed_from_u64(seed);
         sets.push(one_shot_top_k(
             &scores,
             k,
             eps_topk,
             score.sensitivity,
-            rng,
+            &mut task_rng,
         )?);
     }
     Ok(sets)

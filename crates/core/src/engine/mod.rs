@@ -1,0 +1,344 @@
+//! The staged explanation engine.
+//!
+//! [`framework::DpClustX`](crate::framework::DpClustX) presents DPClustX as
+//! one call; this module is the machinery behind it, split into four explicit
+//! [`Stage`]s run in sequence:
+//!
+//! 1. [`BuildCounts`] — obtain the per-clustering [`CountedTables`]
+//!    (contingency counts + score table), memoized in the [`ExplainContext`]
+//!    keyed by *(dataset fingerprint, labels hash)*;
+//! 2. [`CandidateSelection`] — Stage 1 of the paper (Algorithm 1), with
+//!    per-cluster scoring fanned out over worker threads;
+//! 3. [`CombinationSelection`] — the exponential mechanism over `k^|C|`
+//!    combinations (Algorithm 2, line 5);
+//! 4. [`HistogramRelease`] — the noisy histogram release (Algorithm 2,
+//!    lines 6–15), with per-attribute and per-cluster releases parallelized.
+//!
+//! Every stage boundary is a seam: the engine wraps each stage run with wall
+//! -clock timing and an [`Accountant`] ledger mark, and reports a
+//! [`StageEvent`] (duration, ε charged, per-label charges, stage metrics) to
+//! a [`PipelineObserver`]. [`NoopObserver`] discards events;
+//! [`CollectingObserver`] records them and renders the `--timings` report.
+//!
+//! Parallel stages stay deterministic under a fixed seed: per-task RNGs are
+//! split from the master RNG in task order before the fan-out and results are
+//! merged in input order, so `threads = 1` and `threads = N` produce
+//! bit-identical explanations (see [`crate::parallel`]).
+
+mod observer;
+mod stages;
+
+pub use observer::{CollectingObserver, NoopObserver, PipelineObserver, StageEvent};
+pub use stages::{
+    BuildCounts, CandidateSelection, CombinationSelection, EngineState, HistogramRelease, Stage,
+    STAGE_BUILD_COUNTS, STAGE_CANDIDATES, STAGE_COMBINATION, STAGE_HISTOGRAMS,
+};
+
+use crate::counts::ScoreTable;
+use crate::framework::{DpClustXConfig, Outcome};
+use dpx_data::contingency::ClusteredCounts;
+use dpx_data::{hash_labels, Dataset, Schema};
+use dpx_dp::budget::{Accountant, Epsilon};
+use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
+use dpx_dp::DpError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Key of the counts cache: which dataset, under which cluster assignment.
+///
+/// Both halves are stable content hashes (see [`dpx_data::fingerprint`]), so
+/// the cache survives re-deriving an identical labeling and never confuses
+/// two datasets or two clusterings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CountsKey {
+    /// [`Dataset::fingerprint`] of the clustered dataset.
+    pub dataset_fingerprint: u64,
+    /// [`hash_labels`] of the cluster assignment (labels and cluster count).
+    pub labels_hash: u64,
+}
+
+/// The memoized per-clustering tables: the one-pass contingency counts and
+/// the score table derived from them. Building these is the dominant
+/// data-scan cost of an explanation, which is why the engine caches them.
+#[derive(Debug)]
+pub struct CountedTables {
+    /// `(cluster × value)` count tables, one per attribute.
+    pub counts: ClusteredCounts,
+    /// The quality-score table over those counts.
+    pub table: ScoreTable,
+}
+
+/// Shared state threaded through engine runs: the dataset (behind an `Arc`),
+/// its fingerprint (computed once), the master RNG, and the memoized counts
+/// cache. One context serves any number of `explain` calls; repeated
+/// explanations of the same clustering skip the data scan entirely.
+#[derive(Debug)]
+pub struct ExplainContext {
+    data: Arc<Dataset>,
+    fingerprint: u64,
+    rng: StdRng,
+    cache: HashMap<CountsKey, Arc<CountedTables>>,
+}
+
+impl ExplainContext {
+    /// Opens a context over `data`, seeding the master RNG. Fingerprints the
+    /// dataset once (a full scan).
+    pub fn new(data: Dataset, seed: u64) -> Self {
+        Self::from_arc(Arc::new(data), seed)
+    }
+
+    /// Opens a context over an already-shared dataset.
+    pub fn from_arc(data: Arc<Dataset>, seed: u64) -> Self {
+        let fingerprint = data.fingerprint();
+        ExplainContext {
+            data,
+            fingerprint,
+            rng: StdRng::seed_from_u64(seed),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The dataset under explanation.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// A shared handle to the dataset.
+    pub fn data_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.data)
+    }
+
+    /// The dataset's content fingerprint (computed at construction).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The context's master RNG.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Simultaneous access to the dataset and the RNG — for callers (like the
+    /// interactive session) that feed the data into a mechanism drawing from
+    /// the context's randomness.
+    pub fn data_and_rng(&mut self) -> (&Dataset, &mut StdRng) {
+        (&self.data, &mut self.rng)
+    }
+
+    /// Number of memoized clusterings.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all memoized tables.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The tables for a clustering: served from cache when the same
+    /// `(dataset, labels)` pair was seen before, built (one data pass) and
+    /// memoized otherwise. The second element reports whether it was a hit.
+    pub fn tables(&mut self, labels: &[usize], n_clusters: usize) -> (Arc<CountedTables>, bool) {
+        let key = CountsKey {
+            dataset_fingerprint: self.fingerprint,
+            labels_hash: hash_labels(labels, n_clusters),
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return (Arc::clone(hit), true);
+        }
+        let counts = ClusteredCounts::build(&self.data, labels, n_clusters);
+        let table = ScoreTable::from_clustered_counts(&counts);
+        let tables = Arc::new(CountedTables { counts, table });
+        self.cache.insert(key, Arc::clone(&tables));
+        (tables, false)
+    }
+}
+
+/// The staged pipeline runner: a configuration plus a worker-thread count.
+///
+/// `threads = 1` (the default) runs every stage sequentially;
+/// `with_threads(n)` fans Stage-1 scoring and the histogram releases out over
+/// up to `n` workers with bit-identical results.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplainEngine {
+    config: DpClustXConfig,
+    threads: usize,
+}
+
+impl ExplainEngine {
+    /// An engine for `config`, single-threaded.
+    pub fn new(config: DpClustXConfig) -> Self {
+        ExplainEngine { config, threads: 1 }
+    }
+
+    /// Sets the worker-thread cap for the parallelizable stages.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DpClustXConfig {
+        &self.config
+    }
+
+    /// The worker-thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the full pipeline on a context with the paper's default
+    /// (geometric) histogram mechanism, discarding observer events.
+    pub fn explain(
+        &self,
+        ctx: &mut ExplainContext,
+        labels: &[usize],
+        n_clusters: usize,
+    ) -> Result<Outcome, DpError> {
+        self.explain_with_mechanism(
+            ctx,
+            labels,
+            n_clusters,
+            &GeometricHistogram,
+            &mut NoopObserver,
+        )
+    }
+
+    /// [`Self::explain`] reporting every stage to `observer`.
+    pub fn explain_observed(
+        &self,
+        ctx: &mut ExplainContext,
+        labels: &[usize],
+        n_clusters: usize,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Outcome, DpError> {
+        self.explain_with_mechanism(ctx, labels, n_clusters, &GeometricHistogram, observer)
+    }
+
+    /// Full pipeline on a context with a custom histogram mechanism.
+    pub fn explain_with_mechanism<M: HistogramMechanism + Sync>(
+        &self,
+        ctx: &mut ExplainContext,
+        labels: &[usize],
+        n_clusters: usize,
+        mechanism: &M,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Outcome, DpError> {
+        let ExplainContext {
+            data,
+            fingerprint,
+            rng,
+            cache,
+        } = ctx;
+        let source = stages::Source::Build {
+            data,
+            labels,
+            n_clusters,
+            cache: Some(stages::CacheSlot {
+                map: cache,
+                fingerprint: *fingerprint,
+            }),
+        };
+        self.run(source, data.schema(), mechanism, rng, observer)
+    }
+
+    /// Full pipeline without a context: counts are built inside the
+    /// `BuildCounts` stage but not memoized (no fingerprint scan either).
+    /// This is what [`crate::framework::DpClustX::explain`] uses.
+    pub fn explain_uncached<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
+        &self,
+        data: &Dataset,
+        labels: &[usize],
+        n_clusters: usize,
+        mechanism: &M,
+        rng: &mut R,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Outcome, DpError> {
+        let source = stages::Source::Build {
+            data,
+            labels,
+            n_clusters,
+            cache: None,
+        };
+        self.run(source, data.schema(), mechanism, rng, observer)
+    }
+
+    /// Pipeline from caller-prepared contingency counts (the bench harness
+    /// reuses one `ClusteredCounts` across many explainers). `BuildCounts`
+    /// still runs — it derives the score table — but scans no data.
+    pub fn explain_prepared<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
+        &self,
+        schema: &Schema,
+        counts: &ClusteredCounts,
+        mechanism: &M,
+        rng: &mut R,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Outcome, DpError> {
+        self.run(
+            stages::Source::Prepared { counts },
+            schema,
+            mechanism,
+            rng,
+            observer,
+        )
+    }
+
+    /// Runs the four stages over `source`, timing each, marking the
+    /// accountant ledger at every boundary, and reporting the deltas.
+    fn run<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
+        &self,
+        source: stages::Source<'_>,
+        schema: &Schema,
+        mechanism: &M,
+        rng: &mut R,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Outcome, DpError> {
+        let cap = Epsilon::new(self.config.total_epsilon())?;
+        let mut state = EngineState {
+            config: self.config,
+            threads: self.threads,
+            schema,
+            source,
+            mechanism,
+            rng,
+            accountant: Accountant::with_cap(cap),
+            tables: None,
+            candidates: None,
+            assignment: None,
+            explanation: None,
+        };
+        let pipeline: [&dyn Stage<M, R>; 4] = [
+            &BuildCounts,
+            &CandidateSelection,
+            &CombinationSelection,
+            &HistogramRelease,
+        ];
+        for stage in pipeline {
+            let mark = state.accountant.mark();
+            let start = Instant::now();
+            let metrics = stage.run(&mut state)?;
+            let wall = start.elapsed();
+            observer.on_stage(StageEvent {
+                stage: stage.name(),
+                wall,
+                epsilon: state.accountant.spent_since(&mark),
+                charges: state.accountant.charges_since(&mark),
+                metrics,
+            });
+        }
+        Ok(Outcome {
+            explanation: state
+                .explanation
+                .take()
+                .expect("HistogramRelease always sets the explanation"),
+            assignment: state
+                .assignment
+                .take()
+                .expect("CombinationSelection always sets the assignment"),
+            accountant: state.accountant,
+        })
+    }
+}

@@ -1,0 +1,153 @@
+//! The pipeline observer seam: per-stage events and two standard observers.
+//!
+//! The engine emits one [`StageEvent`] per completed stage. The event
+//! vocabulary (also documented in DESIGN.md) is:
+//!
+//! * `wall` — wall-clock duration of the stage body;
+//! * `epsilon` — ε charged by the stage, measured as the accountant's
+//!   `spent()` delta across the stage (so the four values sum to the run's
+//!   total spend, including parallel-composition maxima);
+//! * `charges` — the individual ledger entries the stage added, with
+//!   parallel-group members labeled `group/member`;
+//! * `metrics` — stage-specific counters: `cache_hit`, `n_attributes`,
+//!   `n_clusters` (build-counts); `candidate_sets`, `candidates_total`
+//!   (candidate-selection); `combinations_enumerated`
+//!   (combination-selection); `distinct_attributes`, `histograms_released`
+//!   (histogram-release).
+
+use dpx_dp::budget::Charge;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// What the engine observed about one completed stage.
+#[derive(Debug, Clone)]
+pub struct StageEvent {
+    /// Stage name (one of the `STAGE_*` constants).
+    pub stage: &'static str,
+    /// Wall-clock duration of the stage body.
+    pub wall: Duration,
+    /// ε charged by this stage (accountant `spent()` delta).
+    pub epsilon: f64,
+    /// The ledger entries the stage added, in charge order.
+    pub charges: Vec<Charge>,
+    /// Stage-specific counters, in emission order.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+/// Receives one event per completed pipeline stage.
+///
+/// Observation is pure post-processing: events carry no sensitive data beyond
+/// what the mechanism outputs already reveal (timings, public configuration,
+/// and the ε ledger).
+pub trait PipelineObserver {
+    /// Called after each stage completes successfully.
+    fn on_stage(&mut self, event: StageEvent);
+}
+
+/// Discards every event — the default when no observation is requested.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {
+    fn on_stage(&mut self, _event: StageEvent) {}
+}
+
+/// Records every event; renders the `explain --timings` report.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingObserver {
+    events: Vec<StageEvent>,
+}
+
+impl CollectingObserver {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in stage order.
+    pub fn events(&self) -> &[StageEvent] {
+        &self.events
+    }
+
+    /// Sum of the per-stage ε charges. Because each stage's `epsilon` is a
+    /// `spent()` delta, this equals the run's total spend (and, on a
+    /// successful full run, `config.total_epsilon()` up to round-off).
+    pub fn total_epsilon(&self) -> f64 {
+        self.events.iter().map(|e| e.epsilon).sum()
+    }
+
+    /// Total wall-clock time across recorded stages.
+    pub fn total_wall(&self) -> Duration {
+        self.events.iter().map(|e| e.wall).sum()
+    }
+
+    /// A human-readable per-stage report: wall time, ε, charges, metrics.
+    pub fn report(&self) -> String {
+        let mut out = String::from("pipeline stages:\n");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>9.3} ms   ε {:.6}",
+                e.stage,
+                e.wall.as_secs_f64() * 1e3,
+                e.epsilon
+            );
+            for c in &e.charges {
+                let _ = writeln!(out, "      charge {:<32} ε {:.6}", c.label, c.epsilon);
+            }
+            if !e.metrics.is_empty() {
+                let rendered: Vec<String> =
+                    e.metrics.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let _ = writeln!(out, "      [{}]", rendered.join(", "));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "total: {:.3} ms, ε {:.6}",
+            self.total_wall().as_secs_f64() * 1e3,
+            self.total_epsilon()
+        );
+        out
+    }
+}
+
+impl PipelineObserver for CollectingObserver {
+    fn on_stage(&mut self, event: StageEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(stage: &'static str, eps: f64) -> StageEvent {
+        StageEvent {
+            stage,
+            wall: Duration::from_millis(2),
+            epsilon: eps,
+            charges: vec![],
+            metrics: vec![("n", 3.0)],
+        }
+    }
+
+    #[test]
+    fn collector_accumulates_and_sums() {
+        let mut obs = CollectingObserver::new();
+        obs.on_stage(event("build-counts", 0.0));
+        obs.on_stage(event("candidate-selection", 0.1));
+        obs.on_stage(event("combination-selection", 0.2));
+        assert_eq!(obs.events().len(), 3);
+        assert!((obs.total_epsilon() - 0.3).abs() < 1e-12);
+        assert_eq!(obs.total_wall(), Duration::from_millis(6));
+        let report = obs.report();
+        assert!(report.contains("build-counts"));
+        assert!(report.contains("candidate-selection"));
+        assert!(report.contains("[n=3]"));
+    }
+
+    #[test]
+    fn noop_observer_is_callable() {
+        NoopObserver.on_stage(event("histogram-release", 0.1));
+    }
+}

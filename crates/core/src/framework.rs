@@ -2,10 +2,11 @@
 //! end-to-end pipeline of Algorithm 2 / Theorem 5.1.
 
 use crate::counts::ScoreTable;
+use crate::engine::{ExplainEngine, NoopObserver};
 use crate::explanation::{AttributeCombination, GlobalExplanation};
 use crate::quality::score::Weights;
 use crate::stage1::select_candidates;
-use crate::stage2::{generate_histograms, select_combination};
+use crate::stage2::select_combination;
 use dpx_data::contingency::ClusteredCounts;
 use dpx_data::Dataset;
 use dpx_dp::budget::{Accountant, Epsilon};
@@ -23,8 +24,12 @@ pub struct DpClustXConfig {
     pub eps_cand_set: f64,
     /// Budget for Stage-2 combination selection.
     pub eps_top_comb: f64,
-    /// Budget for histogram release.
-    pub eps_hist: f64,
+    /// Budget for histogram release, or `None` for a selection-only run that
+    /// never releases histograms. A full `explain` with `None` fails with
+    /// [`DpError::InvalidEpsilon`] at the release stage instead of silently
+    /// poisoning `total_epsilon` (the old `f64::NAN` sentinel did exactly
+    /// that).
+    pub eps_hist: Option<f64>,
     /// Quality-measure weights λ.
     pub weights: Weights,
     /// Apply the Hay-et-al. partition-consistency projection to the released
@@ -39,7 +44,7 @@ impl Default for DpClustXConfig {
             k: 3,
             eps_cand_set: 0.1,
             eps_top_comb: 0.1,
-            eps_hist: 0.1,
+            eps_hist: Some(0.1),
             weights: Weights::equal(),
             consistency: false,
         }
@@ -48,8 +53,10 @@ impl Default for DpClustXConfig {
 
 impl DpClustXConfig {
     /// Total privacy budget `ε_CandSet + ε_TopComb + ε_Hist` (Theorem 5.1).
+    /// A missing histogram budget contributes zero: a selection-only
+    /// configuration's total is exactly what its two selection stages spend.
     pub fn total_epsilon(&self) -> f64 {
-        self.eps_cand_set + self.eps_top_comb + self.eps_hist
+        self.eps_cand_set + self.eps_top_comb + self.eps_hist.unwrap_or(0.0)
     }
 
     /// A selection-only configuration splitting `eps` evenly between the two
@@ -60,7 +67,7 @@ impl DpClustXConfig {
             k,
             eps_cand_set: eps / 2.0,
             eps_top_comb: eps / 2.0,
-            eps_hist: f64::NAN, // never used on the selection-only path
+            eps_hist: None, // never used on the selection-only path
             weights,
             consistency: false,
         }
@@ -123,8 +130,9 @@ impl DpClustX {
     }
 
     /// Runs the full pipeline with a custom `ε`-DP histogram mechanism —
-    /// DPClustX treats `M_hist` as a black box (§2.1).
-    pub fn explain_with_mechanism<M: HistogramMechanism, R: Rng + ?Sized>(
+    /// DPClustX treats `M_hist` as a black box (§2.1). Delegates to the
+    /// staged [`ExplainEngine`] (uncached, single-threaded, unobserved).
+    pub fn explain_with_mechanism<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
         &self,
         data: &Dataset,
         labels: &[usize],
@@ -132,52 +140,32 @@ impl DpClustX {
         mechanism: &M,
         rng: &mut R,
     ) -> Result<Outcome, DpError> {
-        let counts = ClusteredCounts::build(data, labels, n_clusters);
-        self.explain_from_counts(data, &counts, mechanism, rng)
+        ExplainEngine::new(self.config).explain_uncached(
+            data,
+            labels,
+            n_clusters,
+            mechanism,
+            rng,
+            &mut NoopObserver,
+        )
     }
 
     /// Runs the full pipeline from pre-built contingency counts (lets
     /// experiments reuse the one-pass count tables across explainers).
-    pub fn explain_from_counts<M: HistogramMechanism, R: Rng + ?Sized>(
+    pub fn explain_from_counts<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
         &self,
         data: &Dataset,
         counts: &ClusteredCounts,
         mechanism: &M,
         rng: &mut R,
     ) -> Result<Outcome, DpError> {
-        let eps_cand = Epsilon::new(self.config.eps_cand_set)?;
-        let eps_comb = Epsilon::new(self.config.eps_top_comb)?;
-        let eps_hist = Epsilon::new(self.config.eps_hist)?;
-        let cap = eps_cand.compose(eps_comb).compose(eps_hist);
-        let mut accountant = Accountant::with_cap(cap);
-
-        let st = ScoreTable::from_clustered_counts(counts);
-        let gamma = self.config.weights.gamma();
-
-        // Stage 1 (Algorithm 1): ε_CandSet.
-        let candidates = select_candidates(&st, gamma, eps_cand, self.config.k, rng)?;
-        accountant.charge("stage1/select-candidates", eps_cand)?;
-
-        // Stage 2 selection (line 5): ε_TopComb.
-        let assignment = select_combination(&st, &candidates, self.config.weights, eps_comb, rng)?;
-        accountant.charge("stage2/select-combination", eps_comb)?;
-
-        // Histogram release (lines 6–15): ε_Hist, charged inside.
-        let explanation = generate_histograms(
+        ExplainEngine::new(self.config).explain_prepared(
             data.schema(),
             counts,
-            &assignment,
-            eps_hist,
             mechanism,
-            self.config.consistency,
-            &mut accountant,
             rng,
-        )?;
-        Ok(Outcome {
-            explanation,
-            assignment,
-            accountant,
-        })
+            &mut NoopObserver,
+        )
     }
 }
 
@@ -220,7 +208,7 @@ mod tests {
         let cfg = DpClustXConfig {
             eps_cand_set: 100.0,
             eps_top_comb: 100.0,
-            eps_hist: 1.0,
+            eps_hist: Some(1.0),
             ..Default::default()
         };
         let outcome = DpClustX::new(cfg)
@@ -252,6 +240,39 @@ mod tests {
         let cfg = DpClustXConfig::selection_only(0.2, 3, Weights::equal());
         assert!((cfg.eps_cand_set - 0.1).abs() < 1e-12);
         assert!((cfg.eps_top_comb - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_only_total_epsilon_is_finite() {
+        // Regression: `selection_only` used to store `eps_hist: f64::NAN`,
+        // which made `total_epsilon()` silently NaN and corrupted any
+        // downstream budget arithmetic. The histogram budget is now optional
+        // and a missing one contributes zero.
+        let cfg = DpClustXConfig::selection_only(0.2, 3, Weights::equal());
+        assert_eq!(cfg.eps_hist, None);
+        let total = cfg.total_epsilon();
+        assert!(
+            total.is_finite(),
+            "total_epsilon must never be NaN: {total}"
+        );
+        assert!((total - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_explain_without_histogram_budget_is_rejected() {
+        // A selection-only configuration cannot drive the full pipeline: the
+        // release stage has no budget and must fail loudly (after the two
+        // selection stages), not release histograms with NaN noise.
+        let (data, labels) = setup(500);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = DpClustXConfig::selection_only(0.2, 3, Weights::equal());
+        let err = DpClustX::new(cfg)
+            .explain(&data, &labels, 3, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, DpError::InvalidEpsilon(e) if e.is_nan()),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -53,10 +53,12 @@
 pub mod baselines;
 pub mod counts;
 pub mod custom;
+pub mod engine;
 pub mod eval;
 pub mod explanation;
 pub mod framework;
 pub mod multi;
+pub mod parallel;
 pub mod quality;
 pub mod report;
 pub mod session;
@@ -66,6 +68,9 @@ pub mod text;
 pub mod twod;
 
 pub use counts::{AttrCounts, ScoreTable};
+pub use engine::{
+    CollectingObserver, ExplainContext, ExplainEngine, NoopObserver, PipelineObserver,
+};
 pub use explanation::{AttributeCombination, GlobalExplanation, SingleClusterExplanation};
 pub use framework::{DpClustX, DpClustXConfig};
 pub use quality::score::Weights;

@@ -33,9 +33,11 @@ impl Default for ReportOptions {
 /// The per-bin accuracy note for a released explanation: 95%-confidence
 /// error bounds implied by the geometric mechanism at the configuration's
 /// histogram budgets (Algorithm 2's split: cluster histograms at `ε_Hist/2`,
-/// full-data histograms at `ε_Hist/(2·|A'|)`).
+/// full-data histograms at `ε_Hist/(2·|A'|)`). `None` for selection-only
+/// configurations — no histograms, no accuracy to annotate.
 pub fn accuracy_note(config: &DpClustXConfig, n_distinct_attributes: usize) -> Option<String> {
-    let eps_hist = Epsilon::new(config.eps_hist).ok()?;
+    let eps_hist_raw = config.eps_hist?;
+    let eps_hist = Epsilon::new(eps_hist_raw).ok()?;
     let eps_cluster = eps_hist.split(2);
     let eps_full = eps_cluster.split(n_distinct_attributes.max(1));
     let beta = 0.05;
@@ -44,8 +46,7 @@ pub fn accuracy_note(config: &DpClustXConfig, n_distinct_attributes: usize) -> O
     Some(format!(
         "Each in-cluster bin is within ±{t_cluster} of its true count and each \
 full-data bin within ±{t_full}, each with 95% confidence \
-(geometric mechanism at ε_Hist = {}).",
-        config.eps_hist
+(geometric mechanism at ε_Hist = {eps_hist_raw})."
     ))
 }
 
@@ -159,11 +160,11 @@ mod tests {
     #[test]
     fn accuracy_note_reports_tighter_bounds_for_larger_budgets() {
         let loose = DpClustXConfig {
-            eps_hist: 0.01,
+            eps_hist: Some(0.01),
             ..Default::default()
         };
         let tight = DpClustXConfig {
-            eps_hist: 10.0,
+            eps_hist: Some(10.0),
             ..Default::default()
         };
         let extract = |cfg: &DpClustXConfig| -> u64 {
@@ -181,7 +182,7 @@ mod tests {
         assert!(extract(&loose) > extract(&tight));
         // Invalid ε yields no note instead of a panic.
         let bad = DpClustXConfig {
-            eps_hist: f64::NAN,
+            eps_hist: None,
             ..Default::default()
         };
         assert!(accuracy_note(&bad, 2).is_none());

@@ -15,8 +15,9 @@
 //!   [`Accountant`]; once the cap is reached, further requests fail with
 //!   [`DpError::BudgetExceeded`] instead of silently degrading privacy.
 
+use crate::engine::{ExplainContext, ExplainEngine, PipelineObserver};
 use crate::explanation::GlobalExplanation;
-use crate::framework::{DpClustX, DpClustXConfig};
+use crate::framework::DpClustXConfig;
 use dpx_clustering::dp_kmeans::{self, DpKMeansConfig};
 use dpx_clustering::model::ClusterModel;
 use dpx_data::Dataset;
@@ -24,14 +25,15 @@ use dpx_dp::budget::{Accountant, Epsilon, Sensitivity};
 use dpx_dp::histogram::{clamp_non_negative, GeometricHistogram, HistogramMechanism};
 use dpx_dp::sparse_vector::{above_threshold, SvtOutcome};
 use dpx_dp::DpError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A stateful, budget-capped analysis session over one sensitive dataset.
+///
+/// The dataset, the master RNG, and the memoized counts cache live in a
+/// shared [`ExplainContext`]: asking for a second explanation of the same
+/// clustering (e.g. at a different budget split) skips the data scan.
 pub struct Session {
-    data: Dataset,
+    ctx: ExplainContext,
     accountant: Accountant,
-    rng: StdRng,
     /// Current clustering (labels + cluster count), if any.
     clustering: Option<(Vec<usize>, usize)>,
     charge_counter: usize,
@@ -42,9 +44,8 @@ impl Session {
     /// reproducibility.
     pub fn new(data: Dataset, budget_cap: Epsilon, seed: u64) -> Self {
         Session {
-            data,
+            ctx: ExplainContext::new(data, seed),
             accountant: Accountant::with_cap(budget_cap),
-            rng: StdRng::seed_from_u64(seed),
             clustering: None,
             charge_counter: 0,
         }
@@ -65,7 +66,14 @@ impl Session {
     /// noisily; this accessor is for UI sizing and tests, mirroring how the
     /// demo shows table dimensions).
     pub fn n_rows(&self) -> usize {
-        self.data.n_rows()
+        self.ctx.data().n_rows()
+    }
+
+    /// Number of clusterings whose count tables are memoized in the
+    /// session's context (diagnostics; cache membership is derived from the
+    /// data only through the already-installed clustering).
+    pub fn counts_cache_len(&self) -> usize {
+        self.ctx.cache_len()
     }
 
     fn next_label(&mut self, what: &str) -> String {
@@ -80,8 +88,9 @@ impl Session {
         // mechanism touches the data.
         let label = self.next_label("dp-kmeans");
         self.accountant.charge(label, epsilon)?;
-        let model = dp_kmeans::fit(&self.data, DpKMeansConfig::new(k, epsilon), &mut self.rng);
-        self.clustering = Some((model.assign_all(&self.data), k));
+        let (data, rng) = self.ctx.data_and_rng();
+        let model = dp_kmeans::fit(data, DpKMeansConfig::new(k, epsilon), rng);
+        self.clustering = Some((model.assign_all(self.ctx.data()), k));
         Ok(())
     }
 
@@ -89,20 +98,42 @@ impl Session {
     /// predicate, or centers computed elsewhere under someone else's budget).
     /// Free of charge — the function may not depend on this session's data.
     pub fn set_clustering<M: ClusterModel + ?Sized>(&mut self, model: &M) {
-        self.clustering = Some((model.assign_all(&self.data), model.n_clusters()));
+        self.clustering = Some((model.assign_all(self.ctx.data()), model.n_clusters()));
     }
 
     /// Runs DPClustX on the current clustering, charging the configuration's
     /// total ε. Fails if no clustering is installed or the cap would be hit.
     pub fn explain(&mut self, config: DpClustXConfig) -> Result<GlobalExplanation, DpError> {
+        self.explain_engine(config, None)
+    }
+
+    /// [`Self::explain`] with per-stage observation: wall time, ε charges,
+    /// and stage metrics are reported to `observer` (the backend of the
+    /// CLI's `explain --timings`).
+    pub fn explain_observed(
+        &mut self,
+        config: DpClustXConfig,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<GlobalExplanation, DpError> {
+        self.explain_engine(config, Some(observer))
+    }
+
+    fn explain_engine(
+        &mut self,
+        config: DpClustXConfig,
+        observer: Option<&mut dyn PipelineObserver>,
+    ) -> Result<GlobalExplanation, DpError> {
         let (labels, n_clusters) = self.clustering.clone().ok_or(DpError::EmptyCandidateSet)?;
         // Reserve the whole stage budget up front; the inner pipeline runs
         // its own accountant for the fine-grained audit.
         let total = Epsilon::new(config.total_epsilon())?;
         let label = self.next_label("dpclustx");
         self.accountant.charge(label, total)?;
-        let outcome =
-            DpClustX::new(config).explain(&self.data, &labels, n_clusters, &mut self.rng)?;
+        let engine = ExplainEngine::new(config);
+        let outcome = match observer {
+            Some(obs) => engine.explain_observed(&mut self.ctx, &labels, n_clusters, obs)?,
+            None => engine.explain(&mut self.ctx, &labels, n_clusters)?,
+        };
         Ok(outcome.explanation)
     }
 
@@ -111,8 +142,9 @@ impl Session {
     pub fn noisy_histogram(&mut self, attr: usize, epsilon: Epsilon) -> Result<Vec<f64>, DpError> {
         let label = self.next_label("histogram");
         self.accountant.charge(label, epsilon)?;
-        let h = self.data.histogram(attr);
-        let mut noisy = GeometricHistogram.privatize(h.counts(), epsilon, &mut self.rng);
+        let (data, rng) = self.ctx.data_and_rng();
+        let h = data.histogram(attr);
+        let mut noisy = GeometricHistogram.privatize(h.counts(), epsilon, rng);
         clamp_non_negative(&mut noisy);
         Ok(noisy)
     }
@@ -126,13 +158,10 @@ impl Session {
     ) -> Result<f64, DpError> {
         let label = self.next_label("count");
         self.accountant.charge(label, epsilon)?;
-        let true_count = filter.count(&self.data) as i64;
-        let noisy = dpx_dp::geometric::geometric_mechanism(
-            true_count,
-            epsilon,
-            Sensitivity::ONE,
-            &mut self.rng,
-        );
+        let (data, rng) = self.ctx.data_and_rng();
+        let true_count = filter.count(data) as i64;
+        let noisy =
+            dpx_dp::geometric::geometric_mechanism(true_count, epsilon, Sensitivity::ONE, rng);
         Ok((noisy as f64).max(0.0))
     }
 
@@ -147,11 +176,12 @@ impl Session {
     ) -> Result<SvtOutcome, DpError> {
         let label = self.next_label("above-threshold");
         self.accountant.charge(label, epsilon)?;
+        let (data, rng) = self.ctx.data_and_rng();
         let counts: Vec<f64> = value_per_attr
             .iter()
-            .map(|&(a, v)| self.data.count(a, v) as f64)
+            .map(|&(a, v)| data.count(a, v) as f64)
             .collect();
-        above_threshold(&counts, threshold, epsilon, Sensitivity::ONE, &mut self.rng)
+        above_threshold(&counts, threshold, epsilon, Sensitivity::ONE, rng)
     }
 }
 
@@ -215,7 +245,7 @@ mod tests {
         let small = DpClustXConfig {
             eps_cand_set: 0.03,
             eps_top_comb: 0.03,
-            eps_hist: 0.03,
+            eps_hist: Some(0.03),
             ..Default::default()
         };
         s.explain(small).unwrap();
@@ -230,6 +260,28 @@ mod tests {
         assert_eq!(s.spent(), 0.0, "data-independent clustering costs nothing");
         s.explain(DpClustXConfig::default()).unwrap();
         assert!((s.spent() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_explains_reuse_memoized_counts() {
+        let mut s = Session::new(data(), Epsilon::new(2.0).unwrap(), 7);
+        let model = PredicateModel::new(2, |row: &[u32]| row[0] as usize);
+        s.set_clustering(&model);
+        assert_eq!(s.counts_cache_len(), 0);
+        s.explain(DpClustXConfig::default()).unwrap();
+        assert_eq!(s.counts_cache_len(), 1);
+        // Same clustering, different budget split: no new cache entry.
+        let other = DpClustXConfig {
+            eps_cand_set: 0.2,
+            ..Default::default()
+        };
+        s.explain(other).unwrap();
+        assert_eq!(s.counts_cache_len(), 1, "second explain must hit the cache");
+        // A different clustering builds (and memoizes) fresh tables.
+        let flipped = PredicateModel::new(2, |row: &[u32]| 1 - row[0] as usize);
+        s.set_clustering(&flipped);
+        s.explain(DpClustXConfig::default()).unwrap();
+        assert_eq!(s.counts_cache_len(), 2);
     }
 
     #[test]

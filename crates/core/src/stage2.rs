@@ -15,6 +15,7 @@
 
 use crate::counts::ScoreTable;
 use crate::explanation::{AttributeCombination, GlobalExplanation};
+use crate::parallel::ordered_parallel_map;
 use crate::quality::score::{GlScoreCache, Weights};
 use dpx_data::contingency::ClusteredCounts;
 use dpx_data::Schema;
@@ -23,7 +24,8 @@ use dpx_dp::consistency::enforce_partition_consistency;
 use dpx_dp::gumbel::sample_gumbel;
 use dpx_dp::histogram::{subtract_clamped, HistogramMechanism};
 use dpx_dp::DpError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Selects the noisy-best attribute combination from the candidate sets with
 /// the exponential mechanism at `eps_top_comb` (Algorithm 2, line 5).
@@ -36,6 +38,20 @@ pub fn select_combination<R: Rng + ?Sized>(
     eps_top_comb: Epsilon,
     rng: &mut R,
 ) -> Result<AttributeCombination, DpError> {
+    select_combination_counted(st, candidates, weights, eps_top_comb, rng).map(|(sel, _)| sel)
+}
+
+/// [`select_combination`] plus the number of combination leaves the DFS
+/// visited — which is exactly the number of Gumbel perturbations drawn. The
+/// engine observer reports this figure, and tests use it to prove the DFS
+/// enumerates the whole `k^|C|` space without silently skipping combinations.
+pub fn select_combination_counted<R: Rng + ?Sized>(
+    st: &ScoreTable,
+    candidates: &[Vec<usize>],
+    weights: Weights,
+    eps_top_comb: Epsilon,
+    rng: &mut R,
+) -> Result<(AttributeCombination, u64), DpError> {
     if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
         return Err(DpError::EmptyCandidateSet);
     }
@@ -48,6 +64,7 @@ pub fn select_combination<R: Rng + ?Sized>(
     let mut best_val = f64::NEG_INFINITY;
     let mut prefix: Vec<usize> = Vec::with_capacity(n);
     let mut partial: Vec<f64> = Vec::with_capacity(n + 1);
+    let mut leaves = 0u64;
     partial.push(0.0);
     dfs(
         &cache,
@@ -57,13 +74,15 @@ pub fn select_combination<R: Rng + ?Sized>(
         &mut partial,
         &mut best_choice,
         &mut best_val,
+        &mut leaves,
         rng,
     );
-    Ok(best_choice
+    let sel = best_choice
         .iter()
         .enumerate()
         .map(|(c, &i)| candidates[c][i])
-        .collect())
+        .collect();
+    Ok((sel, leaves))
 }
 
 /// DFS over combination space, maintaining the running `GlScore` prefix sum;
@@ -77,12 +96,14 @@ fn dfs<R: Rng + ?Sized>(
     partial: &mut Vec<f64>,
     best_choice: &mut Vec<usize>,
     best_val: &mut f64,
+    leaves: &mut u64,
     rng: &mut R,
 ) {
     let c = prefix.len();
     if c == candidates.len() {
         let score = *partial.last().expect("partial always has the root entry");
         let noisy = factor * score + sample_gumbel(1.0, rng);
+        *leaves += 1;
         if noisy > *best_val {
             *best_val = noisy;
             best_choice.copy_from_slice(prefix);
@@ -101,6 +122,7 @@ fn dfs<R: Rng + ?Sized>(
             partial,
             best_choice,
             best_val,
+            leaves,
             rng,
         );
         prefix.pop();
@@ -155,7 +177,7 @@ pub fn select_combination_exact(
 /// projection (free post-processing) whenever a single attribute explains
 /// every cluster.
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's parameter list
-pub fn generate_histograms<M: HistogramMechanism, R: Rng + ?Sized>(
+pub fn generate_histograms<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
     schema: &Schema,
     counts: &ClusteredCounts,
     assignment: &AttributeCombination,
@@ -163,6 +185,40 @@ pub fn generate_histograms<M: HistogramMechanism, R: Rng + ?Sized>(
     mechanism: &M,
     consistency: bool,
     accountant: &mut Accountant,
+    rng: &mut R,
+) -> Result<GlobalExplanation, DpError> {
+    generate_histograms_with(
+        schema,
+        counts,
+        assignment,
+        eps_hist,
+        mechanism,
+        consistency,
+        accountant,
+        1,
+        rng,
+    )
+}
+
+/// [`generate_histograms`] with explicit worker-thread count — the engine's
+/// release stage.
+///
+/// Noise draws are split from `rng` up front (one seed per full-data
+/// histogram in distinct-attribute order, then one per cluster histogram in
+/// cluster order), each noisy release runs on its own `StdRng`, and the
+/// accountant is charged after the map in the same deterministic order as the
+/// sequential loop — so the released histograms and the audit trail are
+/// **bit-identical for every `threads` value**.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's parameter list
+pub fn generate_histograms_with<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
+    schema: &Schema,
+    counts: &ClusteredCounts,
+    assignment: &AttributeCombination,
+    eps_hist: Epsilon,
+    mechanism: &M,
+    consistency: bool,
+    accountant: &mut Accountant,
+    threads: usize,
     rng: &mut R,
 ) -> Result<GlobalExplanation, DpError> {
     let n_clusters = counts.n_clusters();
@@ -177,11 +233,17 @@ pub fn generate_histograms<M: HistogramMechanism, R: Rng + ?Sized>(
     let eps_all = eps_hist.split(2).split(distinct.len());
     let eps_cluster = eps_hist.split(2);
 
-    // Lines 8–10: full-data noisy histograms (sequential composition).
-    let mut full: Vec<(usize, Vec<f64>)> = Vec::with_capacity(distinct.len());
-    for &a in &distinct {
+    // Lines 8–10: full-data noisy histograms (sequential composition). Seeds
+    // are drawn in distinct-attribute order before the map; charges land in
+    // the same order after it.
+    let full_tasks: Vec<(usize, u64)> = distinct.iter().map(|&a| (a, rng.gen())).collect();
+    let full_noisy: Vec<Vec<f64>> = ordered_parallel_map(full_tasks, threads, |&(a, seed)| {
         let h = counts.table(a).marginal_histogram();
-        let noisy = mechanism.privatize(h.counts(), eps_all, rng);
+        let mut task_rng = StdRng::seed_from_u64(seed);
+        mechanism.privatize(h.counts(), eps_all, &mut task_rng)
+    });
+    let mut full: Vec<(usize, Vec<f64>)> = Vec::with_capacity(distinct.len());
+    for (&a, noisy) in distinct.iter().zip(full_noisy) {
         accountant.charge(
             format!("stage2/hist-full/{}", schema.attribute(a).name),
             eps_all,
@@ -189,11 +251,21 @@ pub fn generate_histograms<M: HistogramMechanism, R: Rng + ?Sized>(
         full.push((a, noisy));
     }
 
-    // Lines 11–15: per-cluster noisy histograms (parallel composition).
-    let mut cluster_noisy: Vec<Vec<f64>> = Vec::with_capacity(n_clusters);
-    for (c, &a) in assignment.iter().enumerate() {
-        let h_c = counts.table(a).cluster_histogram(c);
-        cluster_noisy.push(mechanism.privatize(h_c.counts(), eps_cluster, rng));
+    // Lines 11–15: per-cluster noisy histograms (parallel composition —
+    // in the privacy sense across disjoint clusters, and here also in the
+    // wall-clock sense).
+    let cluster_tasks: Vec<(usize, usize, u64)> = assignment
+        .iter()
+        .enumerate()
+        .map(|(c, &a)| (c, a, rng.gen()))
+        .collect();
+    let mut cluster_noisy: Vec<Vec<f64>> =
+        ordered_parallel_map(cluster_tasks, threads, |&(c, a, seed)| {
+            let h_c = counts.table(a).cluster_histogram(c);
+            let mut task_rng = StdRng::seed_from_u64(seed);
+            mechanism.privatize(h_c.counts(), eps_cluster, &mut task_rng)
+        });
+    for c in 0..n_clusters {
         accountant.charge_parallel("stage2/hist-cluster", format!("c{c}"), eps_cluster)?;
     }
 
@@ -406,6 +478,65 @@ mod tests {
     }
 
     #[test]
+    fn dfs_agrees_with_exact_and_draws_one_gumbel_per_combination() {
+        // Three clusters × k = 3 candidates ⇒ 27 combinations. At very large
+        // ε the Gumbel perturbations cannot overturn the score ordering, so
+        // the DFS must reproduce the exhaustive argmax; the leaf counter must
+        // show the full k^|C| enumeration.
+        let a0 = AttrCounts::new(
+            vec![vec![90.0, 10.0], vec![80.0, 120.0], vec![10.0, 40.0]],
+            vec![180.0, 170.0],
+        );
+        let a1 = AttrCounts::new(
+            vec![vec![30.0, 70.0], vec![10.0, 190.0], vec![45.0, 5.0]],
+            vec![85.0, 265.0],
+        );
+        let a2 = AttrCounts::new(
+            vec![vec![50.0, 50.0], vec![100.0, 100.0], vec![25.0, 25.0]],
+            vec![175.0, 175.0],
+        );
+        let st = ScoreTable::new(vec![a0, a1, a2]);
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2]; 3];
+        let mut r = StdRng::seed_from_u64(21);
+        let (sel, leaves) =
+            select_combination_counted(&st, &candidates, w, Epsilon::new(1e7).unwrap(), &mut r)
+                .unwrap();
+        assert_eq!(sel, select_combination_exact(&st, &candidates, w));
+        assert_eq!(leaves, 27, "DFS must visit all k^|C| = 3^3 combinations");
+    }
+
+    #[test]
+    fn dfs_rng_consumption_is_exactly_one_gumbel_per_leaf() {
+        // Twin RNGs from one seed: run the DFS on one, draw the claimed
+        // number of Gumbels from the other by hand. If the streams still
+        // agree afterwards, the DFS consumed *exactly* `leaves` Gumbel draws —
+        // no combination was silently skipped, none double-sampled.
+        let st = table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2], vec![0, 1, 2]];
+        let mut dfs_rng = StdRng::seed_from_u64(22);
+        let mut twin = StdRng::seed_from_u64(22);
+        let (_, leaves) = select_combination_counted(
+            &st,
+            &candidates,
+            w,
+            Epsilon::new(0.7).unwrap(),
+            &mut dfs_rng,
+        )
+        .unwrap();
+        assert_eq!(leaves, 9, "k^|C| = 3^2");
+        for _ in 0..leaves {
+            let _ = sample_gumbel(1.0, &mut twin);
+        }
+        assert_eq!(
+            dfs_rng.gen::<u64>(),
+            twin.gen::<u64>(),
+            "RNG streams diverged: DFS draw count differs from its leaf count"
+        );
+    }
+
+    #[test]
     fn empty_candidate_sets_rejected() {
         let st = table();
         let mut r = StdRng::seed_from_u64(7);
@@ -487,6 +618,42 @@ mod tests {
         // |A'| = 1: full histogram at ε/2 once + cluster histograms ε/2 = ε.
         assert!((acc.spent() - 0.4).abs() < 1e-9, "spent {}", acc.spent());
         assert_eq!(acc.sequential_charges().count(), 1);
+    }
+
+    #[test]
+    fn parallel_histogram_release_is_bit_identical_to_sequential() {
+        let (data, labels) = small_dataset();
+        let counts = ClusteredCounts::build(&data, &labels, 2);
+        let eps = Epsilon::new(0.4).unwrap();
+        let release = |threads: usize, seed: u64| {
+            let mut acc = Accountant::new();
+            let mut r = StdRng::seed_from_u64(seed);
+            let expl = generate_histograms_with(
+                data.schema(),
+                &counts,
+                &vec![0, 1],
+                eps,
+                &GeometricHistogram,
+                false,
+                &mut acc,
+                threads,
+                &mut r,
+            )
+            .unwrap();
+            (expl, acc.spent())
+        };
+        for seed in [8, 81, 82] {
+            let (seq, seq_spent) = release(1, seed);
+            for threads in [2, 4, 8] {
+                let (par, par_spent) = release(threads, seed);
+                assert_eq!(par_spent, seq_spent);
+                for (p, s) in par.per_cluster.iter().zip(&seq.per_cluster) {
+                    assert_eq!(p.attribute, s.attribute);
+                    assert_eq!(p.hist_cluster, s.hist_cluster, "threads {threads}");
+                    assert_eq!(p.hist_rest, s.hist_rest, "threads {threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl std::error::Error for PairError {}
 /// Runs DPClustX over attribute-*pair* candidates: the candidate space is
 /// the given `pairs`, each treated as one product attribute. Spends exactly
 /// the budget of `config` (Theorem 5.1 applies unchanged).
-pub fn explain_pairs<M: HistogramMechanism, R: Rng + ?Sized>(
+pub fn explain_pairs<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
     data: &Dataset,
     labels: &[usize],
     n_clusters: usize,
@@ -151,7 +151,7 @@ mod tests {
             k: 1,
             eps_cand_set: 100.0,
             eps_top_comb: 100.0,
-            eps_hist: 10.0,
+            eps_hist: Some(10.0),
             ..Default::default()
         };
         let out = explain_pairs(
@@ -184,7 +184,7 @@ mod tests {
                 k: 1,
                 eps_cand_set: 10.0,
                 eps_top_comb: 10.0,
-                eps_hist: 10.0,
+                eps_hist: Some(10.0),
                 ..Default::default()
             },
             &GeometricHistogram,

@@ -312,7 +312,7 @@ proptest! {
                         k: 2,
                         eps_cand_set: eps.get() / 3.0,
                         eps_top_comb: eps.get() / 3.0,
-                        eps_hist: eps.get() / 3.0,
+                        eps_hist: Some(eps.get() / 3.0),
                         weights: Weights::equal(),
                         consistency: false,
                     })

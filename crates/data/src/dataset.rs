@@ -7,6 +7,7 @@
 //! projection `π_A(D)` a zero-copy slice borrow.
 
 use crate::error::DataError;
+use crate::fingerprint::Fnv1a;
 use crate::histogram::Histogram;
 use crate::schema::Schema;
 
@@ -123,6 +124,31 @@ impl Dataset {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.n_rows == 0
+    }
+
+    /// A stable 64-bit content fingerprint over the schema (attribute names,
+    /// domain labels) and every cell, in column order. Two datasets share a
+    /// fingerprint iff they are equal up to FNV-1a collisions, which makes it
+    /// suitable as a cache key (e.g. the explanation engine's counts cache)
+    /// but not as a cryptographic commitment. Cost is one full scan, so
+    /// callers should compute it once and reuse it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.schema.arity());
+        for attr in self.schema.attributes() {
+            h.write_str(&attr.name);
+            h.write_usize(attr.domain.size());
+            for (_, label) in attr.domain.iter() {
+                h.write_str(label);
+            }
+        }
+        h.write_usize(self.n_rows);
+        for col in &self.columns {
+            for &v in col {
+                h.write_u32(v);
+            }
+        }
+        h.finish()
     }
 
     /// The projection `π_A(D)` of the dataset onto attribute index `a`, as a
@@ -267,6 +293,28 @@ mod tests {
         assert!(Dataset::from_columns(s.clone(), vec![vec![0, 9], vec![0, 1]]).is_err());
         let ok = Dataset::from_columns(s, vec![vec![0, 1], vec![0, 1]]).unwrap();
         assert_eq!(ok.n_rows(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_schema_and_cells() {
+        let ds = Dataset::from_rows(small_schema(), &[vec![0, 1], vec![2, 0]]).unwrap();
+        let base = ds.fingerprint();
+        let same = Dataset::from_rows(small_schema(), &[vec![0, 1], vec![2, 0]]).unwrap();
+        assert_eq!(same.fingerprint(), base, "equal data → equal fingerprint");
+
+        let cell = Dataset::from_rows(small_schema(), &[vec![0, 1], vec![2, 1]]).unwrap();
+        assert_ne!(cell.fingerprint(), base, "one changed cell must show");
+
+        let swapped = Dataset::from_rows(small_schema(), &[vec![2, 0], vec![0, 1]]).unwrap();
+        assert_ne!(swapped.fingerprint(), base, "row order must show");
+
+        let renamed = Schema::new(vec![
+            Attribute::new("a", Domain::indexed(3)).unwrap(),
+            Attribute::new("c", Domain::indexed(2)).unwrap(),
+        ])
+        .unwrap();
+        let other = Dataset::from_rows(renamed, &[vec![0, 1], vec![2, 0]]).unwrap();
+        assert_ne!(other.fingerprint(), base, "schema must show");
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Stable content fingerprints for datasets and label vectors.
+//!
+//! The explanation engine memoizes `ClusteredCounts`/`ScoreTable` pairs keyed
+//! by *(dataset fingerprint, labels hash)*; both halves of the key come from
+//! here. The hash is FNV-1a (64-bit), hand-rolled so the crate stays
+//! dependency-free and the fingerprint is stable across platforms and Rust
+//! releases — `std::hash::Hasher` implementations make no such promise.
+//! These are cache keys, not cryptographic commitments: collisions are
+//! astronomically unlikely for the workloads involved but not adversarially
+//! hard to produce.
+
+/// A 64-bit FNV-1a hasher over an explicit byte/tag stream.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize`, widened to `u64` so 32- and 64-bit platforms agree.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a cluster-label vector together with the declared cluster count —
+/// the second half of the engine's counts-cache key. Two labelings agree iff
+/// they assign every row identically *and* declare the same `n_clusters`
+/// (an empty declared cluster changes the counts tables).
+pub fn hash_labels(labels: &[usize], n_clusters: usize) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(n_clusters);
+    h.write_usize(labels.len());
+    for &l in labels {
+        h.write_usize(l);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_test_vectors() {
+        // Standard FNV-1a 64 vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn str_hashing_is_length_prefixed() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn label_hash_distinguishes_permutations_and_cluster_counts() {
+        let base = hash_labels(&[0, 1, 0, 1], 2);
+        assert_eq!(hash_labels(&[0, 1, 0, 1], 2), base, "deterministic");
+        assert_ne!(hash_labels(&[1, 0, 0, 1], 2), base, "order matters");
+        assert_ne!(
+            hash_labels(&[0, 1, 0, 1], 3),
+            base,
+            "declared cluster count matters"
+        );
+        assert_ne!(hash_labels(&[0, 1, 0], 2), base, "length matters");
+    }
+}

@@ -36,6 +36,7 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod filter;
+pub mod fingerprint;
 pub mod histogram;
 pub mod product;
 pub mod sample;
@@ -47,5 +48,6 @@ pub mod synth;
 pub use contingency::ContingencyTable;
 pub use dataset::Dataset;
 pub use error::DataError;
+pub use fingerprint::{hash_labels, Fnv1a};
 pub use histogram::Histogram;
 pub use schema::{Attribute, Domain, Schema};

@@ -120,6 +120,22 @@ pub enum ChargeKind {
     Parallel,
 }
 
+/// A position in an [`Accountant`]'s ledger, captured with
+/// [`Accountant::mark`]. Passing it back to [`Accountant::charges_since`] or
+/// [`Accountant::spent_since`] isolates the charges recorded after the mark —
+/// how the engine's observer attributes ε to individual pipeline stages
+/// without the accountant having to know about stages.
+#[derive(Debug, Clone)]
+pub struct LedgerMark {
+    /// Number of sequential charges at mark time.
+    sequential_len: usize,
+    /// Member count per parallel group at mark time (groups are append-only,
+    /// so groups beyond this vector's length are entirely new).
+    parallel_lens: Vec<usize>,
+    /// Total ε spent at mark time.
+    spent: f64,
+}
+
 /// A privacy-budget accountant with an optional hard cap.
 ///
 /// Charges tagged [`ChargeKind::Sequential`] add up; charges recorded through
@@ -237,6 +253,44 @@ impl Accountant {
         self.parallel
             .iter()
             .map(|(g, max, m)| (g.as_str(), *max, m.as_slice()))
+    }
+
+    /// Captures the current ledger position for later delta queries.
+    pub fn mark(&self) -> LedgerMark {
+        LedgerMark {
+            sequential_len: self.sequential.len(),
+            parallel_lens: self.parallel.iter().map(|(_, _, m)| m.len()).collect(),
+            spent: self.spent(),
+        }
+    }
+
+    /// All individual charges recorded after `mark`, in recording order
+    /// (sequential charges first, then new parallel-group members). Labels of
+    /// parallel members are qualified as `group/member`.
+    pub fn charges_since(&self, mark: &LedgerMark) -> Vec<Charge> {
+        let mut out: Vec<Charge> = self
+            .sequential
+            .iter()
+            .skip(mark.sequential_len)
+            .cloned()
+            .collect();
+        for (i, (group, _, members)) in self.parallel.iter().enumerate() {
+            let seen = mark.parallel_lens.get(i).copied().unwrap_or(0);
+            for c in members.iter().skip(seen) {
+                out.push(Charge {
+                    label: format!("{group}/{}", c.label),
+                    epsilon: c.epsilon,
+                    kind: c.kind,
+                });
+            }
+        }
+        out
+    }
+
+    /// ε spent since `mark` (accounting for parallel-composition maxima, so
+    /// deltas over all stages sum to [`Accountant::spent`]).
+    pub fn spent_since(&self, mark: &LedgerMark) -> f64 {
+        self.spent() - mark.spent
     }
 
     /// Renders a human-readable audit trail of the spend.
@@ -371,6 +425,61 @@ mod tests {
         for i in 0..3 {
             acc.charge(format!("p{i}"), part).unwrap();
         }
+    }
+
+    #[test]
+    fn ledger_mark_isolates_stage_charges() {
+        let mut acc = Accountant::new();
+        acc.charge("stage1", Epsilon::new(0.1).unwrap()).unwrap();
+        let mark = acc.mark();
+        assert!(acc.charges_since(&mark).is_empty());
+        assert_eq!(acc.spent_since(&mark), 0.0);
+
+        acc.charge("stage2", Epsilon::new(0.2).unwrap()).unwrap();
+        acc.charge_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        acc.charge_parallel("hist", "c1", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        let delta = acc.charges_since(&mark);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta[0].label, "stage2");
+        assert_eq!(delta[1].label, "hist/c0");
+        assert_eq!(delta[2].label, "hist/c1");
+        // Parallel group counts once: 0.2 + max(0.05, 0.05).
+        assert!((acc.spent_since(&mark) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_mark_sees_new_members_of_old_parallel_groups() {
+        let mut acc = Accountant::new();
+        acc.charge_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        let mark = acc.mark();
+        acc.charge_parallel("hist", "c1", Epsilon::new(0.07).unwrap())
+            .unwrap();
+        let delta = acc.charges_since(&mark);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].label, "hist/c1");
+        // The max rose from 0.05 to 0.07 → delta is the increment only.
+        assert!((acc.spent_since(&mark) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_deltas_sum_to_total_spend() {
+        let mut acc = Accountant::new();
+        let m0 = acc.mark();
+        acc.charge("a", Epsilon::new(0.1).unwrap()).unwrap();
+        let m1 = acc.mark();
+        acc.charge_parallel("g", "x", Epsilon::new(0.3).unwrap())
+            .unwrap();
+        let m2 = acc.mark();
+        acc.charge("b", Epsilon::new(0.2).unwrap()).unwrap();
+        let total = acc.spent_since(&m0);
+        let parts = acc.spent_since(&m0) - acc.spent_since(&m1)
+            + (acc.spent_since(&m1) - acc.spent_since(&m2))
+            + acc.spent_since(&m2);
+        assert!((parts - total).abs() < 1e-12);
+        assert!((total - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn main() {
         k: 3,
         eps_cand_set: 0.1,
         eps_top_comb: 0.1,
-        eps_hist: 0.1,
+        eps_hist: Some(0.1),
         weights: Weights::equal(),
         consistency: false,
     };

@@ -14,6 +14,9 @@ pub use dpx_dp as dp;
 pub mod prelude {
     pub use dpclustx::baselines::tabee;
     pub use dpclustx::counts::ScoreTable;
+    pub use dpclustx::engine::{
+        CollectingObserver, ExplainContext, ExplainEngine, NoopObserver, PipelineObserver,
+    };
     pub use dpclustx::eval::{mae, quality, QualityEvaluator};
     pub use dpclustx::explanation::{GlobalExplanation, SingleClusterExplanation};
     pub use dpclustx::framework::{DpClustX, DpClustXConfig};

@@ -92,7 +92,7 @@ fn generous_budget_recovers_ground_truth_signal() {
     let cfg = DpClustXConfig {
         eps_cand_set: 1_000.0,
         eps_top_comb: 1_000.0,
-        eps_hist: 10.0,
+        eps_hist: Some(10.0),
         ..Default::default()
     };
     let outcome = DpClustX::new(cfg)
@@ -135,7 +135,7 @@ fn works_with_user_defined_predicate_clustering() {
     let outcome = DpClustX::new(DpClustXConfig {
         eps_cand_set: 50.0,
         eps_top_comb: 50.0,
-        eps_hist: 1.0,
+        eps_hist: Some(1.0),
         ..Default::default()
     })
     .explain(&data, &labels, 2, &mut rng)

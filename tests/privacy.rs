@@ -123,7 +123,7 @@ fn full_pipeline_budget_is_theorem_5_1() {
         k: 2,
         eps_cand_set: 0.05,
         eps_top_comb: 0.2,
-        eps_hist: 0.12,
+        eps_hist: Some(0.12),
         weights: Weights::equal(),
         consistency: false,
     };
@@ -146,7 +146,7 @@ fn histogram_noise_scales_with_budget() {
         let cfg = DpClustXConfig {
             eps_cand_set: 100.0,
             eps_top_comb: 100.0,
-            eps_hist,
+            eps_hist: Some(eps_hist),
             ..Default::default()
         };
         let outcome = DpClustX::new(cfg)
