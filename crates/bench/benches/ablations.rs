@@ -1,13 +1,15 @@
 //! Criterion ablations for the design choices called out in DESIGN.md:
 //! one-shot top-k vs iterated exponential mechanism, the contingency-count
-//! cache vs naive per-candidate rescoring, and geometric vs Laplace
-//! histogram mechanisms (their accuracy comparison lives in
-//! `exp_hist_accuracy`).
+//! cache vs naive per-candidate rescoring, the flat counting kernel vs the
+//! naive nested-layout build, and geometric vs Laplace histogram mechanisms
+//! (their accuracy comparison lives in `exp_hist_accuracy`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpclustx::quality::score::{glscore, GlScoreCache, Weights};
+use dpx_bench::counts_ablation::naive_build;
 use dpx_bench::{DatasetKind, ExperimentContext};
 use dpx_clustering::ClusteringMethod;
+use dpx_data::contingency::ClusteredCounts;
 use dpx_dp::budget::{Epsilon, Sensitivity};
 use dpx_dp::topk::{iterated_top_k, one_shot_top_k};
 use rand::rngs::StdRng;
@@ -93,5 +95,30 @@ fn bench_counts_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_topk_vs_iterated, bench_counts_cache);
+fn bench_counts_kernels(c: &mut Criterion) {
+    // The same three kernels fig9_time's bench mode times; criterion gives
+    // the statistically careful version on a fixed mid-size input.
+    let synth = DatasetKind::Diabetes.generate(100_000, 5, 42);
+    let (data, labels) = (&synth.data, &synth.latent_groups);
+    let mut g = c.benchmark_group("counts");
+    g.bench_function("naive", |b| b.iter(|| naive_build(data, labels, 5)));
+    g.bench_function("flat_serial", |b| {
+        b.iter(|| ClusteredCounts::build(data, labels, 5))
+    });
+    for threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("flat_parallel", threads),
+            &threads,
+            |b, &threads| b.iter(|| ClusteredCounts::build_parallel(data, labels, 5, threads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topk_vs_iterated,
+    bench_counts_cache,
+    bench_counts_kernels
+);
 criterion_main!(benches);

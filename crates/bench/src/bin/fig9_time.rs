@@ -6,17 +6,29 @@
 //! * `candidates` — 9b: time vs Stage-1 candidate-set size `k` at 9 clusters.
 //! * `attributes` — 9c: time vs fraction of attributes used.
 //! * `rows`       — 9d: time vs fraction of tuples used.
+//! * `bench`      — machine-readable perf harness: emits `BENCH_fig9.json`
+//!   (default `results/BENCH_fig9.json`, override with `--out`) containing
+//!   the counts-kernel ablation (naive PR-1 build vs flat serial vs flat
+//!   parallel) swept over rows, attribute subsets, and cluster counts, plus
+//!   the Stage-2 enumerator node rate (iterative odometer vs recursive DFS).
 //!
 //! ```text
 //! cargo run -p dpx-bench --release --bin fig9_time -- --mode clusters
+//! cargo run -p dpx-bench --release --bin fig9_time -- --mode bench \
+//!     --dataset diabetes --rows 1000000 --threads 4
 //! ```
 
 use dpclustx::engine::{ExplainEngine, NoopObserver};
 use dpclustx::framework::DpClustXConfig;
+use dpclustx::stage2::{select_combination_counted, select_combination_counted_recursive};
+use dpclustx::Weights;
+use dpx_bench::counts_ablation::{run_counts_ablation, CountsAblation};
 use dpx_bench::table::{mean, Table};
-use dpx_bench::{Args, DatasetKind, ExperimentContext};
+use dpx_bench::{Args, DatasetKind, ExperimentContext, Json};
 use dpx_clustering::ClusteringMethod;
+use dpx_data::contingency::ClusteredCounts;
 use dpx_data::sample::{sample_attributes, sample_rows};
+use dpx_dp::budget::Epsilon;
 use dpx_dp::histogram::GeometricHistogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -173,6 +185,198 @@ fn main() {
             }
             table.print();
         }
-        other => panic!("unknown mode '{other}' (clusters|candidates|attributes|rows)"),
+        "bench" => {
+            // Fewer timing runs by default here: every cell re-counts the full
+            // dataset several times, and the cells are means already.
+            let runs = args.usize("runs", 3);
+            run_bench_mode(&args, &datasets, runs, seed);
+        }
+        other => panic!("unknown mode '{other}' (clusters|candidates|attributes|rows|bench)"),
     }
+}
+
+/// Renders one counts-ablation cell as a JSON object.
+fn ablation_json(abl: &CountsAblation) -> Json {
+    let kernels: Vec<Json> = abl
+        .timings
+        .iter()
+        .map(|t| {
+            Json::object()
+                .field("kernel", t.kernel.as_str())
+                .field("seconds", t.seconds)
+                .field("speedup_vs_naive", t.speedup_vs_naive)
+        })
+        .collect();
+    Json::object()
+        .field("rows", abl.rows)
+        .field("attributes", abl.attributes)
+        .field("clusters", abl.clusters)
+        .field("kernels", kernels)
+}
+
+/// The `--mode bench` harness: counts-kernel ablation sweeps plus the Stage-2
+/// enumerator node rate, written to `--out` as pretty-printed JSON.
+///
+/// Labels come straight from the generator's latent groups — the harness
+/// measures the counting and enumeration kernels, not clustering, so it skips
+/// the (slow, irrelevant) model fit that the paper-figure modes pay for.
+fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64) {
+    let kind = *datasets.first().expect("at least one dataset");
+    let base_rows = args.usize("rows", 1_000_000);
+    let n_clusters = args.usize("clusters", 9);
+    let threads = args.usize_list("threads", &[4]);
+    let row_counts = args.usize_list("rows-sweep", &[base_rows / 4, base_rows / 2, base_rows]);
+    let attr_fractions = args.f64_list("attr-fractions", &[0.25, 0.5, 1.0]);
+    let cluster_counts = args.usize_list("clusters-sweep", &[3, n_clusters]);
+    let ks = args.usize_list("k", &[2, 3]);
+    let out = args.string("out", "results/BENCH_fig9.json");
+
+    eprintln!("# generating {} rows of {}", base_rows, kind.name());
+    let synth = kind.generate(base_rows, n_clusters, seed);
+    let data = synth.data;
+    let labels = synth.latent_groups;
+
+    // Rows sweep: prefixes of the generated dataset, full schema.
+    let mut rows_cells = Vec::new();
+    for &r in &row_counts {
+        let r = r.min(base_rows).max(1);
+        eprintln!("# counts ablation: {r} rows");
+        let keep: Vec<usize> = (0..r).collect();
+        let d = data.select_rows(&keep);
+        let l = labels[..r].to_vec();
+        rows_cells.push(run_counts_ablation(&d, &l, n_clusters, &threads, runs));
+    }
+
+    // Attributes sweep: deterministic attribute subsets at full rows.
+    let mut attr_cells = Vec::new();
+    for &frac in &attr_fractions {
+        let mut srng = StdRng::seed_from_u64(seed ^ 0xA77);
+        let attrs = sample_attributes(data.schema().arity(), frac, &mut srng);
+        eprintln!("# counts ablation: {} attributes", attrs.len());
+        let d = data.select_attributes(&attrs);
+        attr_cells.push(run_counts_ablation(&d, &labels, n_clusters, &threads, runs));
+    }
+
+    // Clusters sweep: same data, labels folded into fewer/more clusters.
+    let mut cluster_cells = Vec::new();
+    for &c in &cluster_counts {
+        let c = c.max(1);
+        eprintln!("# counts ablation: {c} clusters");
+        let l: Vec<usize> = labels.iter().map(|&g| g % c).collect();
+        cluster_cells.push(run_counts_ablation(&data, &l, c, &threads, runs));
+    }
+
+    // Headline cell for the acceptance check: full rows, full schema.
+    let headline = rows_cells
+        .iter()
+        .max_by_key(|a| a.rows)
+        .expect("rows sweep is non-empty")
+        .clone();
+
+    // Stage-2 node rate: iterative odometer vs the recursive DFS reference,
+    // on the real score table, with twin RNGs so the comparison doubles as an
+    // end-to-end equivalence check.
+    let counts = ClusteredCounts::build_parallel(
+        &data,
+        &labels,
+        n_clusters,
+        threads.last().copied().unwrap_or(1),
+    );
+    let st = dpclustx::ScoreTable::from_clustered_counts(&counts);
+    let eps = Epsilon::new(1.0).expect("1.0 is a valid epsilon");
+    let mut stage2_cells = Vec::new();
+    for &k in &ks {
+        let k = k.max(1).min(data.schema().arity());
+        let candidates: Vec<Vec<usize>> = (0..n_clusters).map(|_| (0..k).collect()).collect();
+        eprintln!("# stage-2 node rate: k={k} ({n_clusters} clusters)");
+        let mut it_secs = 0.0;
+        let mut rec_secs = 0.0;
+        let mut leaves = 0u64;
+        for run in 0..runs.max(1) {
+            let run_seed = seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(run_seed);
+            let t0 = Instant::now();
+            let (sel_it, n_it) =
+                select_combination_counted(&st, &candidates, Weights::default(), eps, &mut rng)
+                    .expect("non-empty candidate sets");
+            it_secs += t0.elapsed().as_secs_f64();
+            let mut rng = StdRng::seed_from_u64(run_seed);
+            let t0 = Instant::now();
+            let (sel_rec, n_rec) = select_combination_counted_recursive(
+                &st,
+                &candidates,
+                Weights::default(),
+                eps,
+                &mut rng,
+            )
+            .expect("non-empty candidate sets");
+            rec_secs += t0.elapsed().as_secs_f64();
+            assert_eq!(sel_it, sel_rec, "enumerators disagree on the argmax");
+            assert_eq!(n_it, n_rec, "enumerators visited different leaf counts");
+            leaves = n_it;
+        }
+        let n = runs.max(1) as f64;
+        let (it_secs, rec_secs) = (it_secs / n, rec_secs / n);
+        stage2_cells.push(
+            Json::object()
+                .field("clusters", n_clusters)
+                .field("k", k)
+                .field("leaves", leaves)
+                .field("iterative_seconds", it_secs)
+                .field("recursive_seconds", rec_secs)
+                .field("iterative_leaves_per_sec", leaves as f64 / it_secs)
+                .field("recursive_leaves_per_sec", leaves as f64 / rec_secs)
+                .field("speedup", rec_secs / it_secs),
+        );
+    }
+
+    let doc = Json::object()
+        .field("bench", "fig9")
+        .field("dataset", kind.name())
+        .field("seed", seed)
+        .field("runs", runs)
+        .field(
+            "threads",
+            threads
+                .iter()
+                .map(|&t| Json::Num(t as f64))
+                .collect::<Vec<_>>(),
+        )
+        .field("headline", ablation_json(&headline))
+        .field(
+            "sweeps",
+            Json::object()
+                .field(
+                    "rows",
+                    rows_cells.iter().map(ablation_json).collect::<Vec<_>>(),
+                )
+                .field(
+                    "attributes",
+                    attr_cells.iter().map(ablation_json).collect::<Vec<_>>(),
+                )
+                .field(
+                    "clusters",
+                    cluster_cells.iter().map(ablation_json).collect::<Vec<_>>(),
+                ),
+        )
+        .field("stage2_node_rate", stage2_cells);
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, doc.pretty()).expect("write BENCH json");
+    eprintln!("# wrote {out}");
+
+    // Human-readable summary of the headline cell on stdout.
+    let mut table = Table::new(["kernel", "seconds", "speedup-vs-naive"]);
+    for t in &headline.timings {
+        table.row([
+            t.kernel.clone(),
+            format!("{:.4}", t.seconds),
+            format!("{:.2}x", t.speedup_vs_naive),
+        ]);
+    }
+    table.print();
 }

@@ -40,9 +40,12 @@ impl ExperimentContext {
     }
 
     /// Builds a context from existing data and labels (used by the sampling
-    /// and correlation experiments).
+    /// and correlation experiments). Counts come from the chunked parallel
+    /// kernel — bit-identical to the serial build, so prepared-counts
+    /// experiments are unaffected by the machine's core count.
     pub fn from_parts(data: Dataset, labels: Vec<usize>, n_clusters: usize) -> Self {
-        let counts = ClusteredCounts::build(&data, &labels, n_clusters);
+        let threads = dpclustx::parallel::default_threads(data.n_rows());
+        let counts = ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads);
         let st = ScoreTable::from_clustered_counts(&counts);
         ExperimentContext {
             data,
@@ -55,7 +58,7 @@ impl ExperimentContext {
 
     /// Per-cluster sizes, for reporting.
     pub fn cluster_sizes(&self) -> Vec<u64> {
-        self.counts.cluster_sizes()
+        self.counts.cluster_sizes().to_vec()
     }
 }
 

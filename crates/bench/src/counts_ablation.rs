@@ -1,0 +1,188 @@
+//! The `counts` ablation: flat parallel counting kernel vs the PR-1 naive
+//! serial build.
+//!
+//! Shared by the criterion `ablations` bench (group `counts`) and the
+//! `fig9_time --mode bench` JSON emitter, so `results/bench_ablations.txt`
+//! and `BENCH_fig9.json` measure exactly the same three kernels:
+//!
+//! * **naive** — the historical (PR-1) `ClusteredCounts::build`: one serial
+//!   column scan per attribute into nested `Vec<Vec<u64>>`, with a label
+//!   bounds-check per row and marginal/size increments inline. Re-implemented
+//!   here verbatim as the ablation baseline.
+//! * **serial** — today's flat kernel at `threads = 1`: labels validated once
+//!   up front, one contiguous stride-indexed table per attribute, marginal
+//!   and sizes derived by exact sums after the scan.
+//! * **parallel** — the same kernel with rows split into per-thread chunks,
+//!   thread-local flat tables merged by vector addition.
+
+use dpx_data::contingency::ClusteredCounts;
+use dpx_data::Dataset;
+use std::time::Instant;
+
+/// The PR-1 nested-layout contingency counts, kept only as the ablation
+/// baseline. Deliberately preserves the historical inner loop: per-row label
+/// assert, per-row marginal and cluster-size increments, one full column scan
+/// per attribute.
+pub struct NaiveCounts {
+    /// `cluster_counts[a][c][v] = cnt_{A_a=v}(D_c)`.
+    pub cluster_counts: Vec<Vec<Vec<u64>>>,
+    /// `marginal[a][v] = cnt_{A_a=v}(D)`.
+    pub marginal: Vec<Vec<u64>>,
+    /// `cluster_sizes[a][c] = |D_c|` (recomputed per attribute, as PR-1 did).
+    pub cluster_sizes: Vec<Vec<u64>>,
+}
+
+/// Builds [`NaiveCounts`] exactly the way the PR-1 serial build did.
+pub fn naive_build(data: &Dataset, labels: &[usize], n_clusters: usize) -> NaiveCounts {
+    let arity = data.schema().arity();
+    let mut cluster_counts = Vec::with_capacity(arity);
+    let mut marginal = Vec::with_capacity(arity);
+    let mut cluster_sizes = Vec::with_capacity(arity);
+    for a in 0..arity {
+        assert_eq!(
+            labels.len(),
+            data.n_rows(),
+            "one cluster label per tuple required"
+        );
+        let dom = data.schema().attribute(a).domain.size();
+        let mut counts = vec![vec![0u64; dom]; n_clusters];
+        let mut marg = vec![0u64; dom];
+        let mut sizes = vec![0u64; n_clusters];
+        for (&v, &c) in data.column(a).iter().zip(labels) {
+            assert!(c < n_clusters, "label {c} out of range ({n_clusters})");
+            counts[c][v as usize] += 1;
+            marg[v as usize] += 1;
+            sizes[c] += 1;
+        }
+        cluster_counts.push(counts);
+        marginal.push(marg);
+        cluster_sizes.push(sizes);
+    }
+    NaiveCounts {
+        cluster_counts,
+        marginal,
+        cluster_sizes,
+    }
+}
+
+/// One timed cell of the counts ablation.
+#[derive(Debug, Clone)]
+pub struct CountsTiming {
+    /// Kernel label: `"naive"`, `"serial"`, or `"parallel/<threads>"`.
+    pub kernel: String,
+    /// Mean seconds per build over the timing runs.
+    pub seconds: f64,
+    /// Speedup of this kernel over the naive baseline.
+    pub speedup_vs_naive: f64,
+}
+
+/// Results of one counts-ablation sweep on a fixed dataset.
+#[derive(Debug, Clone)]
+pub struct CountsAblation {
+    /// Rows counted.
+    pub rows: usize,
+    /// Attributes counted.
+    pub attributes: usize,
+    /// Clusters counted into.
+    pub clusters: usize,
+    /// Timed kernels, naive first.
+    pub timings: Vec<CountsTiming>,
+}
+
+fn time_runs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    // One untimed warmup to fault pages and warm caches.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / runs.max(1) as f64
+}
+
+/// Runs the counts ablation: times the naive baseline, the flat serial
+/// kernel, and the flat parallel kernel at each entry of `threads`, and
+/// verifies on the way that all three agree on every count (the correctness
+/// half of the ablation — a kernel that is fast but wrong would fail here,
+/// not produce a bogus speedup).
+pub fn run_counts_ablation(
+    data: &Dataset,
+    labels: &[usize],
+    n_clusters: usize,
+    threads: &[usize],
+    runs: usize,
+) -> CountsAblation {
+    // Cross-check the kernels before timing them.
+    let reference = ClusteredCounts::build(data, labels, n_clusters);
+    let naive = naive_build(data, labels, n_clusters);
+    for a in 0..reference.n_attributes() {
+        let t = reference.table(a);
+        for c in 0..n_clusters {
+            assert_eq!(
+                t.cluster_row(c),
+                &naive.cluster_counts[a][c][..],
+                "flat kernel disagrees with naive baseline (attr {a}, cluster {c})"
+            );
+        }
+        assert_eq!(t.marginal(), &naive.marginal[a][..], "marginal (attr {a})");
+    }
+    for &n in threads {
+        let par = ClusteredCounts::build_parallel(data, labels, n_clusters, n);
+        for a in 0..reference.n_attributes() {
+            assert_eq!(
+                par.table(a).flat(),
+                reference.table(a).flat(),
+                "parallel({n}) kernel not bit-identical (attr {a})"
+            );
+        }
+    }
+
+    let naive_secs = time_runs(runs, || {
+        std::hint::black_box(naive_build(data, labels, n_clusters));
+    });
+    let mut timings = vec![CountsTiming {
+        kernel: "naive".into(),
+        seconds: naive_secs,
+        speedup_vs_naive: 1.0,
+    }];
+    let serial_secs = time_runs(runs, || {
+        std::hint::black_box(ClusteredCounts::build(data, labels, n_clusters));
+    });
+    timings.push(CountsTiming {
+        kernel: "serial".into(),
+        seconds: serial_secs,
+        speedup_vs_naive: naive_secs / serial_secs,
+    });
+    for &n in threads {
+        let secs = time_runs(runs, || {
+            std::hint::black_box(ClusteredCounts::build_parallel(data, labels, n_clusters, n));
+        });
+        timings.push(CountsTiming {
+            kernel: format!("parallel/{n}"),
+            seconds: secs,
+            speedup_vs_naive: naive_secs / secs,
+        });
+    }
+    CountsAblation {
+        rows: data.n_rows(),
+        attributes: data.schema().arity(),
+        clusters: n_clusters,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetKind;
+
+    #[test]
+    fn ablation_kernels_agree_and_report_timings() {
+        let synth = DatasetKind::Diabetes.generate(2_000, 3, 11);
+        let abl = run_counts_ablation(&synth.data, &synth.latent_groups, 3, &[2, 4], 1);
+        assert_eq!(abl.rows, 2_000);
+        assert_eq!(abl.attributes, 47);
+        assert_eq!(abl.timings.len(), 4);
+        assert_eq!(abl.timings[0].kernel, "naive");
+        assert!(abl.timings.iter().all(|t| t.seconds > 0.0));
+    }
+}

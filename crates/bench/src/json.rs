@@ -1,0 +1,194 @@
+//! A minimal JSON value and writer, enough for the BENCH output files.
+//!
+//! The harness has no serde dependency, and the BENCH files only need
+//! objects, arrays, strings, and numbers — so this hand-rolled tree keeps
+//! the emitters self-contained. Keys keep insertion order, so the emitted
+//! files diff cleanly between runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value: object (insertion-ordered), array, string, number, or bool.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `{...}` with keys in insertion order.
+    Object(Vec<(String, Json)>),
+    /// `[...]`.
+    Array(Vec<Json>),
+    /// `"..."` (escaped on render).
+    Str(String),
+    /// A finite or non-finite number; NaN/±∞ render as `null`.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl Json {
+    /// An empty object builder.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds (or appends, keys are not deduplicated) a field; builder-style.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        if let Json::Object(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
+        } else {
+            panic!("field() on a non-object Json value");
+        }
+        self
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{close}}}");
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{close}]");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::object()
+            .field("name", "fig9")
+            .field("rows", 1_000_000usize)
+            .field("ok", true)
+            .field(
+                "series",
+                vec![Json::Num(1.0), Json::Num(2.5), Json::Num(f64::NAN)],
+            );
+        let text = doc.pretty();
+        assert!(text.contains("\"name\": \"fig9\""));
+        assert!(text.contains("\"rows\": 1000000"));
+        assert!(text.contains("2.5"));
+        assert!(text.contains("null"), "NaN must render as null");
+        assert!(text.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::object().field("k\"ey", "line\nbreak\\");
+        let text = doc.pretty();
+        assert!(text.contains("\"k\\\"ey\": \"line\\nbreak\\\\\""));
+    }
+
+    #[test]
+    fn empty_containers_render_inline() {
+        assert_eq!(Json::object().pretty(), "{}\n");
+        assert_eq!(Json::Array(vec![]).pretty(), "[]\n");
+    }
+}

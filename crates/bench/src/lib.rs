@@ -9,8 +9,10 @@
 
 pub mod args;
 pub mod context;
+pub mod counts_ablation;
 pub mod datasets;
 pub mod explainers;
+pub mod json;
 pub mod table;
 
 /// Ordered parallel map, re-exported from the core crate. The helper used to
@@ -20,8 +22,10 @@ pub use dpclustx::parallel;
 
 pub use args::Args;
 pub use context::ExperimentContext;
+pub use counts_ablation::{run_counts_ablation, CountsAblation, CountsTiming};
 pub use datasets::DatasetKind;
 pub use explainers::Explainer;
+pub use json::Json;
 
 /// Clustering methods for a dataset, honouring the paper's caveat that
 /// agglomerative clustering is skipped on the (large) Census dataset.

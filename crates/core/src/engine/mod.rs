@@ -142,6 +142,19 @@ impl ExplainContext {
     /// `(dataset, labels)` pair was seen before, built (one data pass) and
     /// memoized otherwise. The second element reports whether it was a hit.
     pub fn tables(&mut self, labels: &[usize], n_clusters: usize) -> (Arc<CountedTables>, bool) {
+        self.tables_with(labels, n_clusters, 1)
+    }
+
+    /// [`Self::tables`] with an explicit worker-thread count for the cache
+    /// -miss build path: misses run the chunked count–merge kernel
+    /// ([`ClusteredCounts::build_parallel`]), which is bit-identical to the
+    /// serial build — so the cache never distinguishes thread counts.
+    pub fn tables_with(
+        &mut self,
+        labels: &[usize],
+        n_clusters: usize,
+        threads: usize,
+    ) -> (Arc<CountedTables>, bool) {
         let key = CountsKey {
             dataset_fingerprint: self.fingerprint,
             labels_hash: hash_labels(labels, n_clusters),
@@ -149,7 +162,7 @@ impl ExplainContext {
         if let Some(hit) = self.cache.get(&key) {
             return (Arc::clone(hit), true);
         }
-        let counts = ClusteredCounts::build(&self.data, labels, n_clusters);
+        let counts = ClusteredCounts::build_parallel(&self.data, labels, n_clusters, threads);
         let table = ScoreTable::from_clustered_counts(&counts);
         let tables = Arc::new(CountedTables { counts, table });
         self.cache.insert(key, Arc::clone(&tables));

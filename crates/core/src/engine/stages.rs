@@ -121,6 +121,7 @@ impl<M: HistogramMechanism + Sync, R: Rng + ?Sized> Stage<M, R> for BuildCounts 
 
     fn run(&self, state: &mut EngineState<'_, M, R>) -> Result<Vec<(&'static str, f64)>, DpError> {
         let mut metrics = Vec::new();
+        let threads = state.threads;
         let tables = match &mut state.source {
             Source::Build {
                 data,
@@ -138,7 +139,8 @@ impl<M: HistogramMechanism + Sync, R: Rng + ?Sized> Stage<M, R> for BuildCounts 
                         Tables::Shared(Arc::clone(hit))
                     } else {
                         metrics.push(("cache_hit", 0.0));
-                        let counts = ClusteredCounts::build(data, labels, *n_clusters);
+                        let counts =
+                            ClusteredCounts::build_parallel(data, labels, *n_clusters, threads);
                         let table = ScoreTable::from_clustered_counts(&counts);
                         let tables = Arc::new(CountedTables { counts, table });
                         slot.map.insert(key, Arc::clone(&tables));
@@ -146,7 +148,8 @@ impl<M: HistogramMechanism + Sync, R: Rng + ?Sized> Stage<M, R> for BuildCounts 
                     }
                 }
                 None => {
-                    let counts = ClusteredCounts::build(data, labels, *n_clusters);
+                    let counts =
+                        ClusteredCounts::build_parallel(data, labels, *n_clusters, threads);
                     let table = ScoreTable::from_clustered_counts(&counts);
                     Tables::Shared(Arc::new(CountedTables { counts, table }))
                 }

@@ -1,167 +1,13 @@
-//! An ordered parallel map shared by the explanation engine and the bench
-//! harness.
+//! Deterministic parallel primitives, re-exported from [`dpx_runtime`].
 //!
-//! This started life in the bench crate as a sweep helper; the staged engine
-//! promotes it here so Stage-1 per-cluster scoring and per-attribute histogram
-//! release can use the same primitive. The contract that makes parallelism
-//! safe for DP pipelines is *determinism by construction*: `work` must be a
-//! pure function of its item (callers split per-task RNG seeds up front), and
-//! results come back in input order regardless of which thread ran what — so
-//! `threads = 1` and `threads = N` are bit-identical.
+//! The ordered map started life in the bench crate as a sweep helper and was
+//! promoted here by the staged engine; the flat counting kernel then needed
+//! the same thread machinery below `dpx-data`, so the implementation moved
+//! down into the `dpx-runtime` crate. This module re-exports it so existing
+//! `dpclustx::parallel::{ordered_parallel_map, default_threads}` callers
+//! keep working unchanged; [`chunked_reduce`] rides along for completeness.
 //!
-//! Unlike the original bench helper, a panic inside `work` is propagated to
-//! the caller (re-raised after all workers drain) instead of poisoning a slot
-//! mutex and surfacing as an unrelated `expect` failure.
+//! See [`dpx_runtime::parallel`] for the determinism contract (pure
+//! per-item/per-chunk work, input-order results, panic propagation).
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `work` to every item on up to `threads` worker threads, returning
-/// the results in input order.
-///
-/// `work` must be deterministic per item for outputs to be reproducible
-/// (engine stages seed a private RNG per task; bench cells derive their own
-/// seeds). Empty input returns an empty vector without spawning anything,
-/// and `threads` is clamped to `1..=items.len()`.
-///
-/// # Panics
-///
-/// If `work` panics for any item, the panic is re-raised on the calling
-/// thread once all workers have stopped; no result vector is returned.
-pub fn ordered_parallel_map<T, R, F>(items: Vec<T>, threads: usize, work: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads <= 1 || n <= 1 {
-        return items.iter().map(&work).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                match catch_unwind(AssertUnwindSafe(|| work(&items[i]))) {
-                    Ok(result) => {
-                        if let Ok(mut slot) = slots[i].lock() {
-                            *slot = Some(result);
-                        }
-                    }
-                    Err(payload) => {
-                        if let Ok(mut first) = panic_payload.lock() {
-                            first.get_or_insert(payload);
-                        }
-                        // Stop claiming further items; other workers will
-                        // drain the counter and exit on their own.
-                        next.store(n, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            });
-        }
-    });
-    if let Some(payload) = panic_payload.into_inner().ok().flatten() {
-        resume_unwind(payload);
-    }
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no poisoned slots")
-                .expect("every slot filled by the work loop")
-        })
-        .collect()
-}
-
-/// Default worker count: the machine's parallelism, capped at the task count.
-pub fn default_threads(tasks: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, tasks.max(1))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..57).collect();
-        let out = ordered_parallel_map(items.clone(), 8, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn single_thread_path() {
-        let out = ordered_parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = ordered_parallel_map(Vec::<i32>::new(), 4, |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn zero_threads_treated_as_one() {
-        let out = ordered_parallel_map(vec![5, 6], 0, |&x| x - 1);
-        assert_eq!(out, vec![4, 5]);
-    }
-
-    #[test]
-    fn more_threads_than_items() {
-        let out = ordered_parallel_map(vec![10], 32, |&x| x);
-        assert_eq!(out, vec![10]);
-    }
-
-    #[test]
-    fn matches_sequential_for_any_thread_count() {
-        let items: Vec<u64> = (0..23).collect();
-        let expect: Vec<u64> = items.iter().map(|&x| x * x + 7).collect();
-        for threads in [1, 2, 3, 8, 64] {
-            let out = ordered_parallel_map(items.clone(), threads, |&x| x * x + 7);
-            assert_eq!(out, expect, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn worker_panic_propagates_to_caller() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            ordered_parallel_map((0..64).collect::<Vec<i32>>(), 4, |&x| {
-                if x == 13 {
-                    panic!("boom at 13");
-                }
-                x
-            })
-        }));
-        let payload = result.expect_err("panic must reach the caller");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(String::from)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("boom at 13"), "got payload: {msg:?}");
-    }
-
-    #[test]
-    fn default_threads_bounds() {
-        assert_eq!(default_threads(0), 1);
-        assert!(default_threads(4) <= 4);
-        assert!(default_threads(1000) >= 1);
-    }
-}
+pub use dpx_runtime::parallel::{chunked_reduce, default_threads, ordered_parallel_map};

@@ -41,10 +41,24 @@ pub fn select_combination<R: Rng + ?Sized>(
     select_combination_counted(st, candidates, weights, eps_top_comb, rng).map(|(sel, _)| sel)
 }
 
-/// [`select_combination`] plus the number of combination leaves the DFS
-/// visited — which is exactly the number of Gumbel perturbations drawn. The
-/// engine observer reports this figure, and tests use it to prove the DFS
-/// enumerates the whole `k^|C|` space without silently skipping combinations.
+/// [`select_combination`] plus the number of combination leaves the
+/// enumerator visited — which is exactly the number of Gumbel perturbations
+/// drawn. The engine observer reports this figure, and tests use it to prove
+/// the enumeration covers the whole `k^|C|` space without silently skipping
+/// combinations.
+///
+/// The enumerator is **iterative**: an odometer over the candidate sets
+/// (rightmost cluster fastest — the same lexicographic leaf order as the
+/// historical recursive DFS, kept as
+/// [`select_combination_counted_recursive`]) walking precomputed per-level
+/// gain slices with running prefix sums. For each prefix of fixed earlier
+/// choices, every candidate's marginal `GlScore` contribution at a level is
+/// materialized once into a slice; the innermost loop is then a slice read,
+/// one multiply-add, and one Gumbel draw per leaf — no recursion, no
+/// per-leaf pair-term scan. The arithmetic reuses
+/// [`GlScoreCache::marginal_gain`] with the same association order as the
+/// DFS, so leaf scores, the Gumbel stream, and the argmax are all
+/// bit-identical to the recursive reference (twin-RNG tested).
 pub fn select_combination_counted<R: Rng + ?Sized>(
     st: &ScoreTable,
     candidates: &[Vec<usize>],
@@ -58,6 +72,88 @@ pub fn select_combination_counted<R: Rng + ?Sized>(
     let cache = GlScoreCache::build(st, candidates, weights);
     // Exponential mechanism via Gumbel-max: argmax over combinations of
     // ε·GlScore/(2Δ) + Gumbel(1), with Δ = 1 (Proposition 4.9).
+    let factor = eps_top_comb.get() / 2.0;
+    let n = candidates.len();
+    let last = n - 1;
+    let ks: Vec<usize> = candidates.iter().map(Vec::len).collect();
+    let mut choice = vec![0usize; n];
+    let mut best_choice = vec![0usize; n];
+    let mut best_val = f64::NEG_INFINITY;
+    let mut leaves = 0u64;
+    // gains[c][i]: marginal GlScore contribution of candidate i at level c
+    // under the current prefix `choice[..c]`; prefix_sum[c]: total gain of
+    // the chosen candidates at levels < c, accumulated left to right.
+    let mut gains: Vec<Vec<f64>> = (0..n)
+        .map(|c| {
+            (0..ks[c])
+                .map(|i| cache.marginal_gain(&choice[..c], c, i))
+                .collect()
+        })
+        .collect();
+    let mut prefix_sum = vec![0.0f64; n];
+    for c in 1..n {
+        prefix_sum[c] = prefix_sum[c - 1] + gains[c - 1][choice[c - 1]];
+    }
+    loop {
+        // Leaf sweep: all candidates of the last cluster under this prefix.
+        let base = prefix_sum[last];
+        for (i, &gain) in gains[last].iter().enumerate() {
+            let noisy = factor * (base + gain) + sample_gumbel(1.0, rng);
+            leaves += 1;
+            if noisy > best_val {
+                best_val = noisy;
+                best_choice[..last].copy_from_slice(&choice[..last]);
+                best_choice[last] = i;
+            }
+        }
+        // Odometer step over the prefix levels (rightmost fastest).
+        let mut pos = last;
+        loop {
+            if pos == 0 {
+                let sel = best_choice
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &i)| candidates[c][i])
+                    .collect();
+                return Ok((sel, leaves));
+            }
+            pos -= 1;
+            choice[pos] += 1;
+            if choice[pos] < ks[pos] {
+                break;
+            }
+            choice[pos] = 0;
+        }
+        // Levels above `pos` saw their prefix change: refresh their gain
+        // slices and running prefix sums (gains[pos] itself only depends on
+        // choices *before* pos, which are unchanged).
+        for c in pos + 1..n {
+            for (i, slot) in gains[c].iter_mut().enumerate() {
+                *slot = cache.marginal_gain(&choice[..c], c, i);
+            }
+        }
+        for c in pos + 1..n {
+            prefix_sum[c] = prefix_sum[c - 1] + gains[c - 1][choice[c - 1]];
+        }
+    }
+}
+
+/// The historical recursive implementation of
+/// [`select_combination_counted`], kept as the reference the iterative
+/// enumerator is twin-RNG tested against (identical Gumbel stream, leaf
+/// count, and argmax) and as the baseline of the bench crate's Stage-2
+/// node-rate ablation.
+pub fn select_combination_counted_recursive<R: Rng + ?Sized>(
+    st: &ScoreTable,
+    candidates: &[Vec<usize>],
+    weights: Weights,
+    eps_top_comb: Epsilon,
+    rng: &mut R,
+) -> Result<(AttributeCombination, u64), DpError> {
+    if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
+        return Err(DpError::EmptyCandidateSet);
+    }
+    let cache = GlScoreCache::build(st, candidates, weights);
     let factor = eps_top_comb.get() / 2.0;
     let n = candidates.len();
     let mut best_choice = vec![0usize; n];
@@ -534,6 +630,81 @@ mod tests {
             twin.gen::<u64>(),
             "RNG streams diverged: DFS draw count differs from its leaf count"
         );
+    }
+
+    /// Twin-RNG equivalence: the iterative enumerator and the recursive DFS
+    /// reference, run from identically seeded RNGs, must visit the same
+    /// number of leaves, pick the same combination, and leave their RNGs in
+    /// the same state (⇒ they drew the identical Gumbel stream).
+    #[test]
+    fn iterative_enumerator_matches_recursive_dfs_stream() {
+        let st = table();
+        let w = Weights::equal();
+        // Ragged candidate sets (different k per cluster) and ε spanning the
+        // noise-dominated regime, so argmax agreement is a real check.
+        let cases: Vec<Vec<Vec<usize>>> = vec![
+            vec![vec![0, 1, 2], vec![0, 1, 2]],
+            vec![vec![0, 1], vec![2, 0, 1]],
+            vec![vec![2, 0], vec![1]],
+        ];
+        for candidates in &cases {
+            let expect_leaves: u64 = candidates.iter().map(|s| s.len() as u64).product();
+            for seed in [1u64, 5, 9, 13, 2025] {
+                for eps in [0.3, 5.0, 1e6] {
+                    let eps = Epsilon::new(eps).unwrap();
+                    let mut it_rng = StdRng::seed_from_u64(seed);
+                    let mut rec_rng = StdRng::seed_from_u64(seed);
+                    let (it_sel, it_leaves) =
+                        select_combination_counted(&st, candidates, w, eps, &mut it_rng).unwrap();
+                    let (rec_sel, rec_leaves) =
+                        select_combination_counted_recursive(&st, candidates, w, eps, &mut rec_rng)
+                            .unwrap();
+                    assert_eq!(it_leaves, expect_leaves, "iterative leaf count");
+                    assert_eq!(rec_leaves, expect_leaves, "recursive leaf count");
+                    assert_eq!(it_sel, rec_sel, "argmax diverged at seed {seed}");
+                    assert_eq!(
+                        it_rng.gen::<u64>(),
+                        rec_rng.gen::<u64>(),
+                        "RNG streams diverged at seed {seed}: different Gumbel draws"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Three-cluster twin-RNG check (`k^|C|` = 27 leaves) — exercises
+    /// multi-level odometer carries and gain-slice refreshes.
+    #[test]
+    fn iterative_enumerator_matches_recursive_dfs_three_clusters() {
+        let a0 = AttrCounts::new(
+            vec![vec![90.0, 10.0], vec![80.0, 120.0], vec![10.0, 40.0]],
+            vec![180.0, 170.0],
+        );
+        let a1 = AttrCounts::new(
+            vec![vec![30.0, 70.0], vec![10.0, 190.0], vec![45.0, 5.0]],
+            vec![85.0, 265.0],
+        );
+        let a2 = AttrCounts::new(
+            vec![vec![50.0, 50.0], vec![100.0, 100.0], vec![25.0, 25.0]],
+            vec![175.0, 175.0],
+        );
+        let st = ScoreTable::new(vec![a0, a1, a2]);
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2]; 3];
+        for seed in [3u64, 21, 77] {
+            let eps = Epsilon::new(0.8).unwrap();
+            let mut it_rng = StdRng::seed_from_u64(seed);
+            let mut rec_rng = StdRng::seed_from_u64(seed);
+            let (it_sel, it_leaves) =
+                select_combination_counted(&st, &candidates, w, eps, &mut it_rng).unwrap();
+            let (rec_sel, rec_leaves) =
+                select_combination_counted_recursive(&st, &candidates, w, eps, &mut rec_rng)
+                    .unwrap();
+            assert_eq!(it_leaves, 27);
+            assert_eq!(rec_leaves, 27);
+            assert_eq!(it_sel, rec_sel, "seed {seed}");
+            assert_eq!(it_rng.gen::<u64>(), rec_rng.gen::<u64>(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -3,25 +3,70 @@
 //! Every quality function in DPClustX — interestingness, sufficiency,
 //! diversity, and their sensitive counterparts — is a function of the counts
 //! `cnt_{A=a}(D_c)` and `cnt_{A=a}(D)`. Building these once per attribute
-//! (a single scan of the column zipped with cluster labels) turns Stage-1's
-//! `O(|A|·|C|)` score evaluations and Stage-2's `O(k^|C|)` global-score
-//! evaluations into pure arithmetic over cached vectors. The
-//! `bench_counts_cache` ablation quantifies the speedup versus naive
-//! re-counting.
+//! turns Stage-1's `O(|A|·|C|)` score evaluations and Stage-2's `O(k^|C|)`
+//! global-score evaluations into pure arithmetic over cached vectors.
+//!
+//! ## Flat layout
+//!
+//! A [`ContingencyTable`] stores its per-cluster counts as **one contiguous,
+//! stride-indexed `Vec<u64>`** in cluster-major order: the count
+//! `cnt_{A=v}(D_c)` lives at index `c · |dom(A)| + v`. Compared to the
+//! earlier `Vec<Vec<u64>>`-of-rows layout this removes one pointer
+//! indirection per increment, keeps the whole table in a single allocation,
+//! and makes chunk merging plain vector addition. The full-data marginal,
+//! the per-cluster sizes, and the grand total are derived once at build time
+//! (they are exact column/row sums of the flat table) and stored.
+//!
+//! ## Chunked parallel build
+//!
+//! [`ClusteredCounts::build_parallel`] splits the rows into contiguous
+//! per-thread chunks, counts **all attributes** into a thread-local flat
+//! table in one pass over each chunk, and merges the per-chunk tables by
+//! element-wise `u64` addition (see [`dpx_runtime::chunked_reduce`]).
+//! Integer addition is associative and order-insensitive, and the merge runs
+//! in ascending chunk order, so the parallel build is **bit-identical** to
+//! the serial [`ClusteredCounts::build`] for every thread count — asserted
+//! by unit tests here and property tests in `tests/properties.rs`.
+//!
+//! Labels are validated once up front ([`validate_labels`]), shared by the
+//! serial and parallel builds, instead of a branch per row inside the
+//! counting loop. The `counts` ablation in the bench crate quantifies the
+//! speedup of the flat kernel over the historical nested layout.
 
 use crate::dataset::Dataset;
 use crate::histogram::Histogram;
+use dpx_runtime::chunked_reduce;
+
+/// Validates a cluster labeling in one upfront pass: one label per row, every
+/// label `< n_clusters`.
+///
+/// # Panics
+/// Panics with the counting kernels' documented messages when `labels` has
+/// the wrong length or contains an out-of-range label.
+pub fn validate_labels(labels: &[usize], n_rows: usize, n_clusters: usize) {
+    assert_eq!(labels.len(), n_rows, "one cluster label per tuple required");
+    if let Some(&c) = labels.iter().find(|&&c| c >= n_clusters) {
+        panic!("label {c} out of range ({n_clusters})");
+    }
+}
 
 /// Per-attribute contingency table: counts of each domain value inside each
-/// cluster, plus the full-data marginal.
+/// cluster (flat, cluster-major) plus the full-data marginal, per-cluster
+/// sizes, and total — all computed once at build time.
 #[derive(Debug, Clone)]
 pub struct ContingencyTable {
-    /// `cluster_counts[c][v] = cnt_{A=v}(D_c)`.
-    cluster_counts: Vec<Vec<u64>>,
-    /// `marginal[v] = cnt_{A=v}(D)`.
+    /// `flat[c * dom + v] = cnt_{A=v}(D_c)` — cluster-major rows.
+    flat: Vec<u64>,
+    /// Domain size `|dom(A)|` (the row stride of `flat`).
+    dom: usize,
+    /// Number of clusters (the row count of `flat`).
+    n_clusters: usize,
+    /// `marginal[v] = cnt_{A=v}(D) = Σ_c flat[c·dom + v]`.
     marginal: Vec<u64>,
     /// `|D_c|` per cluster.
     cluster_sizes: Vec<u64>,
+    /// `|D|`.
+    total: u64,
 }
 
 impl ContingencyTable {
@@ -29,52 +74,73 @@ impl ContingencyTable {
     /// cluster `labels` (one label `< n_clusters` per row).
     ///
     /// # Panics
-    /// Panics if `labels.len() != data.n_rows()` or a label is out of range.
+    /// Panics if `labels.len() != data.n_rows()` or a label is out of range
+    /// (validated in one upfront pass, not per counted row).
     pub fn build(data: &Dataset, attr: usize, labels: &[usize], n_clusters: usize) -> Self {
-        assert_eq!(
-            labels.len(),
-            data.n_rows(),
-            "one cluster label per tuple required"
-        );
+        validate_labels(labels, data.n_rows(), n_clusters);
         let dom = data.schema().attribute(attr).domain.size();
-        let mut cluster_counts = vec![vec![0u64; dom]; n_clusters];
+        let mut flat = vec![0u64; n_clusters * dom];
+        for (&v, &c) in data.column(attr).iter().zip(labels) {
+            flat[c * dom + v as usize] += 1;
+        }
+        Self::from_flat(flat, n_clusters, dom)
+    }
+
+    /// Finalizes a flat cluster-major count table: derives the marginal, the
+    /// cluster sizes, and the total (exact `u64` sums, so the derived fields
+    /// are identical however the flat table was accumulated).
+    pub(crate) fn from_flat(flat: Vec<u64>, n_clusters: usize, dom: usize) -> Self {
+        assert_eq!(flat.len(), n_clusters * dom, "flat table shape mismatch");
         let mut marginal = vec![0u64; dom];
         let mut cluster_sizes = vec![0u64; n_clusters];
-        for (&v, &c) in data.column(attr).iter().zip(labels) {
-            assert!(c < n_clusters, "label {c} out of range ({n_clusters})");
-            cluster_counts[c][v as usize] += 1;
-            marginal[v as usize] += 1;
-            cluster_sizes[c] += 1;
+        for (c, row) in flat.chunks_exact(dom.max(1)).enumerate().take(n_clusters) {
+            let mut size = 0u64;
+            for (m, &x) in marginal.iter_mut().zip(row) {
+                *m += x;
+                size += x;
+            }
+            cluster_sizes[c] = size;
         }
+        let total = cluster_sizes.iter().sum();
         ContingencyTable {
-            cluster_counts,
+            flat,
+            dom,
+            n_clusters,
             marginal,
             cluster_sizes,
+            total,
         }
     }
 
     /// Number of clusters.
     #[inline]
     pub fn n_clusters(&self) -> usize {
-        self.cluster_counts.len()
+        self.n_clusters
     }
 
     /// Domain size of the underlying attribute.
     #[inline]
     pub fn domain_size(&self) -> usize {
-        self.marginal.len()
+        self.dom
     }
 
     /// `cnt_{A=v}(D_c)`.
     #[inline]
     pub fn cluster_count(&self, c: usize, v: u32) -> u64 {
-        self.cluster_counts[c][v as usize]
+        self.flat[c * self.dom + v as usize]
     }
 
-    /// All per-value counts of cluster `c`.
+    /// All per-value counts of cluster `c` — a stride-indexed slice of the
+    /// flat table.
     #[inline]
     pub fn cluster_row(&self, c: usize) -> &[u64] {
-        &self.cluster_counts[c]
+        &self.flat[c * self.dom..(c + 1) * self.dom]
+    }
+
+    /// The whole flat cluster-major table (`n_clusters · dom` entries).
+    #[inline]
+    pub fn flat(&self) -> &[u64] {
+        &self.flat
     }
 
     /// `cnt_{A=v}(D)`.
@@ -95,20 +161,21 @@ impl ContingencyTable {
         self.cluster_sizes[c]
     }
 
-    /// All cluster sizes.
+    /// All cluster sizes (computed once at build time).
     #[inline]
     pub fn cluster_sizes(&self) -> &[u64] {
         &self.cluster_sizes
     }
 
-    /// `|D|`.
+    /// `|D|` (computed once at build time).
+    #[inline]
     pub fn total(&self) -> u64 {
-        self.cluster_sizes.iter().sum()
+        self.total
     }
 
     /// The in-cluster histogram `h_A(D_c)`.
     pub fn cluster_histogram(&self, c: usize) -> Histogram {
-        Histogram::from_counts(self.cluster_counts[c].clone())
+        Histogram::from_counts(self.cluster_row(c).to_vec())
     }
 
     /// The full-data histogram `h_A(D)`.
@@ -121,32 +188,147 @@ impl ContingencyTable {
         Histogram::from_counts(
             self.marginal
                 .iter()
-                .zip(&self.cluster_counts[c])
+                .zip(self.cluster_row(c))
                 .map(|(&m, &k)| m - k)
                 .collect(),
         )
     }
 }
 
-/// Contingency tables for every attribute of a dataset, built in one pass per
-/// column — the shared input to Stage-1, Stage-2, and all baselines.
+/// Contingency tables for every attribute of a dataset — the shared input to
+/// Stage-1, Stage-2, and all baselines. Built serially ([`Self::build`]) or
+/// by the chunked count–merge kernel ([`Self::build_parallel`]), with
+/// bit-identical results.
 #[derive(Debug, Clone)]
 pub struct ClusteredCounts {
     tables: Vec<ContingencyTable>,
     n_clusters: usize,
     n_rows: u64,
+    /// `|D_c|` per cluster, shared across attributes (computed once).
+    cluster_sizes: Vec<u64>,
 }
 
 impl ClusteredCounts {
-    /// Builds tables for all attributes.
+    /// Builds tables for all attributes with a single-threaded scan.
     pub fn build(data: &Dataset, labels: &[usize], n_clusters: usize) -> Self {
-        let tables = (0..data.schema().arity())
-            .map(|a| ContingencyTable::build(data, a, labels, n_clusters))
+        Self::build_parallel(data, labels, n_clusters, 1)
+    }
+
+    /// Builds tables for all attributes with the chunked count–merge kernel:
+    /// rows are split into up to `threads` contiguous chunks, each chunk is
+    /// counted into a thread-local flat table covering **all** attributes in
+    /// one pass, and the per-chunk tables are merged by element-wise `u64`
+    /// addition in ascending chunk order.
+    ///
+    /// The output is **bit-identical** to [`Self::build`] for every
+    /// `threads` value (integer addition is exact and order-insensitive);
+    /// `threads = 1` takes the same kernel with a single chunk.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != data.n_rows()` or a label is out of range
+    /// (one upfront validation pass shared with the serial build).
+    pub fn build_parallel(
+        data: &Dataset,
+        labels: &[usize],
+        n_clusters: usize,
+        threads: usize,
+    ) -> Self {
+        validate_labels(labels, data.n_rows(), n_clusters);
+        let arity = data.schema().arity();
+        // Per-attribute sub-table offsets into one flat all-attribute buffer.
+        let doms: Vec<usize> = (0..arity)
+            .map(|a| data.schema().attribute(a).domain.size())
             .collect();
+        let mut offsets = Vec::with_capacity(arity + 1);
+        let mut acc = 0usize;
+        for &dom in &doms {
+            offsets.push(acc);
+            acc += n_clusters * dom;
+        }
+        offsets.push(acc);
+        let flat_len = acc;
+
+        // Chunk counters are u32: no single count can exceed the row count,
+        // which in-memory datasets keep far below `u32::MAX` (asserted), and
+        // the halved table footprint keeps the hot counters cache-resident.
+        // Counts widen to u64 only once, after the exact u32 merge.
+        assert!(
+            data.n_rows() < u32::MAX as usize,
+            "dataset too large for u32 count chunks"
+        );
+        let merged = chunked_reduce(
+            data.n_rows(),
+            threads,
+            |range| {
+                let mut flat = vec![0u32; flat_len];
+                // The kernel is memory-bound on streaming labels and columns,
+                // so (a) labels are narrowed to u32 once per chunk, halving
+                // their per-pass traffic, and (b) four attributes share each
+                // row pass, so one label read serves four table updates.
+                let lab: Vec<u32> = labels[range.clone()].iter().map(|&c| c as u32).collect();
+                let mut rest: &mut [u32] = &mut flat;
+                let mut a = 0;
+                while a + 4 <= arity {
+                    let (d0, d1, d2, d3) = (doms[a], doms[a + 1], doms[a + 2], doms[a + 3]);
+                    let taken = rest;
+                    let (s0, tail) = taken.split_at_mut(n_clusters * d0);
+                    let (s1, tail) = tail.split_at_mut(n_clusters * d1);
+                    let (s2, tail) = tail.split_at_mut(n_clusters * d2);
+                    let (s3, tail) = tail.split_at_mut(n_clusters * d3);
+                    rest = tail;
+                    let c0 = &data.column(a)[range.clone()];
+                    let c1 = &data.column(a + 1)[range.clone()];
+                    let c2 = &data.column(a + 2)[range.clone()];
+                    let c3 = &data.column(a + 3)[range.clone()];
+                    for ((((&c, &v0), &v1), &v2), &v3) in lab.iter().zip(c0).zip(c1).zip(c2).zip(c3)
+                    {
+                        let c = c as usize;
+                        s0[c * d0 + v0 as usize] += 1;
+                        s1[c * d1 + v1 as usize] += 1;
+                        s2[c * d2 + v2 as usize] += 1;
+                        s3[c * d3 + v3 as usize] += 1;
+                    }
+                    a += 4;
+                }
+                while a < arity {
+                    let dom = doms[a];
+                    let taken = rest;
+                    let (sub, tail) = taken.split_at_mut(n_clusters * dom);
+                    rest = tail;
+                    let col = &data.column(a)[range.clone()];
+                    for (&v, &c) in col.iter().zip(&lab) {
+                        sub[c as usize * dom + v as usize] += 1;
+                    }
+                    a += 1;
+                }
+                flat
+            },
+            |acc_flat: &mut Vec<u32>, part| {
+                for (a, b) in acc_flat.iter_mut().zip(part) {
+                    *a += b;
+                }
+            },
+        )
+        .unwrap_or_else(|| vec![0u32; flat_len]);
+
+        let mut merged: Vec<u64> = merged.into_iter().map(u64::from).collect();
+        let mut tables = Vec::with_capacity(arity);
+        // Split the all-attribute buffer back into per-attribute tables,
+        // back to front so each split is a cheap truncation.
+        for a in (0..arity).rev() {
+            let sub = merged.split_off(offsets[a]);
+            tables.push(ContingencyTable::from_flat(sub, n_clusters, doms[a]));
+        }
+        tables.reverse();
+        let cluster_sizes = tables
+            .first()
+            .map(|t| t.cluster_sizes().to_vec())
+            .unwrap_or_else(|| vec![0u64; n_clusters]);
         ClusteredCounts {
             tables,
             n_clusters,
             n_rows: data.n_rows() as u64,
+            cluster_sizes,
         }
     }
 
@@ -174,14 +356,17 @@ impl ClusteredCounts {
         self.n_rows
     }
 
-    /// `|D_c|` (identical across attributes; read from the first table).
+    /// `|D_c]` for one cluster.
+    #[inline]
     pub fn cluster_size(&self, c: usize) -> u64 {
-        self.tables.first().map_or(0, |t| t.cluster_size(c))
+        self.cluster_sizes[c]
     }
 
-    /// All cluster sizes.
-    pub fn cluster_sizes(&self) -> Vec<u64> {
-        (0..self.n_clusters).map(|c| self.cluster_size(c)).collect()
+    /// All cluster sizes (identical across attributes; computed once at
+    /// build time).
+    #[inline]
+    pub fn cluster_sizes(&self) -> &[u64] {
+        &self.cluster_sizes
     }
 }
 
@@ -189,6 +374,8 @@ impl ClusteredCounts {
 mod tests {
     use super::*;
     use crate::schema::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn dataset_and_labels() -> (Dataset, Vec<usize>) {
         let schema = Schema::new(vec![
@@ -219,6 +406,19 @@ mod tests {
         assert_eq!(t.cluster_size(0), 3);
         assert_eq!(t.cluster_size(1), 2);
         assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn flat_layout_is_cluster_major() {
+        let (data, labels) = dataset_and_labels();
+        let t = ContingencyTable::build(&data, 0, &labels, 2);
+        assert_eq!(t.flat().len(), 2 * 3);
+        for c in 0..2 {
+            for v in 0..3u32 {
+                assert_eq!(t.flat()[c * 3 + v as usize], t.cluster_count(c, v));
+            }
+        }
+        assert_eq!(t.cluster_row(1), &t.flat()[3..6]);
     }
 
     #[test]
@@ -268,13 +468,88 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "one cluster label per tuple")]
+    fn parallel_wrong_label_count_panics() {
+        let (data, _) = dataset_and_labels();
+        ClusteredCounts::build_parallel(&data, &[0, 1], 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn parallel_out_of_range_label_panics() {
+        let (data, mut labels) = dataset_and_labels();
+        labels[3] = 9;
+        ClusteredCounts::build_parallel(&data, &labels, 2, 4);
+    }
+
+    #[test]
     fn clustered_counts_covers_all_attributes() {
         let (data, labels) = dataset_and_labels();
         let cc = ClusteredCounts::build(&data, &labels, 2);
         assert_eq!(cc.n_attributes(), 2);
         assert_eq!(cc.n_clusters(), 2);
         assert_eq!(cc.n_rows(), 5);
-        assert_eq!(cc.cluster_sizes(), vec![3, 2]);
+        assert_eq!(cc.cluster_sizes(), &[3, 2]);
         assert_eq!(cc.table(1).marginal_count(1), 3);
+    }
+
+    fn assert_counts_identical(a: &ClusteredCounts, b: &ClusteredCounts, tag: &str) {
+        assert_eq!(a.n_attributes(), b.n_attributes(), "{tag}: arity");
+        assert_eq!(a.n_clusters(), b.n_clusters(), "{tag}: clusters");
+        assert_eq!(a.n_rows(), b.n_rows(), "{tag}: rows");
+        assert_eq!(a.cluster_sizes(), b.cluster_sizes(), "{tag}: sizes");
+        for at in 0..a.n_attributes() {
+            let (ta, tb) = (a.table(at), b.table(at));
+            assert_eq!(ta.flat(), tb.flat(), "{tag}: attr {at} flat counts");
+            assert_eq!(ta.marginal(), tb.marginal(), "{tag}: attr {at} marginal");
+            assert_eq!(
+                ta.cluster_sizes(),
+                tb.cluster_sizes(),
+                "{tag}: attr {at} sizes"
+            );
+            assert_eq!(ta.total(), tb.total(), "{tag}: attr {at} total");
+        }
+    }
+
+    /// Seeded-random equivalence sweep (the proptest twin lives in
+    /// `tests/properties.rs`): random shapes including empty clusters and
+    /// chunks of a single row, across `threads ∈ {1, 2, 7}`.
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for case in 0..25 {
+            let arity = rng.gen_range(1..=5usize);
+            let n_clusters = rng.gen_range(1..=6usize);
+            let n_rows = rng.gen_range(0..=40usize);
+            let schema = Schema::new(
+                (0..arity)
+                    .map(|a| {
+                        let dom = rng.gen_range(1..=7usize);
+                        Attribute::new(format!("a{a}"), Domain::indexed(dom)).unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            let rows: Vec<Vec<u32>> = (0..n_rows)
+                .map(|_| {
+                    (0..arity)
+                        .map(|a| {
+                            let dom = schema.attribute(a).domain.size() as u32;
+                            rng.gen_range(0..dom)
+                        })
+                        .collect()
+                })
+                .collect();
+            let data = Dataset::from_rows(schema, &rows).unwrap();
+            // Bias labels so some clusters stay empty in some cases.
+            let labels: Vec<usize> = (0..n_rows)
+                .map(|_| rng.gen_range(0..n_clusters.div_ceil(2).max(1)))
+                .collect();
+            let serial = ClusteredCounts::build(&data, &labels, n_clusters);
+            for threads in [1usize, 2, 7, 64] {
+                let par = ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads);
+                assert_counts_identical(&serial, &par, &format!("case {case}, threads {threads}"));
+            }
+        }
     }
 }

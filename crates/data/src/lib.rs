@@ -45,7 +45,7 @@ pub mod schema_io;
 pub mod stats;
 pub mod synth;
 
-pub use contingency::ContingencyTable;
+pub use contingency::{ClusteredCounts, ContingencyTable};
 pub use dataset::Dataset;
 pub use error::DataError;
 pub use fingerprint::{hash_labels, Fnv1a};

@@ -128,6 +128,32 @@ proptest! {
     }
 
     #[test]
+    fn parallel_build_matches_serial(
+        (schema, rows) in schema_and_rows(),
+        label_seed in prop::collection::vec(0usize..4, 0..60),
+        n_clusters in 1usize..=4,
+    ) {
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        // Biasing through `% n_clusters` leaves high clusters empty whenever
+        // the drawn labels are small — empty clusters are part of the space.
+        let labels: Vec<usize> = (0..data.n_rows())
+            .map(|i| label_seed.get(i).copied().unwrap_or(0) % n_clusters)
+            .collect();
+        let serial = ClusteredCounts::build(&data, &labels, n_clusters);
+        // threads > n_rows forces single-row (and empty-range) chunks.
+        for threads in [1usize, 2, 7, data.n_rows() + 3] {
+            let parallel = ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads);
+            prop_assert_eq!(parallel.n_rows(), serial.n_rows());
+            prop_assert_eq!(parallel.cluster_sizes(), serial.cluster_sizes());
+            for a in 0..data.schema().arity() {
+                prop_assert_eq!(parallel.table(a).flat(), serial.table(a).flat());
+                prop_assert_eq!(parallel.table(a).marginal(), serial.table(a).marginal());
+                prop_assert_eq!(parallel.table(a).total(), serial.table(a).total());
+            }
+        }
+    }
+
+    #[test]
     fn contingency_complement_adds_back(
         (schema, rows) in schema_and_rows(),
     ) {

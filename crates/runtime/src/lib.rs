@@ -1,0 +1,27 @@
+//! # dpx-runtime — deterministic parallel primitives for DPClustX
+//!
+//! The explanation pipeline parallelizes three very different shapes of work
+//! — per-task fan-out (Stage-1 scoring, histogram release), data-chunk
+//! count–merge (contingency counting), and bench-cell sweeps — and all of
+//! them must stay *bit-identical* to their sequential forms: DP releases are
+//! part of the privacy proof, so "parallel" may never mean "different".
+//!
+//! This crate holds the two primitives that make that guarantee by
+//! construction, below every other workspace crate so `dpx-data` and
+//! `dpclustx` can share them:
+//!
+//! * [`ordered_parallel_map`] — apply a pure function to each item on worker
+//!   threads, results returned in input order (promoted here from
+//!   `dpclustx::parallel`, which re-exports this module).
+//! * [`chunked_reduce`] — split an index range into contiguous chunks, map
+//!   each chunk to a partial result on worker threads, and fold the partials
+//!   back **in chunk order**. With an associative, order-insensitive merge
+//!   (e.g. element-wise `u64` addition) the reduction is exactly the
+//!   sequential result for every thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parallel;
+
+pub use parallel::{chunked_reduce, default_threads, ordered_parallel_map};

@@ -16,4 +16,7 @@ $B fig9_time -- --mode candidates --runs 5 > results/fig9b_time_candidates.txt 2
 $B fig9_time -- --mode attributes --runs 5 > results/fig9c_time_attributes.txt 2> results/fig9c.log
 $B fig9_time -- --mode rows       --runs 5 > results/fig9d_time_rows.txt       2> results/fig9d.log
 $B fig9_time -- --mode clusters   --runs 3 > results/fig9a_time_clusters.txt   2> results/fig9a.log
+$B fig9_time -- --mode bench --dataset diabetes --rows 1000000 --clusters 9 --threads 4 \
+                                           > results/BENCH_fig9.txt            2> results/BENCH_fig9.log
+cargo bench -p dpx-bench --bench ablations 2>&1 | tee results/bench_ablations.txt
 echo ALL_DONE
