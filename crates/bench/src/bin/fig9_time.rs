@@ -10,7 +10,10 @@
 //!   (default `results/BENCH_fig9.json`, override with `--out`) containing
 //!   the counts-kernel ablation (naive PR-1 build vs flat serial vs flat
 //!   parallel) swept over rows, attribute subsets, and cluster counts, plus
-//!   the Stage-2 enumerator node rate (iterative odometer vs recursive DFS).
+//!   the Stage-2 kernel sweep: leaf rates for the recursive DFS reference,
+//!   the streaming sequential-RNG enumerator, and the counter-based
+//!   serial/parallel kernels, with counter serial/parallel argmax equality
+//!   asserted before any timing is trusted.
 //!
 //! ```text
 //! cargo run -p dpx-bench --release --bin fig9_time -- --mode clusters
@@ -20,7 +23,9 @@
 
 use dpclustx::engine::{ExplainEngine, NoopObserver};
 use dpclustx::framework::DpClustXConfig;
-use dpclustx::stage2::{select_combination_counted, select_combination_counted_recursive};
+use dpclustx::stage2::{
+    select_combination_counted_recursive, select_combination_with_kernel, Stage2Kernel,
+};
 use dpclustx::Weights;
 use dpx_bench::counts_ablation::{run_counts_ablation, CountsAblation};
 use dpx_bench::table::{mean, Table};
@@ -228,7 +233,7 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
     let row_counts = args.usize_list("rows-sweep", &[base_rows / 4, base_rows / 2, base_rows]);
     let attr_fractions = args.f64_list("attr-fractions", &[0.25, 0.5, 1.0]);
     let cluster_counts = args.usize_list("clusters-sweep", &[3, n_clusters]);
-    let ks = args.usize_list("k", &[2, 3]);
+    let ks = args.usize_list("k", &[2, 3, 4]);
     let out = args.string("out", "results/BENCH_fig9.json");
 
     eprintln!("# generating {} rows of {}", base_rows, kind.name());
@@ -273,9 +278,11 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
         .expect("rows sweep is non-empty")
         .clone();
 
-    // Stage-2 node rate: iterative odometer vs the recursive DFS reference,
-    // on the real score table, with twin RNGs so the comparison doubles as an
-    // end-to-end equivalence check.
+    // Stage-2 kernel sweep on the real score table: the recursive DFS
+    // reference and the streaming sequential-RNG enumerator share one noise
+    // stream (twin RNGs double as an equivalence check), and the counter
+    // kernels must agree with each other bit-for-bit — both asserted on
+    // every run before the timings are trusted.
     let counts = ClusteredCounts::build_parallel(
         &data,
         &labels,
@@ -284,22 +291,25 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
     );
     let st = dpclustx::ScoreTable::from_clustered_counts(&counts);
     let eps = Epsilon::new(1.0).expect("1.0 is a valid epsilon");
+    let par_threads = threads.last().copied().unwrap_or(4).max(1);
     let mut stage2_cells = Vec::new();
+    // (k, leaves, sequential and counter-parallel leaf rates) at the largest
+    // swept k — the acceptance headline.
+    let mut stage2_headline: Option<(usize, u64, f64, f64)> = None;
     for &k in &ks {
         let k = k.max(1).min(data.schema().arity());
         let candidates: Vec<Vec<usize>> = (0..n_clusters).map(|_| (0..k).collect()).collect();
-        eprintln!("# stage-2 node rate: k={k} ({n_clusters} clusters)");
-        let mut it_secs = 0.0;
+        eprintln!("# stage-2 kernels: k={k} ({n_clusters} clusters)");
+        let kernels = [
+            Stage2Kernel::SequentialRng,
+            Stage2Kernel::CounterSerial,
+            Stage2Kernel::CounterParallel(par_threads),
+        ];
         let mut rec_secs = 0.0;
+        let mut secs = [0.0f64; 3];
         let mut leaves = 0u64;
         for run in 0..runs.max(1) {
             let run_seed = seed ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut rng = StdRng::seed_from_u64(run_seed);
-            let t0 = Instant::now();
-            let (sel_it, n_it) =
-                select_combination_counted(&st, &candidates, Weights::default(), eps, &mut rng)
-                    .expect("non-empty candidate sets");
-            it_secs += t0.elapsed().as_secs_f64();
             let mut rng = StdRng::seed_from_u64(run_seed);
             let t0 = Instant::now();
             let (sel_rec, n_rec) = select_combination_counted_recursive(
@@ -311,24 +321,77 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
             )
             .expect("non-empty candidate sets");
             rec_secs += t0.elapsed().as_secs_f64();
-            assert_eq!(sel_it, sel_rec, "enumerators disagree on the argmax");
-            assert_eq!(n_it, n_rec, "enumerators visited different leaf counts");
-            leaves = n_it;
+            let mut sels = Vec::with_capacity(kernels.len());
+            for (i, &kernel) in kernels.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(run_seed);
+                let t0 = Instant::now();
+                let (sel, n) = select_combination_with_kernel(
+                    &st,
+                    &candidates,
+                    Weights::default(),
+                    eps,
+                    kernel,
+                    &mut rng,
+                )
+                .expect("non-empty candidate sets");
+                secs[i] += t0.elapsed().as_secs_f64();
+                assert_eq!(n, n_rec, "kernels cover different combination counts");
+                sels.push(sel);
+            }
+            assert_eq!(
+                sels[0], sel_rec,
+                "sequential kernel disagrees with the DFS reference"
+            );
+            assert_eq!(
+                sels[1], sels[2],
+                "counter-serial and counter-parallel disagree on the argmax"
+            );
+            leaves = n_rec;
         }
         let n = runs.max(1) as f64;
-        let (it_secs, rec_secs) = (it_secs / n, rec_secs / n);
+        let rec_secs = rec_secs / n;
+        let seq_secs = secs[0] / n;
+        let mut kernel_cells = vec![Json::object()
+            .field("kernel", "recursive-dfs")
+            .field("seconds", rec_secs)
+            .field("leaves_per_sec", leaves as f64 / rec_secs)
+            .field("speedup_vs_sequential", seq_secs / rec_secs)];
+        for (i, &kernel) in kernels.iter().enumerate() {
+            let s = secs[i] / n;
+            kernel_cells.push(
+                Json::object()
+                    .field("kernel", kernel.label())
+                    .field("seconds", s)
+                    .field("leaves_per_sec", leaves as f64 / s)
+                    .field("speedup_vs_sequential", seq_secs / s),
+            );
+        }
+        let par_rate = leaves as f64 / (secs[2] / n);
+        let seq_rate = leaves as f64 / seq_secs;
+        if stage2_headline.is_none_or(|(hk, ..)| k >= hk) {
+            stage2_headline = Some((k, leaves, seq_rate, par_rate));
+        }
         stage2_cells.push(
             Json::object()
                 .field("clusters", n_clusters)
                 .field("k", k)
                 .field("leaves", leaves)
-                .field("iterative_seconds", it_secs)
-                .field("recursive_seconds", rec_secs)
-                .field("iterative_leaves_per_sec", leaves as f64 / it_secs)
-                .field("recursive_leaves_per_sec", leaves as f64 / rec_secs)
-                .field("speedup", rec_secs / it_secs),
+                .field("kernels", kernel_cells),
         );
     }
+    let (hk, hleaves, seq_rate, par_rate) =
+        stage2_headline.expect("at least one k in the stage-2 sweep");
+    let stage2_headline = Json::object()
+        .field("clusters", n_clusters)
+        .field("k", hk)
+        .field("leaves", hleaves)
+        .field("sequential_leaves_per_sec", seq_rate)
+        .field(
+            "counter_parallel_kernel",
+            format!("counter-parallel/{par_threads}"),
+        )
+        .field("counter_parallel_leaves_per_sec", par_rate)
+        .field("speedup", par_rate / seq_rate);
 
     let doc = Json::object()
         .field("bench", "fig9")
@@ -359,7 +422,8 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
                     cluster_cells.iter().map(ablation_json).collect::<Vec<_>>(),
                 ),
         )
-        .field("stage2_node_rate", stage2_cells);
+        .field("stage2_node_rate", stage2_cells)
+        .field("stage2_headline", stage2_headline);
 
     if let Some(parent) = std::path::Path::new(&out).parent() {
         if !parent.as_os_str().is_empty() {
@@ -369,7 +433,7 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
     std::fs::write(&out, doc.pretty()).expect("write BENCH json");
     eprintln!("# wrote {out}");
 
-    // Human-readable summary of the headline cell on stdout.
+    // Human-readable summary of the headline cells on stdout.
     let mut table = Table::new(["kernel", "seconds", "speedup-vs-naive"]);
     for t in &headline.timings {
         table.row([
@@ -379,4 +443,9 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
         ]);
     }
     table.print();
+    println!(
+        "stage-2 headline (c={n_clusters}, k={hk}): counter-parallel/{par_threads} at \
+         {par_rate:.0} leaves/s = {:.2}x sequential ({seq_rate:.0} leaves/s)",
+        par_rate / seq_rate
+    );
 }

@@ -126,7 +126,9 @@ pub fn run_counts_ablation(
         assert_eq!(t.marginal(), &naive.marginal[a][..], "marginal (attr {a})");
     }
     for &n in threads {
-        let par = ClusteredCounts::build_parallel(data, labels, n_clusters, n);
+        // Forced: the ablation measures the raw chunked kernel on both sides
+        // of the crossover, so the adaptive fallback must not rewrite `n`.
+        let par = ClusteredCounts::build_parallel_forced(data, labels, n_clusters, n);
         for a in 0..reference.n_attributes() {
             assert_eq!(
                 par.table(a).flat(),
@@ -154,7 +156,9 @@ pub fn run_counts_ablation(
     });
     for &n in threads {
         let secs = time_runs(runs, || {
-            std::hint::black_box(ClusteredCounts::build_parallel(data, labels, n_clusters, n));
+            std::hint::black_box(ClusteredCounts::build_parallel_forced(
+                data, labels, n_clusters, n,
+            ));
         });
         timings.push(CountsTiming {
             kernel: format!("parallel/{n}"),

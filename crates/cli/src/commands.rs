@@ -4,7 +4,7 @@ use crate::args::Cli;
 use crate::CliError;
 use dpclustx::baselines::tabee;
 use dpclustx::counts::ScoreTable;
-use dpclustx::engine::{CollectingObserver, ExplainEngine};
+use dpclustx::engine::{CollectingObserver, ExplainEngine, NoopObserver};
 use dpclustx::eval::{mae, QualityEvaluator};
 use dpclustx::framework::{DpClustX, DpClustXConfig};
 use dpclustx::parallel::default_threads;
@@ -129,9 +129,11 @@ fn explain<W: std::io::Write>(cli: &Cli, out: &mut W, evaluate: bool) -> Result<
     )?;
 
     let timings = cli.bool("timings");
+    let kernel = cli.stage2_kernel()?;
     let mut observer = CollectingObserver::new();
+    let engine = ExplainEngine::new(config).with_stage2_kernel(kernel);
     let outcome = if timings {
-        ExplainEngine::new(config).explain_uncached(
+        engine.explain_uncached(
             &data,
             &labels,
             n_clusters,
@@ -139,8 +141,17 @@ fn explain<W: std::io::Write>(cli: &Cli, out: &mut W, evaluate: bool) -> Result<
             &mut rng,
             &mut observer,
         )?
-    } else {
+    } else if kernel == dpclustx::Stage2Kernel::default() {
         DpClustX::new(config).explain(&data, &labels, n_clusters, &mut rng)?
+    } else {
+        engine.explain_uncached(
+            &data,
+            &labels,
+            n_clusters,
+            &dpx_dp::histogram::GeometricHistogram,
+            &mut rng,
+            &mut NoopObserver,
+        )?
     };
     writeln!(
         out,
@@ -401,6 +412,58 @@ mod tests {
         }
         assert!(text.contains("stage1/select-candidates"));
         assert!(text.contains("privacy audit"));
+    }
+
+    #[test]
+    fn explain_stage2_kernels_agree_and_bad_kernel_is_rejected() {
+        let dir = tmpdir();
+        let prefix = dir.join("kern");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "1200",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        let explain = |kernel: &str| {
+            run_cli(&[
+                "explain",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--clusters",
+                "3",
+                "--stage2-kernel",
+                kernel,
+            ])
+            .unwrap()
+        };
+        // Counter-serial and counter-parallel are bit-identical by design, so
+        // the whole explanation (selected attributes, histograms, audit)
+        // printed for the same seed must match verbatim.
+        assert_eq!(explain("counter"), explain("counter-par/3"));
+        assert!(explain("counter").contains("privacy audit"));
+        assert!(matches!(
+            run_cli(&[
+                "explain",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--clusters",
+                "3",
+                "--stage2-kernel",
+                "fourier",
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

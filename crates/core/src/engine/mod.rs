@@ -36,6 +36,7 @@ pub use stages::{
 
 use crate::counts::ScoreTable;
 use crate::framework::{DpClustXConfig, Outcome};
+use crate::stage2::Stage2Kernel;
 use dpx_data::contingency::ClusteredCounts;
 use dpx_data::{hash_labels, Dataset, Schema};
 use dpx_dp::budget::{Accountant, Epsilon};
@@ -170,26 +171,43 @@ impl ExplainContext {
     }
 }
 
-/// The staged pipeline runner: a configuration plus a worker-thread count.
+/// The staged pipeline runner: a configuration plus a worker-thread count
+/// and a Stage-2 kernel selection.
 ///
 /// `threads = 1` (the default) runs every stage sequentially;
 /// `with_threads(n)` fans Stage-1 scoring and the histogram releases out over
-/// up to `n` workers with bit-identical results.
+/// up to `n` workers with bit-identical results. Stage-2 combination
+/// selection keeps its own selector
+/// ([`with_stage2_kernel`](Self::with_stage2_kernel)) because switching its
+/// noise source changes
+/// which draws the master RNG stream sees — the default `SequentialRng`
+/// preserves historical seeded outputs exactly.
 #[derive(Debug, Clone, Copy)]
 pub struct ExplainEngine {
     config: DpClustXConfig,
     threads: usize,
+    stage2_kernel: Stage2Kernel,
 }
 
 impl ExplainEngine {
     /// An engine for `config`, single-threaded.
     pub fn new(config: DpClustXConfig) -> Self {
-        ExplainEngine { config, threads: 1 }
+        ExplainEngine {
+            config,
+            threads: 1,
+            stage2_kernel: Stage2Kernel::SequentialRng,
+        }
     }
 
     /// Sets the worker-thread cap for the parallelizable stages.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the Stage-2 combination-selection kernel.
+    pub fn with_stage2_kernel(mut self, kernel: Stage2Kernel) -> Self {
+        self.stage2_kernel = kernel;
         self
     }
 
@@ -201,6 +219,11 @@ impl ExplainEngine {
     /// The worker-thread cap.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The Stage-2 kernel in use.
+    pub fn stage2_kernel(&self) -> Stage2Kernel {
+        self.stage2_kernel
     }
 
     /// Runs the full pipeline on a context with the paper's default
@@ -313,6 +336,7 @@ impl ExplainEngine {
         let mut state = EngineState {
             config: self.config,
             threads: self.threads,
+            stage2_kernel: self.stage2_kernel,
             schema,
             source,
             mechanism,

@@ -193,6 +193,26 @@ impl GlScoreCache {
         }
         gain
     }
+
+    /// A prefix-*independent* upper bound on [`Self::marginal_gain`]: each
+    /// pair term is replaced by its maximum over the earlier cluster's
+    /// `ks[c0]` candidates, accumulated in exactly `marginal_gain`'s fold
+    /// order. IEEE addition is monotone in each operand, so the bound is
+    /// float-exact — `marginal_gain(p, c, i) <= gain_upper_bound(c, i, ks)`
+    /// holds for *every* prefix `p` in the computed doubles, not just in
+    /// exact arithmetic. Stage-2's counter kernels use it to prune whole
+    /// subtrees of the combination space without evaluating them.
+    pub fn gain_upper_bound(&self, c: usize, i: usize, ks: &[usize]) -> f64 {
+        let n = self.n_clusters;
+        let k = self.k;
+        let mut ub = self.int_suf[c][i];
+        for (c0, &kc0) in ks.iter().enumerate().take(c) {
+            ub += (0..kc0)
+                .map(|j| self.pair[((c0 * k + j) * n + c) * k + i])
+                .fold(f64::NEG_INFINITY, f64::max);
+        }
+        ub
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +292,58 @@ mod tests {
                 let dfs = cache.marginal_gain(&[], 0, i) + cache.marginal_gain(&[i], 1, j);
                 let full = cache.glscore_cached(&[i, j]);
                 assert!((dfs - full).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_upper_bound_dominates_every_prefix() {
+        // Three clusters so prefixes reach depth 2 with pair interactions.
+        let a0 = AttrCounts::new(
+            vec![vec![8.0, 2.0], vec![1.0, 9.0], vec![4.0, 6.0]],
+            vec![13.0, 17.0],
+        );
+        let a1 = AttrCounts::new(
+            vec![vec![5.0, 5.0], vec![5.0, 5.0], vec![5.0, 5.0]],
+            vec![15.0, 15.0],
+        );
+        let a2 = AttrCounts::new(
+            vec![vec![10.0, 0.0], vec![0.0, 10.0], vec![5.0, 5.0]],
+            vec![15.0, 15.0],
+        );
+        let st = ScoreTable::new(vec![a0, a1, a2]);
+        let w = Weights::new(0.2, 0.3, 0.5);
+        let candidates = vec![vec![0usize, 1, 2], vec![0, 2], vec![1, 0, 2]];
+        let ks: Vec<usize> = candidates.iter().map(Vec::len).collect();
+        let cache = GlScoreCache::build(&st, &candidates, w);
+        // Enumerate every prefix for every (cluster, candidate) pair; the
+        // bound must dominate in the computed doubles (>=, not approximately).
+        for c in 0..3 {
+            for i in 0..ks[c] {
+                let ub = cache.gain_upper_bound(c, i, &ks);
+                let mut prefix = vec![0usize; c];
+                loop {
+                    let gain = cache.marginal_gain(&prefix, c, i);
+                    assert!(
+                        gain <= ub,
+                        "gain {gain} exceeds bound {ub} at c={c}, i={i}, prefix {prefix:?}"
+                    );
+                    let mut pos = c;
+                    loop {
+                        if pos == 0 {
+                            break;
+                        }
+                        pos -= 1;
+                        prefix[pos] += 1;
+                        if prefix[pos] < ks[pos] {
+                            break;
+                        }
+                        prefix[pos] = 0;
+                    }
+                    if prefix.iter().all(|&d| d == 0) {
+                        break;
+                    }
+                }
             }
         }
     }

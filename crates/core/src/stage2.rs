@@ -6,7 +6,12 @@
 //!    `k^|C|` attribute combinations drawn from the candidate sets, scored by
 //!    the sensitivity-1 `GlScore_λ`. Sampling uses the Gumbel-max trick so the
 //!    full combination space is enumerated exactly once, with incremental
-//!    (DFS) partial scores — no `k^|C|`-sized allocation.
+//!    (DFS) partial scores — no `k^|C|`-sized allocation. Three kernels share
+//!    that mechanism (selected by [`Stage2Kernel`]): the streaming
+//!    [`select_combination_counted`] reference, and the counter-based
+//!    [`select_combination_counter`] family, whose per-leaf PRF noise makes
+//!    the leaf space range-partitionable across threads and prunable by an
+//!    exact branch-and-bound bound — bit-identical for any thread count.
 //! 2. **Histogram release** (lines 6–15): noisy full-data histograms for the
 //!    *distinct* selected attributes at `ε_Hist/(2|A'|)` each (sequential
 //!    composition), noisy in-cluster histograms at `ε_Hist/2` each (parallel
@@ -15,12 +20,13 @@
 
 use crate::counts::ScoreTable;
 use crate::explanation::{AttributeCombination, GlobalExplanation};
-use crate::parallel::ordered_parallel_map;
+use crate::parallel::{chunked_reduce, default_threads, ordered_parallel_map};
 use crate::quality::score::{GlScoreCache, Weights};
 use dpx_data::contingency::ClusteredCounts;
 use dpx_data::Schema;
 use dpx_dp::budget::{Accountant, Epsilon};
 use dpx_dp::consistency::enforce_partition_consistency;
+use dpx_dp::counter::{gumbel_at, GUMBEL_UNIT_MAX};
 use dpx_dp::gumbel::sample_gumbel;
 use dpx_dp::histogram::{subtract_clamped, HistogramMechanism};
 use dpx_dp::DpError;
@@ -224,6 +230,409 @@ fn dfs<R: Rng + ?Sized>(
         prefix.pop();
         partial.pop();
     }
+}
+
+/// Which enumeration kernel drives Stage-2 combination selection.
+///
+/// All three realize the *same* exponential-mechanism distribution (each
+/// leaf's perturbation is one [`sample_gumbel`] draw); they differ in where
+/// the noise comes from and therefore in what the enumerator is allowed to
+/// do with the leaf space:
+///
+/// * [`SequentialRng`](Stage2Kernel::SequentialRng) — the streaming
+///   reference: every leaf consumes the caller's RNG in leaf order, so the
+///   sweep is pinned to one core and must visit every leaf. This is the
+///   historical behavior and stays the default; all seeded-reproducibility
+///   guarantees of existing runs are unchanged.
+/// * [`CounterSerial`](Stage2Kernel::CounterSerial) — noise at leaf `i` is
+///   the counter-based [`gumbel_at`]`(seed, i)`, a pure function, with one
+///   fresh `seed` drawn from the caller's RNG per selection. Independence
+///   across leaves lets the sweep prune: whole slices — and, at carry time,
+///   whole subtrees — whose best possible score plus [`GUMBEL_UNIT_MAX`]
+///   cannot beat the running best are skipped without computing their draws,
+///   exact, not approximate (see [`select_combination_counter`]).
+/// * [`CounterParallel`](Stage2Kernel::CounterParallel) — the same
+///   counter-based sweep, range-partitioned over `threads` workers via
+///   mixed-radix odometer seeking; deterministically merged, bit-identical
+///   to `CounterSerial` for every thread count. `0` means "auto" (machine
+///   parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage2Kernel {
+    /// Streaming Gumbel draws from the caller's sequential RNG (default).
+    #[default]
+    SequentialRng,
+    /// Counter-based per-leaf noise, single-threaded sweep.
+    CounterSerial,
+    /// Counter-based per-leaf noise, range-partitioned across N threads
+    /// (`0` = auto-detect machine parallelism).
+    CounterParallel(usize),
+}
+
+impl Stage2Kernel {
+    /// Parses a CLI/bench selector: `seq` (or `sequential-rng`), `counter`
+    /// (or `counter-serial`), `counter-par[/N]` (or `counter-parallel[/N]`;
+    /// bare form auto-detects the thread count).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, threads) = match s.split_once('/') {
+            Some((n, t)) => (n, Some(t)),
+            None => (s, None),
+        };
+        match (name, threads) {
+            ("seq" | "sequential" | "sequential-rng", None) => Ok(Stage2Kernel::SequentialRng),
+            ("counter" | "counter-serial", None) => Ok(Stage2Kernel::CounterSerial),
+            ("counter-par" | "counter-parallel", None) => Ok(Stage2Kernel::CounterParallel(0)),
+            ("counter-par" | "counter-parallel", Some(t)) => t
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Stage2Kernel::CounterParallel)
+                .ok_or_else(|| format!("invalid thread count {t:?} in stage2 kernel {s:?}")),
+            _ => Err(format!(
+                "unknown stage2 kernel {s:?} (expected seq, counter, or counter-par[/N])"
+            )),
+        }
+    }
+
+    /// Stable display/JSON label for this kernel.
+    pub fn label(&self) -> String {
+        match self {
+            Stage2Kernel::SequentialRng => "sequential-rng".into(),
+            Stage2Kernel::CounterSerial => "counter-serial".into(),
+            Stage2Kernel::CounterParallel(0) => "counter-parallel/auto".into(),
+            Stage2Kernel::CounterParallel(t) => format!("counter-parallel/{t}"),
+        }
+    }
+}
+
+/// [`select_combination_counted`] dispatched through a [`Stage2Kernel`].
+///
+/// `SequentialRng` consumes one RNG draw per leaf; the counter kernels
+/// consume exactly **one** `u64` (the PRF seed) regardless of leaf count, so
+/// `CounterSerial` and `CounterParallel` are stream-compatible with each
+/// other (and trivially with themselves across thread counts).
+pub fn select_combination_with_kernel<R: Rng + ?Sized>(
+    st: &ScoreTable,
+    candidates: &[Vec<usize>],
+    weights: Weights,
+    eps_top_comb: Epsilon,
+    kernel: Stage2Kernel,
+    rng: &mut R,
+) -> Result<(AttributeCombination, u64), DpError> {
+    match kernel {
+        Stage2Kernel::SequentialRng => {
+            select_combination_counted(st, candidates, weights, eps_top_comb, rng)
+        }
+        Stage2Kernel::CounterSerial => {
+            select_combination_counter(st, candidates, weights, eps_top_comb, 1, rng)
+        }
+        Stage2Kernel::CounterParallel(threads) => {
+            let threads = if threads == 0 {
+                default_threads(usize::MAX)
+            } else {
+                threads
+            };
+            select_combination_counter(st, candidates, weights, eps_top_comb, threads, rng)
+        }
+    }
+}
+
+/// The Stage-2 enumerator state at one leaf: the mixed-radix choice vector,
+/// the per-level marginal-gain slices under the current prefix, and their
+/// running left-fold prefix sums.
+///
+/// The state at leaf `i` is a *pure function* of `i`: every `gains[c][j]` is
+/// `GlScoreCache::marginal_gain(&choice[..c], c, j)` (itself pure) and every
+/// prefix sum is the same fixed-order left fold — so [`Odometer::seek`]
+/// lands bit-for-bit on the state the serial sweep reaches by carrying
+/// through leaves `0..i` (tested). That equivalence is what makes contiguous
+/// range partitions of the leaf space exact rather than approximate.
+struct Odometer<'a> {
+    cache: &'a GlScoreCache,
+    ks: &'a [usize],
+    choice: Vec<usize>,
+    gains: Vec<Vec<f64>>,
+    prefix_sum: Vec<f64>,
+}
+
+impl<'a> Odometer<'a> {
+    /// Seeks directly to `leaf`: mixed-radix decomposition of the index
+    /// (rightmost cluster fastest — the enumeration order shared by every
+    /// Stage-2 kernel) followed by a fresh gain/prefix rebuild, costing
+    /// O(|C|·k) `marginal_gain` calls independent of `leaf`.
+    fn seek(cache: &'a GlScoreCache, ks: &'a [usize], leaf: u64) -> Self {
+        let n = ks.len();
+        let mut choice = vec![0usize; n];
+        let mut rem = leaf;
+        for c in (0..n).rev() {
+            let k = ks[c] as u64;
+            choice[c] = (rem % k) as usize;
+            rem /= k;
+        }
+        debug_assert_eq!(rem, 0, "leaf index out of the combination space");
+        let gains: Vec<Vec<f64>> = (0..n)
+            .map(|c| {
+                (0..ks[c])
+                    .map(|i| cache.marginal_gain(&choice[..c], c, i))
+                    .collect()
+            })
+            .collect();
+        let mut prefix_sum = vec![0.0f64; n];
+        for c in 1..n {
+            prefix_sum[c] = prefix_sum[c - 1] + gains[c - 1][choice[c - 1]];
+        }
+        Odometer {
+            cache,
+            ks,
+            choice,
+            gains,
+            prefix_sum,
+        }
+    }
+
+    /// Advances the prefix levels (everything left of the last cluster) by
+    /// one, refreshing the gain slices and prefix sums of the levels whose
+    /// prefix changed — the same carry step as the serial sweep (the pruned
+    /// sweep inlines the increment to interleave subtree bounds, then calls
+    /// [`Odometer::refresh_from`]). Returns `false` when the prefix space is
+    /// exhausted. Kept as the unpruned reference for the seek-equivalence
+    /// property test.
+    #[cfg(test)]
+    fn carry(&mut self) -> bool {
+        let n = self.ks.len();
+        let last = n - 1;
+        let mut pos = last;
+        loop {
+            if pos == 0 {
+                return false;
+            }
+            pos -= 1;
+            self.choice[pos] += 1;
+            if self.choice[pos] < self.ks[pos] {
+                break;
+            }
+            self.choice[pos] = 0;
+        }
+        self.refresh_from(pos);
+        true
+    }
+
+    /// Rebuilds the gain slices and prefix sums of every level right of
+    /// `pos` after the digit at `pos` changed — the invariant-restoring half
+    /// of a carry. Levels `..=pos` are untouched: their gains and prefix
+    /// sums depend only on digits left of `pos`.
+    fn refresh_from(&mut self, pos: usize) {
+        let n = self.ks.len();
+        for c in pos + 1..n {
+            for i in 0..self.ks[c] {
+                self.gains[c][i] = self.cache.marginal_gain(&self.choice[..c], c, i);
+            }
+        }
+        for c in pos + 1..n {
+            self.prefix_sum[c] = self.prefix_sum[c - 1] + self.gains[c - 1][self.choice[c - 1]];
+        }
+    }
+}
+
+/// A range sweep's argmax: the best noisy value, the (globally indexed) leaf
+/// achieving it, and that leaf's choice vector.
+struct RangeBest {
+    val: f64,
+    leaf: u64,
+    choice: Vec<usize>,
+}
+
+/// The inputs shared by every range of one counter-based sweep: the score
+/// cache, the per-cluster candidate counts, the exponential-mechanism factor
+/// `eps/2`, the PRF seed, and the precomputed subtree-pruning tables
+/// (`bounds[c]` = max prefix-independent gain bound of cluster `c`,
+/// `subtree[c]` = leaves under a fixed prefix of length `c`).
+struct SweepInputs<'a> {
+    cache: &'a GlScoreCache,
+    ks: &'a [usize],
+    factor: f64,
+    seed: u64,
+    bounds: &'a [f64],
+    subtree: &'a [u64],
+}
+
+/// Sweeps leaves `[start, end)` with counter-based noise, returning the
+/// range-local argmax (earliest leaf on exact ties, via strict `>` updates).
+///
+/// Two levels of exact branch-and-bound pruning, both enabled by per-leaf
+/// counter noise (a sequential stream must draw every leaf's Gumbel just to
+/// keep later draws aligned):
+///
+/// * **Slice level** — a last-cluster slice whose best achievable noisy
+///   value, `factor · (base + max gain) + GUMBEL_UNIT_MAX`, cannot exceed
+///   the running best is skipped without computing any draw.
+/// * **Subtree level** — at every carry, before the gain slices below the
+///   carry position are refreshed, the whole `∏ ks[p+1..]`-leaf subtree is
+///   bounded by folding `bounds[c]` (the prefix-independent
+///   [`GlScoreCache::gain_upper_bound`] maxima) onto the fixed prefix sum in
+///   the *same left-to-right order* the sweep itself accumulates gains; a
+///   subtree that cannot beat the running best is skipped in O(1) — no gain
+///   refresh, no draws — and the carry retries at the same position.
+///
+/// Both bounds are exact in floating point, not just in exact arithmetic:
+/// each replaced term dominates its actual term, the folds run in identical
+/// order, and IEEE addition and positive multiplication are monotone, so a
+/// skipped leaf's noisy value could never have passed the strict `>` update.
+/// The argmax, its value, and the earliest-leaf tie-breaking are therefore
+/// bit-identical to the unpruned sweep.
+fn sweep_counter_range(inputs: &SweepInputs<'_>, start: u64, end: u64) -> RangeBest {
+    debug_assert!(start < end);
+    let &SweepInputs {
+        cache,
+        ks,
+        factor,
+        seed,
+        bounds,
+        subtree,
+    } = inputs;
+    let n = ks.len();
+    let last = n - 1;
+    let k_last = ks[last];
+    let mut odo = Odometer::seek(cache, ks, start);
+    let mut best = RangeBest {
+        val: f64::NEG_INFINITY,
+        leaf: start,
+        choice: odo.choice.clone(),
+    };
+    let mut leaf = start;
+    // The first slice may start mid-way (seek lands on digit `choice[last]`);
+    // subsequent slices always start at digit 0.
+    let mut digit0 = odo.choice[last];
+    loop {
+        let base = odo.prefix_sum[last];
+        let slice_len = ((end - leaf).min((k_last - digit0) as u64)) as usize;
+        let gains = &odo.gains[last][digit0..digit0 + slice_len];
+        let gmax = gains.iter().fold(f64::NEG_INFINITY, |m, &g| m.max(g));
+        if factor * (base + gmax) + GUMBEL_UNIT_MAX > best.val {
+            for (off, &gain) in gains.iter().enumerate() {
+                let idx = leaf + off as u64;
+                let noisy = factor * (base + gain) + gumbel_at(seed, idx, 1.0);
+                if noisy > best.val {
+                    best.val = noisy;
+                    best.leaf = idx;
+                    best.choice.copy_from_slice(&odo.choice);
+                    best.choice[last] = digit0 + off;
+                }
+            }
+        }
+        leaf += slice_len as u64;
+        if leaf >= end {
+            return best;
+        }
+        // Carry with subtree pruning: find the next prefix whose subtree
+        // could still contain a winner, skipping hopeless ones wholesale.
+        let mut pos = last;
+        loop {
+            if pos == 0 {
+                return best;
+            }
+            pos -= 1;
+            odo.choice[pos] += 1;
+            if odo.choice[pos] == ks[pos] {
+                odo.choice[pos] = 0;
+                continue; // cascade the carry one position left
+            }
+            // `gains[pos]` and `prefix_sum[pos]` depend only on digits left
+            // of `pos`, which this carry has not touched — both still valid.
+            let mut b = odo.prefix_sum[pos] + odo.gains[pos][odo.choice[pos]];
+            for &m in &bounds[pos + 1..] {
+                b += m;
+            }
+            if factor * b + GUMBEL_UNIT_MAX <= best.val {
+                // `leaf` sits on the subtree's first leaf; skip all of it
+                // and retry the increment at this same position.
+                leaf += subtree[pos + 1];
+                if leaf >= end {
+                    return best;
+                }
+                pos += 1;
+                continue;
+            }
+            break;
+        }
+        // The surviving carry position: restore the invariants below it.
+        odo.refresh_from(pos);
+        digit0 = 0;
+    }
+}
+
+/// Counter-based Stage-2 combination selection (the `CounterSerial` /
+/// `CounterParallel` kernels): the exponential mechanism over the `k^|C|`
+/// combination space via the Gumbel-max trick, with each leaf's perturbation
+/// derived from a keyed PRF ([`gumbel_at`]) instead of a shared stream.
+///
+/// Exactly one `u64` (the PRF seed) is drawn from `rng`, after which every
+/// leaf's noisy score is a pure function of its index. The sweep is
+/// range-partitioned into `threads` contiguous chunks of `[0, k^|C|)`
+/// (each seeking its start leaf in O(|C|·k), then carrying normally) and the
+/// per-range argmaxes are folded in ascending range order with strict-`>`
+/// comparison — preserving the serial sweep's earliest-leaf tie-breaking, so
+/// the selected combination is **bit-identical for every thread count**
+/// (property-tested). Returns the selection and the size of the enumerated
+/// space, as [`select_combination_counted`] does.
+pub fn select_combination_counter<R: Rng + ?Sized>(
+    st: &ScoreTable,
+    candidates: &[Vec<usize>],
+    weights: Weights,
+    eps_top_comb: Epsilon,
+    threads: usize,
+    rng: &mut R,
+) -> Result<(AttributeCombination, u64), DpError> {
+    if candidates.is_empty() || candidates.iter().any(Vec::is_empty) {
+        return Err(DpError::EmptyCandidateSet);
+    }
+    let cache = GlScoreCache::build(st, candidates, weights);
+    let factor = eps_top_comb.get() / 2.0;
+    let ks: Vec<usize> = candidates.iter().map(Vec::len).collect();
+    let total = ks
+        .iter()
+        .try_fold(1u64, |acc, &k| acc.checked_mul(k as u64))
+        .expect("combination space exceeds u64");
+    let seed: u64 = rng.gen();
+    // Per-cluster maxima of the prefix-independent gain bounds and the
+    // suffix subtree sizes — the shared inputs of the sweeps' subtree
+    // pruning (`subtree[c]` = leaves under a fixed prefix of length `c`).
+    let bounds: Vec<f64> = (0..ks.len())
+        .map(|c| {
+            (0..ks[c])
+                .map(|i| cache.gain_upper_bound(c, i, &ks))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let mut subtree = vec![1u64; ks.len() + 1];
+    for c in (0..ks.len()).rev() {
+        subtree[c] = subtree[c + 1] * ks[c] as u64;
+    }
+    let inputs = SweepInputs {
+        cache: &cache,
+        ks: &ks,
+        factor,
+        seed,
+        bounds: &bounds,
+        subtree: &subtree,
+    };
+    let best = chunked_reduce(
+        total as usize,
+        threads.max(1),
+        |r| sweep_counter_range(&inputs, r.start as u64, r.end as u64),
+        |acc, part| {
+            if part.val > acc.val {
+                *acc = part;
+            }
+        },
+    )
+    .expect("combination space is non-empty");
+    let sel = best
+        .choice
+        .iter()
+        .enumerate()
+        .map(|(c, &i)| candidates[c][i])
+        .collect();
+    Ok((sel, total))
 }
 
 /// Exhaustive non-private argmax over the combination space — the TabEE
@@ -719,6 +1128,308 @@ mod tests {
             &mut r
         )
         .is_err());
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert!(select_combination_counter(
+            &st,
+            &[vec![0], vec![]],
+            Weights::equal(),
+            Epsilon::new(1.0).unwrap(),
+            2,
+            &mut r2
+        )
+        .is_err());
+    }
+
+    fn three_cluster_table() -> ScoreTable {
+        let a0 = AttrCounts::new(
+            vec![vec![90.0, 10.0], vec![80.0, 120.0], vec![10.0, 40.0]],
+            vec![180.0, 170.0],
+        );
+        let a1 = AttrCounts::new(
+            vec![vec![30.0, 70.0], vec![10.0, 190.0], vec![45.0, 5.0]],
+            vec![85.0, 265.0],
+        );
+        let a2 = AttrCounts::new(
+            vec![vec![50.0, 50.0], vec![100.0, 100.0], vec![25.0, 25.0]],
+            vec![175.0, 175.0],
+        );
+        ScoreTable::new(vec![a0, a1, a2])
+    }
+
+    /// Satellite: `CounterParallel` must be bit-identical to `CounterSerial`
+    /// for every thread count — including thread counts exceeding the leaf
+    /// count, candidate sets with single-candidate levels, and the degenerate
+    /// 1-leaf space.
+    #[test]
+    fn counter_parallel_bit_identical_to_serial_across_thread_counts() {
+        let two = table();
+        let three = three_cluster_table();
+        let cases: Vec<(&ScoreTable, Vec<Vec<usize>>)> = vec![
+            (&three, vec![vec![0, 1, 2]; 3]),
+            (&two, vec![vec![0, 1], vec![2, 0, 1]]),
+            (&two, vec![vec![2, 0], vec![1]]), // single-candidate level
+            (&two, vec![vec![1], vec![0]]),    // 1-leaf space
+            (&three, vec![vec![2]; 3]),        // 1-leaf, three levels
+        ];
+        let w = Weights::equal();
+        for (st, candidates) in &cases {
+            let leaves: usize = candidates.iter().map(Vec::len).product();
+            for eps in [0.3, 5.0, 1e6] {
+                let eps = Epsilon::new(eps).unwrap();
+                for seed in [1u64, 17, 2026] {
+                    let mut serial_rng = StdRng::seed_from_u64(seed);
+                    let (serial_sel, serial_leaves) =
+                        select_combination_counter(st, candidates, w, eps, 1, &mut serial_rng)
+                            .unwrap();
+                    assert_eq!(serial_leaves, leaves as u64);
+                    for threads in [2usize, 7, leaves + 3] {
+                        let mut par_rng = StdRng::seed_from_u64(seed);
+                        let (par_sel, par_leaves) = select_combination_counter(
+                            st,
+                            candidates,
+                            w,
+                            eps,
+                            threads,
+                            &mut par_rng,
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            par_sel, serial_sel,
+                            "threads={threads} seed={seed} diverged from serial"
+                        );
+                        assert_eq!(par_leaves, serial_leaves);
+                        assert_eq!(
+                            par_rng.gen::<u64>(),
+                            serial_rng.clone().gen::<u64>(),
+                            "kernels must consume identical RNG draws"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Satellite: `Odometer::seek(i)` must reproduce — bit for bit — the
+    /// state (choice vector, gain slices, prefix sums) the serial sweep
+    /// reaches at leaf `i` by carrying from leaf 0, for random indices.
+    #[test]
+    fn odometer_seek_reproduces_serial_sweep_state() {
+        let st = three_cluster_table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1], vec![0, 1, 2], vec![2, 0]];
+        let cache = GlScoreCache::build(&st, &candidates, w);
+        let ks: Vec<usize> = candidates.iter().map(Vec::len).collect();
+        let total: u64 = ks.iter().map(|&k| k as u64).product();
+        let k_last = *ks.last().unwrap() as u64;
+
+        // Reference: walk every slice serially, recording the state at each
+        // slice start.
+        let mut serial = Odometer::seek(&cache, &ks, 0);
+        let mut states: Vec<(Vec<usize>, Vec<Vec<f64>>, Vec<f64>)> = Vec::new();
+        loop {
+            states.push((
+                serial.choice.clone(),
+                serial.gains.clone(),
+                serial.prefix_sum.clone(),
+            ));
+            if !serial.carry() {
+                break;
+            }
+        }
+        assert_eq!(states.len() as u64, total / k_last);
+
+        let mut r = StdRng::seed_from_u64(404);
+        for _ in 0..50 {
+            let leaf = r.gen_range(0..total);
+            let seeked = Odometer::seek(&cache, &ks, leaf);
+            let (ref choice, ref gains, ref prefix) = states[(leaf / k_last) as usize];
+            assert_eq!(
+                &seeked.choice[..ks.len() - 1],
+                &choice[..ks.len() - 1],
+                "prefix digits at leaf {leaf}"
+            );
+            assert_eq!(
+                seeked.choice[ks.len() - 1] as u64,
+                leaf % k_last,
+                "last digit at leaf {leaf}"
+            );
+            for (c, (sg, rg)) in seeked.gains.iter().zip(gains).enumerate() {
+                for (i, (a, b)) in sg.iter().zip(rg).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "gains[{c}][{i}] differ at leaf {leaf}"
+                    );
+                }
+            }
+            for (c, (a, b)) in seeked.prefix_sum.iter().zip(prefix).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "prefix_sum[{c}] differs at leaf {leaf}"
+                );
+            }
+        }
+    }
+
+    /// Satellite: the counter-based sampler realizes the exponential-
+    /// mechanism distribution — same harness as the streaming kernel's
+    /// distribution test, compared against the closed-form softmax.
+    #[test]
+    fn counter_kernel_distribution_matches_exponential_mechanism() {
+        let st = table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1], vec![0, 1]];
+        let eps = Epsilon::new(0.2).unwrap();
+        let cache = GlScoreCache::build(&st, &candidates, w);
+        let mut logits = Vec::new();
+        for i in 0..2usize {
+            for j in 0..2usize {
+                logits.push(eps.get() / 2.0 * cache.glscore_cached(&[i, j]));
+            }
+        }
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let probs: Vec<f64> = exps.iter().map(|&e| e / z).collect();
+
+        for kernel in [
+            Stage2Kernel::CounterSerial,
+            Stage2Kernel::CounterParallel(3),
+        ] {
+            let n = 40_000;
+            let mut hits = [0usize; 4];
+            let mut r = StdRng::seed_from_u64(6);
+            for _ in 0..n {
+                let (sel, _) =
+                    select_combination_with_kernel(&st, &candidates, w, eps, kernel, &mut r)
+                        .unwrap();
+                hits[sel[0] * 2 + sel[1]] += 1;
+            }
+            for (idx, &h) in hits.iter().enumerate() {
+                let emp = h as f64 / n as f64;
+                assert!(
+                    (emp - probs[idx]).abs() < 0.015,
+                    "{}: combo {idx}: empirical {emp} vs softmax {}",
+                    kernel.label(),
+                    probs[idx]
+                );
+            }
+        }
+    }
+
+    /// At overwhelming ε the pruned counter sweep must still find the exact
+    /// argmax — this exercises the branch-and-bound skip path hard (nearly
+    /// every slice is skipped once the optimum has been seen).
+    #[test]
+    fn counter_kernel_matches_exact_at_high_epsilon() {
+        let st = three_cluster_table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2]; 3];
+        let exact = select_combination_exact(&st, &candidates, w);
+        for threads in [1usize, 4] {
+            let mut r = StdRng::seed_from_u64(33);
+            let (sel, leaves) = select_combination_counter(
+                &st,
+                &candidates,
+                w,
+                Epsilon::new(1e7).unwrap(),
+                threads,
+                &mut r,
+            )
+            .unwrap();
+            assert_eq!(sel, exact, "threads={threads}");
+            assert_eq!(leaves, 27);
+        }
+    }
+
+    #[test]
+    fn counter_kernels_consume_exactly_one_seed_draw() {
+        let st = table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2], vec![0, 1, 2]];
+        for threads in [1usize, 4] {
+            let mut kernel_rng = StdRng::seed_from_u64(91);
+            let mut twin = StdRng::seed_from_u64(91);
+            select_combination_counter(
+                &st,
+                &candidates,
+                w,
+                Epsilon::new(0.5).unwrap(),
+                threads,
+                &mut kernel_rng,
+            )
+            .unwrap();
+            let _ = twin.gen::<u64>(); // the PRF seed
+            assert_eq!(
+                kernel_rng.gen::<u64>(),
+                twin.gen::<u64>(),
+                "counter kernel must consume exactly one u64 (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_dispatch_sequential_matches_streaming_reference() {
+        let st = table();
+        let w = Weights::equal();
+        let candidates = vec![vec![0usize, 1, 2], vec![0, 1, 2]];
+        let eps = Epsilon::new(0.7).unwrap();
+        let mut a = StdRng::seed_from_u64(55);
+        let mut b = StdRng::seed_from_u64(55);
+        let via_kernel = select_combination_with_kernel(
+            &st,
+            &candidates,
+            w,
+            eps,
+            Stage2Kernel::SequentialRng,
+            &mut a,
+        )
+        .unwrap();
+        let direct = select_combination_counted(&st, &candidates, w, eps, &mut b).unwrap();
+        assert_eq!(via_kernel, direct);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn stage2_kernel_parse_and_label_round_trip() {
+        assert_eq!(
+            Stage2Kernel::parse("seq").unwrap(),
+            Stage2Kernel::SequentialRng
+        );
+        assert_eq!(
+            Stage2Kernel::parse("sequential-rng").unwrap(),
+            Stage2Kernel::SequentialRng
+        );
+        assert_eq!(
+            Stage2Kernel::parse("counter").unwrap(),
+            Stage2Kernel::CounterSerial
+        );
+        assert_eq!(
+            Stage2Kernel::parse("counter-par").unwrap(),
+            Stage2Kernel::CounterParallel(0)
+        );
+        assert_eq!(
+            Stage2Kernel::parse("counter-par/4").unwrap(),
+            Stage2Kernel::CounterParallel(4)
+        );
+        assert_eq!(
+            Stage2Kernel::parse("counter-parallel/2").unwrap(),
+            Stage2Kernel::CounterParallel(2)
+        );
+        for bad in ["", "gumbel", "seq/2", "counter-par/0", "counter-par/x"] {
+            assert!(Stage2Kernel::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        assert_eq!(Stage2Kernel::SequentialRng.label(), "sequential-rng");
+        assert_eq!(Stage2Kernel::CounterSerial.label(), "counter-serial");
+        assert_eq!(
+            Stage2Kernel::CounterParallel(4).label(),
+            "counter-parallel/4"
+        );
+        assert_eq!(
+            Stage2Kernel::CounterParallel(0).label(),
+            "counter-parallel/auto"
+        );
     }
 
     fn small_dataset() -> (Dataset, Vec<usize>) {

@@ -28,6 +28,13 @@
 //! the serial [`ClusteredCounts::build`] for every thread count — asserted
 //! by unit tests here and property tests in `tests/properties.rs`.
 //!
+//! Chunking has a fixed per-chunk cost (table allocation, label narrowing,
+//! merge), so `build_parallel` treats its `threads` argument as an upper
+//! bound and falls back toward serial when chunks would drop below
+//! [`PARALLEL_MIN_ROWS_PER_THREAD`] rows — the crossover the counts ablation
+//! measures. [`ClusteredCounts::build_parallel_forced`] bypasses the fallback
+//! for that ablation.
+//!
 //! Labels are validated once up front ([`validate_labels`]), shared by the
 //! serial and parallel builds, instead of a branch per row inside the
 //! counting loop. The `counts` ablation in the bench crate quantifies the
@@ -36,6 +43,27 @@
 use crate::dataset::Dataset;
 use crate::histogram::Histogram;
 use dpx_runtime::chunked_reduce;
+
+/// Minimum rows each chunk must receive before [`ClusteredCounts::build_parallel`]
+/// spends a thread on it.
+///
+/// The counting kernel is memory-bound and each extra chunk costs a
+/// thread-local table allocation, a label-narrowing pass, and a merge. The
+/// committed counts ablation (`results/BENCH_fig9.json`) shows the crossover:
+/// at 250 k rows, `parallel/4` (62.5 k rows per thread) is *slower* than the
+/// serial flat kernel (0.01147 s vs 0.01087 s), while at 500 k rows
+/// (125 k rows per thread) the parallel build wins. 100 k rows per thread
+/// keeps every spawned chunk on the winning side of that crossover.
+pub const PARALLEL_MIN_ROWS_PER_THREAD: usize = 100_000;
+
+/// The chunk count [`ClusteredCounts::build_parallel`] actually uses for a
+/// requested `threads` on `n_rows` rows: capped so every chunk gets at least
+/// [`PARALLEL_MIN_ROWS_PER_THREAD`] rows, and never below 1.
+#[inline]
+pub fn effective_build_threads(n_rows: usize, threads: usize) -> usize {
+    let cap = (n_rows / PARALLEL_MIN_ROWS_PER_THREAD).max(1);
+    threads.max(1).min(cap)
+}
 
 /// Validates a cluster labeling in one upfront pass: one label per row, every
 /// label `< n_clusters`.
@@ -224,10 +252,35 @@ impl ClusteredCounts {
     /// `threads` value (integer addition is exact and order-insensitive);
     /// `threads = 1` takes the same kernel with a single chunk.
     ///
+    /// `threads` is treated as an upper bound: when the dataset is too small
+    /// for each chunk to receive [`PARALLEL_MIN_ROWS_PER_THREAD`] rows, the
+    /// chunk count falls back toward serial ([`effective_build_threads`]) —
+    /// below the crossover measured in the counts ablation, chunk setup and
+    /// merge cost more than the scan they split. Use
+    /// [`Self::build_parallel_forced`] to bypass the fallback (the ablation
+    /// does, so it keeps measuring the raw kernel at every thread count).
+    ///
     /// # Panics
     /// Panics if `labels.len() != data.n_rows()` or a label is out of range
     /// (one upfront validation pass shared with the serial build).
     pub fn build_parallel(
+        data: &Dataset,
+        labels: &[usize],
+        n_clusters: usize,
+        threads: usize,
+    ) -> Self {
+        let threads = effective_build_threads(data.n_rows(), threads);
+        Self::build_parallel_forced(data, labels, n_clusters, threads)
+    }
+
+    /// The chunked count–merge kernel with the chunk count taken literally —
+    /// no small-input fallback. Exists for the `counts` ablation, which
+    /// measures the raw kernel on both sides of the serial/parallel
+    /// crossover; production callers want [`Self::build_parallel`].
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != data.n_rows()` or a label is out of range.
+    pub fn build_parallel_forced(
         data: &Dataset,
         labels: &[usize],
         n_clusters: usize,
@@ -491,6 +544,35 @@ mod tests {
         assert_eq!(cc.n_rows(), 5);
         assert_eq!(cc.cluster_sizes(), &[3, 2]);
         assert_eq!(cc.table(1).marginal_count(1), 3);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_toward_serial() {
+        // Below one threshold of rows: any requested width collapses to 1.
+        assert_eq!(effective_build_threads(0, 4), 1);
+        assert_eq!(effective_build_threads(5, 1), 1);
+        assert_eq!(effective_build_threads(99_999, 64), 1);
+        // The bench crossover case: 250 k rows at 4 threads would give each
+        // chunk 62.5 k rows (measured slower than serial); the cap grants
+        // only the 2 chunks that stay above the threshold.
+        assert_eq!(effective_build_threads(250_000, 4), 2);
+        // Enough rows per chunk: the request is honored.
+        assert_eq!(effective_build_threads(500_000, 4), 4);
+        assert_eq!(effective_build_threads(1_000_000, 8), 8);
+        // The cap never *raises* a small request.
+        assert_eq!(effective_build_threads(1_000_000, 2), 2);
+    }
+
+    #[test]
+    fn fallback_and_forced_builds_agree_with_serial() {
+        let (data, labels) = dataset_and_labels();
+        let serial = ClusteredCounts::build(&data, &labels, 2);
+        // 5 rows << threshold: build_parallel(.., 8) takes the serial path.
+        let adaptive = ClusteredCounts::build_parallel(&data, &labels, 2, 8);
+        // The forced path still honors the 8 requested chunks.
+        let forced = ClusteredCounts::build_parallel_forced(&data, &labels, 2, 8);
+        assert_counts_identical(&serial, &adaptive, "adaptive");
+        assert_counts_identical(&serial, &forced, "forced");
     }
 
     fn assert_counts_identical(a: &ClusteredCounts, b: &ClusteredCounts, tag: &str) {

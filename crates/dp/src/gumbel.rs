@@ -10,6 +10,30 @@
 
 use rand::Rng;
 
+/// Draws a uniform from the *open* interval `(0, 1)`.
+///
+/// `rng.gen::<f64>()` samples the half-open `[0, 1)`: `u == 1` is
+/// unreachable, but `u == 0` occurs with probability `2⁻⁵³` and would poison
+/// inversion samplers — `ln(0) = −∞`, so a Gumbel draw would come out `−∞`
+/// (and a Laplace/exponential draw `±∞`). Rejecting zero and redrawing
+/// restricts the support to the open interval at a cost of one extra draw
+/// every ~9 quadrillion samples, leaving every other value's probability
+/// unchanged up to renormalization by `1/(1 − 2⁻⁵³)`.
+///
+/// Shared by the streaming samplers ([`sample_gumbel`]) and the
+/// counter-based ones ([`crate::counter::gumbel_at`]): both map *exactly*
+/// this uniform through the same inversion formula, which is what makes the
+/// two noise sources identical in distribution.
+#[inline]
+pub fn uniform_open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
 /// Samples one draw from `Gumbel(0, scale)` via inversion:
 /// `X = −σ · ln(−ln U)` for `U ~ Uniform(0, 1)`.
 ///
@@ -20,13 +44,7 @@ pub fn sample_gumbel<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
         scale.is_finite() && scale > 0.0,
         "Gumbel scale must be finite and > 0, got {scale}"
     );
-    // Reject u == 0 (ln(0) = -inf) and u == 1 is unreachable from gen::<f64>().
-    let u = loop {
-        let u = rng.gen::<f64>();
-        if u > 0.0 {
-            break u;
-        }
-    };
+    let u = uniform_open01(rng);
     -scale * (-u.ln()).ln()
 }
 

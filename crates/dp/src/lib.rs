@@ -5,7 +5,10 @@
 //!
 //! * **Noise distributions** — [`laplace`], the two-sided [`geometric`] (discrete
 //!   Laplace, Ghosh–Roughgarden–Sundararajan) used by the paper for histogram
-//!   release, and [`gumbel`] noise used by the one-shot top-k mechanism.
+//!   release, and [`gumbel`] noise used by the one-shot top-k mechanism. The
+//!   [`counter`] module re-derives Gumbel noise from a keyed counter-based
+//!   PRF (Philox-2×64), making the perturbation at any index an independently
+//!   computable pure function — the substrate for parallel DP search.
 //! * **Selection mechanisms** — the [`exponential`] mechanism (McSherry–Talwar),
 //!   [`noisy_max`] (report-noisy-max), and the one-shot [`topk`] mechanism
 //!   (Durfee–Rogers), which releases the top-k candidates with a *single* round
@@ -44,6 +47,7 @@ pub mod accuracy;
 pub mod budget;
 pub mod composition;
 pub mod consistency;
+pub mod counter;
 pub mod error;
 pub mod exponential;
 pub mod geometric;
@@ -55,6 +59,7 @@ pub mod sparse_vector;
 pub mod topk;
 
 pub use budget::{Accountant, Epsilon, Sensitivity};
+pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;
 pub use histogram::{GeometricHistogram, HistogramMechanism, LaplaceHistogram};
