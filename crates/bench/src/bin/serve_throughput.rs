@@ -1,0 +1,126 @@
+//! Serving-layer throughput harness: requests/second of the `dpx-serve`
+//! batch executor across worker counts, with the response digest asserted
+//! identical at every width before any timing is trusted (a faster wrong
+//! answer is not a result).
+//!
+//! Emits `BENCH_serve.json` (default `results/BENCH_serve.json`, override
+//! with `--out`):
+//!
+//! ```text
+//! cargo run -p dpx-bench --release --bin serve_throughput -- \
+//!     --rows 100000 --requests 64 --threads 1,2,4,8
+//! ```
+
+use dpx_bench::{Args, Json};
+use dpx_data::synth;
+use dpx_dp::budget::Epsilon;
+use dpx_serve::{DatasetRegistry, ExplainRequest, ExplainService};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The request mix: four clusterings cycled across the batch, so the shared
+/// counts cache sees both cold misses and a high hit rate — the serving
+/// regime the cache exists for.
+fn batch(n_requests: usize) -> Vec<ExplainRequest> {
+    (0..n_requests as u64)
+        .map(|id| {
+            let mut req = ExplainRequest::new(id);
+            req.cluster_by = [0, 2, 4, 6][id as usize % 4];
+            req.n_clusters = 2 + (id as usize % 3);
+            req
+        })
+        .collect()
+}
+
+/// A stable content digest of the sorted response lines (FNV-1a over the
+/// bytes) — cheap to compare across worker counts.
+fn digest(responses: &[dpx_serve::ExplainResponse]) -> u64 {
+    let mut sorted: Vec<&dpx_serve::ExplainResponse> = responses.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for response in sorted {
+        for byte in response.to_json_line().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows = args.usize("rows", 50_000);
+    let n_requests = args.usize("requests", 48);
+    let runs = args.usize("runs", 3);
+    let seed = args.u64("seed", 2026);
+    let threads = args.usize_list("threads", &[1, 2, 4, 8]);
+    let out = args.string("out", "results/BENCH_serve.json");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = Arc::new(synth::diabetes::spec(3).generate(rows, &mut rng).data);
+    eprintln!(
+        "# serve_throughput: {rows} rows, {n_requests} requests, workers {threads:?}, {runs} runs"
+    );
+
+    let mut reference_digest = None;
+    let mut cells = Vec::new();
+    for &workers in &threads {
+        let mut walls = Vec::new();
+        let mut ok = 0usize;
+        for _ in 0..runs {
+            // Fresh registry per run: the accountant and cache start cold,
+            // so every width measures the same work.
+            let registry = Arc::new(DatasetRegistry::new());
+            registry.register(
+                "default",
+                Arc::clone(&data),
+                Some(Epsilon::new(1e6).unwrap()),
+            );
+            let service = ExplainService::new(registry).with_workers(workers);
+            let t0 = Instant::now();
+            let responses = service.run_batch(batch(n_requests));
+            walls.push(t0.elapsed().as_secs_f64());
+            ok = responses.iter().filter(|r| r.is_ok()).count();
+            let d = digest(&responses);
+            match reference_digest {
+                None => reference_digest = Some(d),
+                Some(reference) => assert_eq!(
+                    d, reference,
+                    "workers={workers}: responses diverged from the 1-worker reference"
+                ),
+            }
+        }
+        let best = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rate = n_requests as f64 / best;
+        eprintln!("# workers {workers:>2}: best {best:.3}s  ({rate:.1} req/s, {ok} ok)");
+        cells.push(
+            Json::object()
+                .field("workers", workers)
+                .field("wall_s_best", best)
+                .field("requests_per_sec", rate)
+                .field("ok", ok),
+        );
+    }
+
+    let doc = Json::object()
+        .field("bench", "serve_throughput")
+        .field("rows", rows)
+        .field("requests", n_requests)
+        .field("runs", runs)
+        .field("seed", seed)
+        .field(
+            "digest",
+            format!("{:016x}", reference_digest.expect("at least one run")),
+        )
+        .field("cells", cells);
+
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, doc.pretty()).expect("write BENCH json");
+    eprintln!("# wrote {out}");
+}

@@ -30,6 +30,7 @@ pub fn run<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
         "evaluate" => explain(cli, out, true),
         "rank" => rank(cli, out),
         "report" => report(cli, out),
+        "serve-batch" => serve_batch(cli, out),
         "session" => {
             let stdin = std::io::stdin();
             crate::repl::run_session(cli, stdin.lock(), out)
@@ -233,6 +234,54 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
     }
     std::fs::write(&out_path, md)?;
     writeln!(out, "wrote markdown report to {out_path}")?;
+    Ok(())
+}
+
+/// Executes a JSONL request batch against one registered dataset on a worker
+/// pool (see `dpx-serve`). Responses are written sorted by request id, and
+/// every serialized field is deterministic, so the output file is
+/// byte-identical for any `--workers` value.
+fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    use dpx_serve::{parse_requests, write_responses, DatasetRegistry, ExplainService};
+    use std::sync::Arc;
+
+    let data = load(cli)?;
+    let requests_path = cli.required("requests")?.to_string();
+    let out_path = cli.required("out")?.to_string();
+    let workers = cli.usize("workers", default_threads(usize::MAX))?;
+    let cap = match cli.f64("budget", f64::INFINITY)? {
+        b if b.is_infinite() => None,
+        b => Some(dpx_dp::budget::Epsilon::new(b)?),
+    };
+
+    let registry = Arc::new(DatasetRegistry::new());
+    let entry = registry.register(cli.string("name", "default"), Arc::new(data), cap);
+    let requests = parse_requests(BufReader::new(File::open(&requests_path)?))
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let n_requests = requests.len();
+
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(workers);
+    let responses = service.run_batch(requests);
+    let ok = responses.iter().filter(|r| r.is_ok()).count();
+
+    let mut writer = BufWriter::new(File::create(&out_path)?);
+    write_responses(&responses, &mut writer).map_err(|e| match e {
+        dpx_serve::ServeError::Io(io) => CliError::Io(io),
+        other => CliError::Usage(other.to_string()),
+    })?;
+    writeln!(
+        out,
+        "served {n_requests} requests on {} workers: {ok} ok, {} failed",
+        service.workers(),
+        n_requests - ok
+    )?;
+    writeln!(
+        out,
+        "dataset '{}' spent ε = {:.6} over {} accepted requests -> {out_path}",
+        entry.name(),
+        entry.accountant().spent(),
+        entry.accountant().num_charges()
+    )?;
     Ok(())
 }
 
@@ -464,6 +513,158 @@ mod tests {
             ]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_batch_is_byte_identical_across_worker_counts() {
+        let dir = tmpdir();
+        let prefix = dir.join("served");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "900",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        let reqs = dir.join("served-reqs.jsonl");
+        // Unsorted ids, a shared clustering (cache reuse), a per-request
+        // kernel override, and one bad request that must fail alone.
+        std::fs::write(
+            &reqs,
+            concat!(
+                "{\"id\": 7, \"seed\": 1, \"n_clusters\": 3}\n",
+                "# comment line\n",
+                "{\"id\": 2, \"seed\": 2, \"n_clusters\": 3}\n",
+                "{\"id\": 5, \"seed\": 3, \"n_clusters\": 2, \"stage2_kernel\": \"counter\"}\n",
+                "{\"id\": 1, \"seed\": 4, \"cluster_by\": 9999}\n",
+            ),
+        )
+        .unwrap();
+        let mut outputs = Vec::new();
+        for workers in ["1", "2", "7"] {
+            let resp = dir.join(format!("served-resp-{workers}.jsonl"));
+            let resp_s = resp.to_str().unwrap();
+            let text = run_cli(&[
+                "serve-batch",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--requests",
+                reqs.to_str().unwrap(),
+                "--out",
+                resp_s,
+                "--workers",
+                workers,
+            ])
+            .unwrap();
+            assert!(text.contains("served 4 requests"), "{text}");
+            assert!(text.contains("3 ok, 1 failed"), "{text}");
+            outputs.push(std::fs::read(&resp).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "workers 1 vs 2 diverged");
+        assert_eq!(outputs[0], outputs[2], "workers 1 vs 7 diverged");
+        let text = String::from_utf8(outputs[0].clone()).unwrap();
+        let ids: Vec<&str> = text
+            .lines()
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(
+            ids,
+            vec!["{\"id\":1", "{\"id\":2", "{\"id\":5", "{\"id\":7"],
+            "responses sorted by id"
+        );
+        assert!(text.lines().next().unwrap().contains("out of range"));
+    }
+
+    #[test]
+    fn serve_batch_budget_cap_limits_accepted_requests() {
+        let dir = tmpdir();
+        let prefix = dir.join("capped");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "400",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let reqs = dir.join("capped-reqs.jsonl");
+        std::fs::write(
+            &reqs,
+            "{\"id\": 1}\n{\"id\": 2}\n{\"id\": 3}\n{\"id\": 4}\n",
+        )
+        .unwrap();
+        let resp = dir.join("capped-resp.jsonl");
+        // Each default request costs ε = 0.3; a 0.65 cap admits exactly 2.
+        let text = run_cli(&[
+            "serve-batch",
+            "--data",
+            &format!("{prefix_s}.csv"),
+            "--schema",
+            &format!("{prefix_s}.schema"),
+            "--requests",
+            reqs.to_str().unwrap(),
+            "--out",
+            resp.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--budget",
+            "0.65",
+        ])
+        .unwrap();
+        assert!(text.contains("2 ok, 2 failed"), "{text}");
+        assert!(text.contains("2 accepted requests"), "{text}");
+        let body = std::fs::read_to_string(&resp).unwrap();
+        assert_eq!(
+            body.matches("budget rejected").count(),
+            2,
+            "rejections surface in responses:\n{body}"
+        );
+    }
+
+    #[test]
+    fn serve_batch_rejects_malformed_request_files() {
+        let dir = tmpdir();
+        let prefix = dir.join("badreq");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "so",
+            "--rows",
+            "200",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let reqs = dir.join("badreq.jsonl");
+        std::fs::write(&reqs, "{\"id\": 1}\nnot json at all\n").unwrap();
+        let err = run_cli(&[
+            "serve-batch",
+            "--data",
+            &format!("{prefix_s}.csv"),
+            "--schema",
+            &format!("{prefix_s}.schema"),
+            "--requests",
+            reqs.to_str().unwrap(),
+            "--out",
+            dir.join("badreq-out.jsonl").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("line 2"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

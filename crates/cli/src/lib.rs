@@ -99,6 +99,18 @@ USAGE:
   dpclustx-cli report   ... --report-out <file.md> [--title T]
       Writes the explanation (+ audit) as a shareable markdown report.
 
+  dpclustx-cli serve-batch --data <file.csv> --schema <file.schema>
+                    --requests <reqs.jsonl> --out <resps.jsonl>
+                    [--workers N] [--budget E] [--name NAME]
+      Executes a batch of explanation requests (one JSON object per line;
+      'id' required, everything else defaulted: dataset, seed, cluster_by,
+      n_clusters, k, eps_cand, eps_comb, eps_hist, weights, stage2_kernel,
+      consistency) against the loaded dataset on an N-worker pool. All
+      requests share one counts cache and one atomically-charged privacy
+      accountant (--budget caps the dataset's total ε; requests that would
+      breach it are rejected with nothing recorded). Responses are written
+      sorted by id and are byte-identical for every --workers value.
+
   dpclustx-cli rank     ... --cluster C
       Prints the exact (non-private!) ranked candidate attributes of one
       cluster — the paper's Figure 4 view, for debugging and demos.

@@ -78,13 +78,16 @@ pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: DpKMeansConfig, rng: &mut R)
         })
         .collect();
 
-    let eps_iter = config.epsilon.split(config.iters);
+    let eps_iter = config
+        .epsilon
+        .split(config.iters)
+        .expect("iters asserted positive above");
     // Half of each iteration's budget to counts, half to sums.
-    let eps_count = eps_iter.split(2);
-    let eps_sum = eps_iter.split(2);
+    let eps_count = eps_iter.split(2).expect("2 > 0");
+    let eps_sum = eps_iter.split(2).expect("2 > 0");
     // The sum query per cluster changes by ≤ 1 in each of d coordinates when
     // one tuple moves; splitting ε_sum across coordinates keeps each 1-sensitive.
-    let eps_sum_dim = eps_sum.split(d.max(1));
+    let eps_sum_dim = eps_sum.split(d.max(1)).expect("max(1) > 0");
 
     let count_scale = Sensitivity::ONE.get() / eps_count.get();
     let sum_scale = Sensitivity::ONE.get() / eps_sum_dim.get();

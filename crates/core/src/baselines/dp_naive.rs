@@ -28,7 +28,7 @@ pub fn noisy_score_table<M: HistogramMechanism, R: Rng + ?Sized>(
 ) -> Result<ScoreTable, DpError> {
     let n_attrs = counts.n_attributes();
     let n_clusters = counts.n_clusters();
-    let eps_each = eps.split(2).split(n_attrs);
+    let eps_each = eps.split(2)?.split(n_attrs)?;
     let mut attrs = Vec::with_capacity(n_attrs);
     for a in 0..n_attrs {
         let t = counts.table(a);

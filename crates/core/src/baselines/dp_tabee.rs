@@ -39,7 +39,7 @@ pub fn select<R: Rng + ?Sized>(
     }
     let gamma = weights.gamma();
     // Stage 1: per-cluster one-shot top-k on the sensitive score.
-    let eps_topk = eps_cand_set.split(n_clusters);
+    let eps_topk = eps_cand_set.split(n_clusters)?;
     let mut candidates = Vec::with_capacity(n_clusters);
     for c in 0..n_clusters {
         let scores: Vec<f64> = (0..n_attrs)

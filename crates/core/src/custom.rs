@@ -63,7 +63,7 @@ where
             available: n_attrs,
         });
     }
-    let eps_topk = eps_cand_set.split(n_clusters);
+    let eps_topk = eps_cand_set.split(n_clusters)?;
     let seeds: Vec<u64> = (0..n_clusters).map(|_| rng.gen()).collect();
     let mut sets = Vec::with_capacity(n_clusters);
     for (c, seed) in seeds.into_iter().enumerate() {

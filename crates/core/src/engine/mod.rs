@@ -45,7 +45,7 @@ use dpx_dp::DpError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Key of the counts cache: which dataset, under which cluster assignment.
@@ -72,16 +72,91 @@ pub struct CountedTables {
     pub table: ScoreTable,
 }
 
+/// A concurrency-safe, fingerprint-keyed memo of [`CountedTables`].
+///
+/// Historically each [`ExplainContext`] owned a private `HashMap` cache;
+/// the serving layer shares one cache per registered dataset across many
+/// concurrent sessions, so the map now lives behind a mutex and contexts
+/// hold it through an `Arc`. Reads and inserts are short critical sections;
+/// the expensive table *build* on a miss runs **outside** the lock, so two
+/// sessions missing the same key concurrently may both build — both builds
+/// are bit-identical by construction ([`ClusteredCounts::build_parallel`] is
+/// thread-count-invariant), the first insert wins, and every caller gets the
+/// winning `Arc`. Correctness never depends on who won.
+#[derive(Debug, Default)]
+pub struct SharedCountsCache {
+    map: Mutex<HashMap<CountsKey, Arc<CountedTables>>>,
+}
+
+impl SharedCountsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The map mutex only ever guards `HashMap` operations, which either
+    /// complete or leave the map untouched; recovering from poisoning (a
+    /// panic on some other thread while it held the lock) is sound and keeps
+    /// a cache of *derivable* data from wedging unrelated sessions.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CountsKey, Arc<CountedTables>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of memoized clusterings.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops all memoized tables.
+    pub fn clear(&self) {
+        self.lock().clear()
+    }
+
+    /// The memoized tables for `key`, if present.
+    pub fn get(&self, key: &CountsKey) -> Option<Arc<CountedTables>> {
+        self.lock().get(key).cloned()
+    }
+
+    /// The tables for `key`: served from the memo when present, built with
+    /// `build` (outside the lock) and memoized otherwise. The second element
+    /// reports whether it was a hit. When two callers race on the same miss,
+    /// the first completed insert wins and both receive the winner's tables.
+    pub fn get_or_build(
+        &self,
+        key: CountsKey,
+        build: impl FnOnce() -> CountedTables,
+    ) -> (Arc<CountedTables>, bool) {
+        if let Some(hit) = self.get(&key) {
+            return (hit, true);
+        }
+        let built = Arc::new(build());
+        let winner = Arc::clone(self.lock().entry(key).or_insert(built));
+        (winner, false)
+    }
+}
+
 /// Shared state threaded through engine runs: the dataset (behind an `Arc`),
 /// its fingerprint (computed once), the master RNG, and the memoized counts
 /// cache. One context serves any number of `explain` calls; repeated
 /// explanations of the same clustering skip the data scan entirely.
+///
+/// The cache itself is a [`SharedCountsCache`] behind an `Arc`: a context
+/// opened with [`ExplainContext::with_shared_cache`] shares its memo with
+/// every other context (and serving session) holding the same cache handle,
+/// so concurrent requests against one dataset reuse each other's counts.
 #[derive(Debug)]
 pub struct ExplainContext {
     data: Arc<Dataset>,
     fingerprint: u64,
     rng: StdRng,
-    cache: HashMap<CountsKey, Arc<CountedTables>>,
+    cache: Arc<SharedCountsCache>,
 }
 
 impl ExplainContext {
@@ -91,15 +166,32 @@ impl ExplainContext {
         Self::from_arc(Arc::new(data), seed)
     }
 
-    /// Opens a context over an already-shared dataset.
+    /// Opens a context over an already-shared dataset (with a private cache).
     pub fn from_arc(data: Arc<Dataset>, seed: u64) -> Self {
+        Self::with_shared_cache(data, seed, Arc::new(SharedCountsCache::new()))
+    }
+
+    /// Opens a context over an already-shared dataset whose counts memo is
+    /// shared with other holders of `cache` — the serving layer's per-dataset
+    /// configuration, where concurrent sessions reuse one another's builds.
+    pub fn with_shared_cache(
+        data: Arc<Dataset>,
+        seed: u64,
+        cache: Arc<SharedCountsCache>,
+    ) -> Self {
         let fingerprint = data.fingerprint();
         ExplainContext {
             data,
             fingerprint,
             rng: StdRng::seed_from_u64(seed),
-            cache: HashMap::new(),
+            cache,
         }
+    }
+
+    /// A handle to this context's counts cache (share it with another
+    /// context via [`ExplainContext::with_shared_cache`]).
+    pub fn shared_cache(&self) -> Arc<SharedCountsCache> {
+        Arc::clone(&self.cache)
     }
 
     /// The dataset under explanation.
@@ -129,12 +221,12 @@ impl ExplainContext {
         (&self.data, &mut self.rng)
     }
 
-    /// Number of memoized clusterings.
+    /// Number of memoized clusterings (in the possibly-shared cache).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
 
-    /// Drops all memoized tables.
+    /// Drops all memoized tables (from the possibly-shared cache).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -160,14 +252,12 @@ impl ExplainContext {
             dataset_fingerprint: self.fingerprint,
             labels_hash: hash_labels(labels, n_clusters),
         };
-        if let Some(hit) = self.cache.get(&key) {
-            return (Arc::clone(hit), true);
-        }
-        let counts = ClusteredCounts::build_parallel(&self.data, labels, n_clusters, threads);
-        let table = ScoreTable::from_clustered_counts(&counts);
-        let tables = Arc::new(CountedTables { counts, table });
-        self.cache.insert(key, Arc::clone(&tables));
-        (tables, false)
+        let data = &self.data;
+        self.cache.get_or_build(key, || {
+            let counts = ClusteredCounts::build_parallel(data, labels, n_clusters, threads);
+            let table = ScoreTable::from_clustered_counts(&counts);
+            CountedTables { counts, table }
+        })
     }
 }
 
@@ -274,7 +364,7 @@ impl ExplainEngine {
             labels,
             n_clusters,
             cache: Some(stages::CacheSlot {
-                map: cache,
+                cache,
                 fingerprint: *fingerprint,
             }),
         };

@@ -1,6 +1,6 @@
 //! The four pipeline stages and the state record they thread.
 
-use super::{CountedTables, CountsKey};
+use super::{CountedTables, CountsKey, SharedCountsCache};
 use crate::counts::ScoreTable;
 use crate::explanation::{AttributeCombination, GlobalExplanation};
 use crate::framework::DpClustXConfig;
@@ -12,7 +12,6 @@ use dpx_dp::budget::{Accountant, Epsilon};
 use dpx_dp::histogram::HistogramMechanism;
 use dpx_dp::DpError;
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Stage name: counts/score-table acquisition.
@@ -44,10 +43,10 @@ pub(super) enum Source<'a> {
     },
 }
 
-/// A borrowed view of a context's counts cache.
+/// A borrowed view of a context's (possibly shared) counts cache.
 pub(super) struct CacheSlot<'a> {
-    /// The memoization map.
-    pub(super) map: &'a mut HashMap<CountsKey, Arc<CountedTables>>,
+    /// The concurrency-safe memoization map.
+    pub(super) cache: &'a SharedCountsCache,
     /// The dataset fingerprint half of the cache key.
     pub(super) fingerprint: u64,
 }
@@ -135,18 +134,14 @@ impl<M: HistogramMechanism + Sync, R: Rng + ?Sized> Stage<M, R> for BuildCounts 
                         dataset_fingerprint: slot.fingerprint,
                         labels_hash: hash_labels(labels, *n_clusters),
                     };
-                    if let Some(hit) = slot.map.get(&key) {
-                        metrics.push(("cache_hit", 1.0));
-                        Tables::Shared(Arc::clone(hit))
-                    } else {
-                        metrics.push(("cache_hit", 0.0));
+                    let (tables, hit) = slot.cache.get_or_build(key, || {
                         let counts =
                             ClusteredCounts::build_parallel(data, labels, *n_clusters, threads);
                         let table = ScoreTable::from_clustered_counts(&counts);
-                        let tables = Arc::new(CountedTables { counts, table });
-                        slot.map.insert(key, Arc::clone(&tables));
-                        Tables::Shared(tables)
-                    }
+                        CountedTables { counts, table }
+                    });
+                    metrics.push(("cache_hit", if hit { 1.0 } else { 0.0 }));
+                    Tables::Shared(tables)
                 }
                 None => {
                     let counts =

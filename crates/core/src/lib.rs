@@ -70,6 +70,7 @@ pub mod twod;
 pub use counts::{AttrCounts, ScoreTable};
 pub use engine::{
     CollectingObserver, ExplainContext, ExplainEngine, NoopObserver, PipelineObserver,
+    SharedCountsCache,
 };
 pub use explanation::{AttributeCombination, GlobalExplanation, SingleClusterExplanation};
 pub use framework::{DpClustX, DpClustXConfig};

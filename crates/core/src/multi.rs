@@ -184,7 +184,7 @@ pub fn generate_multi_histograms_with<M: HistogramMechanism + Sync, R: Rng + ?Si
     // Budget: within a cluster the ℓ histograms compose sequentially, so give
     // each slot ε/(2ℓ); across clusters parallel composition applies. The
     // full-data histograms of slot j share the ε/(2|A'|) pool with all slots.
-    let eps_slot = eps_hist.split(ell);
+    let eps_slot = eps_hist.split(ell)?;
     let mut out = Vec::with_capacity(ell);
     for j in 0..ell {
         let slot_assignment: Vec<usize> = assignment.iter().map(|s| s[j]).collect();

@@ -38,8 +38,8 @@ impl Default for ReportOptions {
 pub fn accuracy_note(config: &DpClustXConfig, n_distinct_attributes: usize) -> Option<String> {
     let eps_hist_raw = config.eps_hist?;
     let eps_hist = Epsilon::new(eps_hist_raw).ok()?;
-    let eps_cluster = eps_hist.split(2);
-    let eps_full = eps_cluster.split(n_distinct_attributes.max(1));
+    let eps_cluster = eps_hist.split(2).ok()?;
+    let eps_full = eps_cluster.split(n_distinct_attributes.max(1)).ok()?;
     let beta = 0.05;
     let t_cluster = geometric_error_bound(eps_cluster, beta);
     let t_full = geometric_error_bound(eps_full, beta);

@@ -60,7 +60,7 @@ pub fn select_candidates_with<R: Rng + ?Sized>(
         });
     }
     // Line 1: ε_Topk ← ε_CandSet / |C|.
-    let eps_topk = eps_cand_set.split(n_clusters);
+    let eps_topk = eps_cand_set.split(n_clusters)?;
     let seeds: Vec<u64> = (0..n_clusters).map(|_| rng.gen()).collect();
     // Lines 4–6: true scores; lines 5, 7–9 are the one-shot mechanism
     // (noise scale 2·Δ·k/ε_Topk is applied inside `one_shot_top_k`,

@@ -735,8 +735,8 @@ pub fn generate_histograms_with<M: HistogramMechanism + Sync, R: Rng + ?Sized>(
     distinct.dedup();
 
     // Line 7: ε_{hist,all} = ε_Hist/(2|A'|), ε_{hist,cluster} = ε_Hist/2.
-    let eps_all = eps_hist.split(2).split(distinct.len());
-    let eps_cluster = eps_hist.split(2);
+    let eps_all = eps_hist.split(2)?.split(distinct.len())?;
+    let eps_cluster = eps_hist.split(2)?;
 
     // Lines 8–10: full-data noisy histograms (sequential composition). Seeds
     // are drawn in distinct-attribute order before the map; charges land in

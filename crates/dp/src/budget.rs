@@ -38,15 +38,15 @@ impl Epsilon {
 
     /// Splits this budget into `parts` equal shares (sequential composition in
     /// reverse: running `parts` mechanisms each with the returned ε composes
-    /// back to `self`).
-    ///
-    /// # Panics
-    /// Panics if `parts == 0`.
-    pub fn split(self, parts: usize) -> Epsilon {
-        assert!(parts > 0, "cannot split a budget into 0 parts");
+    /// back to `self`). `parts == 0` is a [`DpError::InvalidSplit`] — the
+    /// split is a library-level precondition, not a caller bug to panic on.
+    pub fn split(self, parts: usize) -> Result<Epsilon, DpError> {
+        if parts == 0 {
+            return Err(DpError::InvalidSplit { parts });
+        }
         // Dividing a positive finite float by a positive integer stays positive
         // and finite, so the invariant is preserved without re-validation.
-        Epsilon(self.0 / parts as f64)
+        Ok(Epsilon(self.0 / parts as f64))
     }
 
     /// Splits this budget by an arbitrary positive fraction in `(0, 1]`.
@@ -312,6 +312,102 @@ impl Accountant {
     }
 }
 
+/// A thread-safe [`Accountant`]: many sessions spending from one shared
+/// budget, with **check-and-spend as a single atomic operation**.
+///
+/// Concurrency turns the accountant's cap check into a privacy hazard: two
+/// requests that each observe `remaining ≥ ε` and *then* record their charge
+/// can together push the total past the cap — a classic TOCTOU race that
+/// silently breaks the ε-DP guarantee (the composition theorem bounds the
+/// *actual* total spend, not what each racer believed it to be). Here every
+/// [`try_spend`](SharedAccountant::try_spend) holds the ledger lock across
+/// both the cap check and the recording, so there is no window in which a
+/// second spender can sneak past a stale check: the sum of all accepted
+/// charges can never exceed the cap, for any interleaving.
+///
+/// The inner ledger stays the audited, single-threaded [`Accountant`];
+/// [`snapshot`](SharedAccountant::snapshot) clones it out for audit trails
+/// and [`LedgerMark`]-based delta queries.
+#[derive(Debug, Default)]
+pub struct SharedAccountant {
+    inner: std::sync::Mutex<Accountant>,
+}
+
+impl SharedAccountant {
+    /// A shared accountant with no cap (pure concurrent bookkeeping).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared accountant that atomically rejects charges once the total
+    /// would exceed `cap`.
+    pub fn with_cap(cap: Epsilon) -> Self {
+        SharedAccountant {
+            inner: std::sync::Mutex::new(Accountant::with_cap(cap)),
+        }
+    }
+
+    /// Wraps an existing ledger (e.g. to continue a session's accounting
+    /// across threads).
+    pub fn from_accountant(accountant: Accountant) -> Self {
+        SharedAccountant {
+            inner: std::sync::Mutex::new(accountant),
+        }
+    }
+
+    /// Every [`Accountant`] mutation is a cap check followed by append-only
+    /// recording with no panicking operation in between, so the ledger is
+    /// consistent even if a holder's thread panicked elsewhere between
+    /// operations; recovering from poisoning is therefore sound, and keeps
+    /// one crashed worker from wedging every other session's budget.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Accountant> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Atomically checks the cap **and** records a sequential charge: either
+    /// the charge is accepted and fully recorded in the ledger, or nothing is
+    /// recorded and [`DpError::BudgetExceeded`] is returned. No interleaving
+    /// of concurrent `try_spend` calls can overdraw the cap.
+    pub fn try_spend(&self, label: impl Into<String>, eps: Epsilon) -> Result<(), DpError> {
+        self.lock().charge(label, eps)
+    }
+
+    /// Atomic parallel-composition variant of
+    /// [`try_spend`](Self::try_spend): see [`Accountant::charge_parallel`].
+    pub fn try_spend_parallel(
+        &self,
+        group: impl Into<String>,
+        member: impl Into<String>,
+        eps: Epsilon,
+    ) -> Result<(), DpError> {
+        self.lock().charge_parallel(group, member, eps)
+    }
+
+    /// Total ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.lock().spent()
+    }
+
+    /// Number of individual charges recorded.
+    pub fn num_charges(&self) -> usize {
+        self.lock().num_charges()
+    }
+
+    /// A point-in-time clone of the inner ledger (audit trails, delta
+    /// queries). The clone is consistent: it can never show a charge whose
+    /// cap check had not already passed.
+    pub fn snapshot(&self) -> Accountant {
+        self.lock().clone()
+    }
+
+    /// Renders the audit trail of the spend so far.
+    pub fn audit(&self) -> String {
+        self.lock().audit()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,16 +424,20 @@ mod tests {
     #[test]
     fn epsilon_split_and_compose_roundtrip() {
         let e = Epsilon::new(0.9).unwrap();
-        let part = e.split(3);
+        let part = e.split(3).unwrap();
         assert!((part.get() - 0.3).abs() < 1e-15);
         let back = part.compose(part).compose(part);
         assert!((back.get() - 0.9).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "0 parts")]
-    fn epsilon_split_zero_panics() {
-        let _ = Epsilon::new(1.0).unwrap().split(0);
+    fn epsilon_split_zero_is_typed_error() {
+        // Regression: this used to `assert!` inside the library; a malformed
+        // request could bring down a whole serving process instead of
+        // surfacing a per-request error.
+        let err = Epsilon::new(1.0).unwrap().split(0).unwrap_err();
+        assert_eq!(err, DpError::InvalidSplit { parts: 0 });
+        assert!(err.to_string().contains("0 parts"));
     }
 
     #[test]
@@ -421,10 +521,63 @@ mod tests {
         // ε/3 three times must re-compose to ε within the cap, despite float error.
         let cap = Epsilon::new(0.1).unwrap();
         let mut acc = Accountant::with_cap(cap);
-        let part = cap.split(3);
+        let part = cap.split(3).unwrap();
         for i in 0..3 {
             acc.charge(format!("p{i}"), part).unwrap();
         }
+    }
+
+    #[test]
+    fn shared_accountant_spends_atomically_across_threads() {
+        // 16 threads race 0.1-charges against a 0.5 cap: exactly 5 must be
+        // accepted, and the ledger must record each accepted spend in full.
+        let acc = SharedAccountant::with_cap(Epsilon::new(0.5).unwrap());
+        let accepted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                let acc = &acc;
+                let accepted = &accepted;
+                scope.spawn(move || {
+                    if acc
+                        .try_spend(format!("t{t}"), Epsilon::new(0.1).unwrap())
+                        .is_ok()
+                    {
+                        accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = accepted.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(n, 5, "cap 0.5 admits exactly five 0.1 spends");
+        assert_eq!(acc.num_charges(), n);
+        assert!((acc.spent() - 0.5).abs() < 1e-9);
+        assert!(acc.audit().contains("total"));
+    }
+
+    #[test]
+    fn shared_accountant_snapshot_is_consistent() {
+        let acc = SharedAccountant::new();
+        acc.try_spend("a", Epsilon::new(0.1).unwrap()).unwrap();
+        acc.try_spend_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        acc.try_spend_parallel("hist", "c1", Epsilon::new(0.07).unwrap())
+            .unwrap();
+        let ledger = acc.snapshot();
+        assert!((ledger.spent() - 0.17).abs() < 1e-12);
+        assert_eq!(ledger.num_charges(), 3);
+        assert_eq!(acc.num_charges(), 3);
+    }
+
+    #[test]
+    fn shared_accountant_rejection_records_nothing() {
+        let acc = SharedAccountant::with_cap(Epsilon::new(0.2).unwrap());
+        acc.try_spend("fits", Epsilon::new(0.15).unwrap()).unwrap();
+        let err = acc
+            .try_spend("overdraws", Epsilon::new(0.15).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DpError::BudgetExceeded { .. }));
+        assert_eq!(acc.num_charges(), 1);
+        assert!((acc.spent() - 0.15).abs() < 1e-12);
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub enum DpError {
         /// The configured cap.
         cap: f64,
     },
+    /// A budget was asked to split into zero parts — the sequential-
+    /// composition inverse `ε/parts` is undefined, and silently returning
+    /// anything would mis-account downstream spends.
+    InvalidSplit {
+        /// The number of parts requested (always `0`).
+        parts: usize,
+    },
 }
 
 impl fmt::Display for DpError {
@@ -67,6 +74,9 @@ impl fmt::Display for DpError {
                 f,
                 "privacy budget exceeded: spent {spent} + requested {requested} > cap {cap}"
             ),
+            DpError::InvalidSplit { parts } => {
+                write!(f, "cannot split a budget into {parts} parts")
+            }
         }
     }
 }

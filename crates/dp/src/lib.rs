@@ -58,7 +58,7 @@ pub mod noisy_max;
 pub mod sparse_vector;
 pub mod topk;
 
-pub use budget::{Accountant, Epsilon, Sensitivity};
+pub use budget::{Accountant, Epsilon, Sensitivity, SharedAccountant};
 pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;

@@ -69,7 +69,7 @@ pub fn sparse<R: Rng + ?Sized>(
             available: values.len(),
         });
     }
-    let eps_each = eps.split(c);
+    let eps_each = eps.split(c)?;
     let mut hits = Vec::new();
     let mut start = 0usize;
     while hits.len() < c && start < values.len() {

@@ -73,7 +73,7 @@ pub fn iterated_top_k<R: Rng + ?Sized>(
     if let Some(index) = scores.iter().position(|s| !s.is_finite()) {
         return Err(DpError::NonFiniteScore { index });
     }
-    let eps_each = eps.split(k);
+    let eps_each = eps.split(k)?;
     let factor = eps_each.get() / (2.0 * sensitivity.get());
     let mut remaining: Vec<usize> = (0..scores.len()).collect();
     let mut out = Vec::with_capacity(k);

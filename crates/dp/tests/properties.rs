@@ -154,7 +154,7 @@ proptest! {
     #[test]
     fn epsilon_split_recomposes(eps in 1e-6f64..1e3, parts in 1usize..50) {
         let e = Epsilon::new(eps).unwrap();
-        let part = e.split(parts);
+        let part = e.split(parts).unwrap();
         let total = part.get() * parts as f64;
         prop_assert!((total - eps).abs() / eps < 1e-9);
     }

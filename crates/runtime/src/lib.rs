@@ -18,10 +18,15 @@
 //!   back **in chunk order**. With an associative, order-insensitive merge
 //!   (e.g. element-wise `u64` addition) the reduction is exactly the
 //!   sequential result for every thread count.
+//! * [`ordered_parallel_map_catch`] — the serving-pool variant of the map:
+//!   per-item panic isolation (a panicking item becomes its own `Err` slot,
+//!   every other item still runs), same ordered, deterministic output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod parallel;
 
-pub use parallel::{chunked_reduce, default_threads, ordered_parallel_map};
+pub use parallel::{
+    chunked_reduce, default_threads, ordered_parallel_map, ordered_parallel_map_catch,
+};

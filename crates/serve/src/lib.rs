@@ -1,0 +1,38 @@
+//! # dpx-serve — the concurrent explanation service for DPClustX
+//!
+//! The demonstration paper presents DPClustX as an interactive *system*: many
+//! analysts point sessions at shared sensitive datasets and ask for private
+//! explanations. This crate is the serving layer behind that picture:
+//!
+//! * [`DatasetRegistry`] — named datasets, each with the state concurrent
+//!   requests must share: the `Arc`'d data, one
+//!   [`SharedCountsCache`](dpclustx::engine::SharedCountsCache) (requests
+//!   over the same clustering reuse each other's one-pass count tables), and
+//!   one [`SharedAccountant`](dpx_dp::SharedAccountant) whose check-and-spend
+//!   is a single atomic operation — there is no TOCTOU window through which
+//!   two racing requests could jointly breach the dataset's ε cap.
+//! * [`ExplainRequest`] / [`ExplainResponse`] — the JSONL wire format. Each
+//!   request carries its own seed, ε split, weights, and Stage-2 kernel;
+//!   each response carries the explanation plus per-stage observer summaries,
+//!   serialized so that sorted response lines are byte-identical for every
+//!   worker count (wall-clock and scheduling-dependent fields are excluded).
+//! * [`ExplainService`] — the batch executor on the runtime crate's
+//!   counter-claimed job queue: requests are claimed in input order by up to
+//!   N workers, responses land in input-order slots, and a panicking request
+//!   fails alone while the pool keeps serving.
+//!
+//! The `dpclustx-cli serve-batch` subcommand wires this crate to files:
+//! JSONL requests in, JSONL responses (sorted by id) out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod request;
+pub mod service;
+
+pub use json::Json;
+pub use registry::{DatasetEntry, DatasetRegistry};
+pub use request::{ExplainRequest, ExplainResponse, ServedExplanation, StageSummary};
+pub use service::{derive_labels, parse_requests, write_responses, ExplainService, ServeError};

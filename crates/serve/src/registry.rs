@@ -1,0 +1,181 @@
+//! The dataset registry: named datasets with their shared serving state.
+//!
+//! Registering a dataset creates one [`DatasetEntry`] holding everything
+//! concurrent requests against that dataset must agree on:
+//!
+//! * the dataset itself behind an `Arc` (requests never copy the data);
+//! * one [`SharedCountsCache`], so requests over the same clustering reuse
+//!   each other's one-pass count tables;
+//! * one [`SharedAccountant`], whose `try_spend` is a single atomic
+//!   check-and-record — the per-dataset privacy cap holds under any
+//!   interleaving of worker threads.
+
+use dpclustx::engine::SharedCountsCache;
+use dpx_data::Dataset;
+use dpx_dp::budget::Epsilon;
+use dpx_dp::SharedAccountant;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One registered dataset and its shared serving state.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    data: Arc<Dataset>,
+    cache: Arc<SharedCountsCache>,
+    accountant: Arc<SharedAccountant>,
+}
+
+impl DatasetEntry {
+    /// Builds an entry around `data`, optionally capping its lifetime ε.
+    pub fn new(name: impl Into<String>, data: Arc<Dataset>, cap: Option<Epsilon>) -> Self {
+        let accountant = match cap {
+            Some(cap) => SharedAccountant::with_cap(cap),
+            None => SharedAccountant::new(),
+        };
+        DatasetEntry {
+            name: name.into(),
+            data,
+            cache: Arc::new(SharedCountsCache::new()),
+            accountant: Arc::new(accountant),
+        }
+    }
+
+    /// The registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// A shared handle to the dataset.
+    pub fn data_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.data)
+    }
+
+    /// The dataset's shared counts cache.
+    pub fn cache(&self) -> Arc<SharedCountsCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The dataset's budget accountant.
+    pub fn accountant(&self) -> &SharedAccountant {
+        &self.accountant
+    }
+}
+
+/// A name → [`DatasetEntry`] map, safe to share across worker threads.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    entries: Mutex<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map operations either complete or leave the map unchanged, so
+    /// recovering a poisoned lock cannot expose a half-applied update.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<DatasetEntry>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `data` under `name` with an optional lifetime ε cap,
+    /// replacing any previous entry of that name (the old entry's accountant
+    /// and cache are dropped with it). Returns the new entry.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        data: Arc<Dataset>,
+        cap: Option<Epsilon>,
+    ) -> Arc<DatasetEntry> {
+        let name = name.into();
+        let entry = Arc::new(DatasetEntry::new(name.clone(), data, cap));
+        self.lock().insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// The entry registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.lock().get(name).cloned()
+    }
+
+    /// Removes the entry registered under `name`, returning it.
+    pub fn remove(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.lock().remove(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::synth::diabetes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Arc<Dataset> {
+        let mut rng = StdRng::seed_from_u64(7);
+        Arc::new(diabetes::spec(2).generate(200, &mut rng).data)
+    }
+
+    #[test]
+    fn register_get_remove_roundtrip() {
+        let registry = DatasetRegistry::new();
+        assert!(registry.is_empty());
+        let entry = registry.register("patients", dataset(), Some(Epsilon::new(1.0).unwrap()));
+        assert_eq!(entry.name(), "patients");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["patients".to_string()]);
+        let looked_up = registry.get("patients").expect("registered");
+        assert!(Arc::ptr_eq(&entry, &looked_up));
+        assert!(registry.get("absent").is_none());
+        assert!(registry.remove("patients").is_some());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn reregistering_resets_budget_and_cache() {
+        let registry = DatasetRegistry::new();
+        let first = registry.register("d", dataset(), Some(Epsilon::new(0.5).unwrap()));
+        first
+            .accountant()
+            .try_spend("warmup", Epsilon::new(0.4).unwrap())
+            .unwrap();
+        let second = registry.register("d", dataset(), Some(Epsilon::new(0.5).unwrap()));
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.accountant().spent(), 0.0);
+        assert!(second.cache().is_empty());
+    }
+
+    #[test]
+    fn uncapped_entry_accepts_large_spends() {
+        let entry = DatasetEntry::new("open", dataset(), None);
+        entry
+            .accountant()
+            .try_spend("big", Epsilon::new(1e6).unwrap())
+            .unwrap();
+        assert_eq!(entry.accountant().num_charges(), 1);
+    }
+}

@@ -1,0 +1,451 @@
+//! The serving wire format: one JSON object per line, in and out.
+//!
+//! A request names a registered dataset, carries its own seed and ε split,
+//! and fully determines its explanation: the served labeling is a public
+//! function of the request (`row[cluster_by] mod n_clusters`), the engine RNG
+//! is seeded from `seed`, and the shared counts cache only ever memoizes
+//! values that are bit-identical however they were built. Responses therefore
+//! serialize **only deterministic fields** — stage wall-clock times and the
+//! scheduling-dependent `cache_hit` flag are deliberately excluded — so a
+//! batch's sorted response lines are byte-identical for every worker count.
+
+use crate::json::Json;
+use dpclustx::engine::StageEvent;
+use dpclustx::explanation::GlobalExplanation;
+use dpclustx::framework::DpClustXConfig;
+use dpclustx::stage2::Stage2Kernel;
+use dpclustx::Weights;
+
+/// One explanation request, as decoded from a JSONL line.
+///
+/// Only `id` is required; every other field has the CLI's default. Weights
+/// are accepted as a three-element array `[int, suf, div]` and normalized,
+/// and `stage2_kernel` takes the CLI's `seq|counter|counter-par[/N]` syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// Caller-chosen request identifier (echoed in the response; responses
+    /// are written sorted by it).
+    pub id: u64,
+    /// Name of the registered dataset to explain (default `"default"`).
+    pub dataset: String,
+    /// Seed of this request's private engine RNG (default: `id`).
+    pub seed: u64,
+    /// Attribute whose coded value partitions the rows into clusters.
+    pub cluster_by: usize,
+    /// Number of clusters (`row[cluster_by] mod n_clusters`).
+    pub n_clusters: usize,
+    /// Stage-1 candidate-set size.
+    pub k: usize,
+    /// Stage-1 budget `ε_CandSet`.
+    pub eps_cand: f64,
+    /// Stage-2 budget `ε_TopComb`.
+    pub eps_comb: f64,
+    /// Histogram budget `ε_Hist` (`null` for a selection-only request, which
+    /// the full pipeline rejects — exercised by the error-path tests).
+    pub eps_hist: Option<f64>,
+    /// Quality-measure weights λ.
+    pub weights: Weights,
+    /// Stage-2 combination-search kernel.
+    pub stage2_kernel: Stage2Kernel,
+    /// Apply the partition-consistency projection to released histograms.
+    pub consistency: bool,
+}
+
+impl ExplainRequest {
+    /// A request with every defaultable field defaulted.
+    pub fn new(id: u64) -> Self {
+        ExplainRequest {
+            id,
+            dataset: "default".to_string(),
+            seed: id,
+            cluster_by: 0,
+            n_clusters: 2,
+            k: 3,
+            eps_cand: 0.1,
+            eps_comb: 0.1,
+            eps_hist: Some(0.1),
+            weights: Weights::equal(),
+            stage2_kernel: Stage2Kernel::default(),
+            consistency: false,
+        }
+    }
+
+    /// The engine configuration this request asks for.
+    pub fn config(&self) -> DpClustXConfig {
+        DpClustXConfig {
+            k: self.k,
+            eps_cand_set: self.eps_cand,
+            eps_top_comb: self.eps_comb,
+            eps_hist: self.eps_hist,
+            weights: self.weights,
+            consistency: self.consistency,
+        }
+    }
+
+    /// Total ε this request will charge the dataset's accountant.
+    pub fn total_epsilon(&self) -> f64 {
+        self.config().total_epsilon()
+    }
+
+    /// Decodes a request from one JSONL line.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let v = Json::parse(line)?;
+        if !matches!(v, Json::Object(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = v
+            .get("id")
+            .ok_or_else(|| "missing required field 'id'".to_string())?
+            .as_u64()
+            .ok_or_else(|| "'id' must be a non-negative integer".to_string())?;
+        let mut req = ExplainRequest::new(id);
+        if let Some(d) = v.get("dataset") {
+            req.dataset = d
+                .as_str()
+                .ok_or_else(|| "'dataset' must be a string".to_string())?
+                .to_string();
+        }
+        if let Some(s) = v.get("seed") {
+            req.seed = s
+                .as_u64()
+                .ok_or_else(|| "'seed' must be a non-negative integer".to_string())?;
+        }
+        req.cluster_by = field_usize(&v, "cluster_by", req.cluster_by)?;
+        req.n_clusters = field_usize(&v, "n_clusters", req.n_clusters)?;
+        req.k = field_usize(&v, "k", req.k)?;
+        req.eps_cand = field_f64(&v, "eps_cand", req.eps_cand)?;
+        req.eps_comb = field_f64(&v, "eps_comb", req.eps_comb)?;
+        if let Some(h) = v.get("eps_hist") {
+            req.eps_hist = match h {
+                Json::Null => None,
+                _ => Some(
+                    h.as_f64()
+                        .ok_or_else(|| "'eps_hist' must be a number or null".to_string())?,
+                ),
+            };
+        }
+        if let Some(w) = v.get("weights") {
+            req.weights = parse_weights(w)?;
+        }
+        if let Some(kern) = v.get("stage2_kernel") {
+            let text = kern
+                .as_str()
+                .ok_or_else(|| "'stage2_kernel' must be a string".to_string())?;
+            req.stage2_kernel = Stage2Kernel::parse(text)?;
+        }
+        if let Some(c) = v.get("consistency") {
+            req.consistency = c
+                .as_bool()
+                .ok_or_else(|| "'consistency' must be a boolean".to_string())?;
+        }
+        Ok(req)
+    }
+
+    /// Encodes the request as one JSONL line (the inverse of
+    /// [`ExplainRequest::from_json_line`] up to defaulted fields).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = Json::object()
+            .field("id", self.id)
+            .field("dataset", self.dataset.as_str())
+            .field("seed", self.seed)
+            .field("cluster_by", self.cluster_by)
+            .field("n_clusters", self.n_clusters)
+            .field("k", self.k)
+            .field("eps_cand", self.eps_cand)
+            .field("eps_comb", self.eps_comb);
+        obj = match self.eps_hist {
+            Some(e) => obj.field("eps_hist", e),
+            None => obj.field("eps_hist", Json::Null),
+        };
+        obj.field(
+            "weights",
+            vec![
+                Json::Num(self.weights.int),
+                Json::Num(self.weights.suf),
+                Json::Num(self.weights.div),
+            ],
+        )
+        .field("stage2_kernel", self.stage2_kernel.label())
+        .field("consistency", self.consistency)
+        .render()
+    }
+}
+
+fn field_usize(v: &Json, name: &str, default: usize) -> Result<usize, String> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(f) => f
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("'{name}' must be a non-negative integer")),
+    }
+}
+
+fn field_f64(v: &Json, name: &str, default: f64) -> Result<f64, String> {
+    match v.get(name) {
+        None => Ok(default),
+        Some(f) => f
+            .as_f64()
+            .ok_or_else(|| format!("'{name}' must be a number")),
+    }
+}
+
+fn parse_weights(v: &Json) -> Result<Weights, String> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| "'weights' must be an array [int, suf, div]".to_string())?;
+    if items.len() != 3 {
+        return Err("'weights' must have exactly three elements".to_string());
+    }
+    let mut parts = [0.0f64; 3];
+    for (i, item) in items.iter().enumerate() {
+        parts[i] = item
+            .as_f64()
+            .ok_or_else(|| "'weights' elements must be numbers".to_string())?;
+        if !parts[i].is_finite() || parts[i] < 0.0 {
+            return Err(format!("weight {} must be finite and >= 0", parts[i]));
+        }
+    }
+    let sum: f64 = parts.iter().sum();
+    if sum <= 0.0 {
+        return Err("'weights' must have positive sum".to_string());
+    }
+    Ok(Weights::new(parts[0] / sum, parts[1] / sum, parts[2] / sum))
+}
+
+/// The deterministic slice of one stage's observer event: name, ε charged,
+/// and the stage metrics *minus* `cache_hit` (which depends on request
+/// scheduling, not on the request).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage name (one of the engine's `STAGE_*` constants).
+    pub stage: String,
+    /// ε charged by the stage.
+    pub epsilon: f64,
+    /// Deterministic stage metrics, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StageSummary {
+    /// Extracts the deterministic summary of an engine [`StageEvent`].
+    pub fn from_event(event: &StageEvent) -> Self {
+        StageSummary {
+            stage: event.stage.to_string(),
+            epsilon: event.epsilon,
+            metrics: event
+                .metrics
+                .iter()
+                .filter(|(k, _)| *k != "cache_hit")
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A successfully served explanation: the released artifact plus the
+/// per-stage observer summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedExplanation {
+    /// Selected attribute index per cluster.
+    pub attributes: Vec<usize>,
+    /// Selected attribute name per cluster.
+    pub attribute_names: Vec<String>,
+    /// Total ε the request spent (accountant audit total).
+    pub eps_spent: f64,
+    /// Per-stage summaries, in pipeline order.
+    pub stages: Vec<StageSummary>,
+    /// Released noisy histogram pairs, one per cluster:
+    /// `(cluster, attribute, hist_cluster, hist_rest)`.
+    pub clusters: Vec<(usize, usize, Vec<f64>, Vec<f64>)>,
+}
+
+impl ServedExplanation {
+    /// Assembles the response payload from the engine's outputs.
+    pub fn new(explanation: &GlobalExplanation, eps_spent: f64, events: &[StageEvent]) -> Self {
+        ServedExplanation {
+            attributes: explanation.attribute_combination(),
+            attribute_names: explanation
+                .attribute_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            eps_spent,
+            stages: events.iter().map(StageSummary::from_event).collect(),
+            clusters: explanation
+                .per_cluster
+                .iter()
+                .map(|e| {
+                    (
+                        e.cluster,
+                        e.attribute,
+                        e.hist_cluster.clone(),
+                        e.hist_rest.clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One response line: the request id plus either the served explanation or a
+/// human-readable error (budget rejection, bad request, worker panic, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainResponse {
+    /// The request's id.
+    pub id: u64,
+    /// The explanation, or why there is none.
+    pub outcome: Result<ServedExplanation, String>,
+}
+
+impl ExplainResponse {
+    /// An error response.
+    pub fn error(id: u64, message: impl Into<String>) -> Self {
+        ExplainResponse {
+            id,
+            outcome: Err(message.into()),
+        }
+    }
+
+    /// Whether the request was served.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Encodes the response as one JSONL line. Every rendered field is a
+    /// deterministic function of the request and the dataset (see module
+    /// docs), so identical batches render identical lines.
+    pub fn to_json_line(&self) -> String {
+        let obj = Json::object()
+            .field("id", self.id)
+            .field("ok", self.is_ok());
+        match &self.outcome {
+            Err(message) => obj.field("error", message.as_str()).render(),
+            Ok(served) => {
+                let stages: Vec<Json> = served
+                    .stages
+                    .iter()
+                    .map(|s| {
+                        Json::object()
+                            .field("stage", s.stage.as_str())
+                            .field("epsilon", s.epsilon)
+                            .field(
+                                "metrics",
+                                s.metrics
+                                    .iter()
+                                    .map(|(k, v)| {
+                                        Json::Array(vec![
+                                            Json::Str(k.clone()),
+                                            Json::Num(*v),
+                                        ])
+                                    })
+                                    .collect::<Vec<_>>(),
+                            )
+                    })
+                    .collect();
+                let clusters: Vec<Json> = served
+                    .clusters
+                    .iter()
+                    .map(|(cluster, attribute, hist_cluster, hist_rest)| {
+                        Json::object()
+                            .field("cluster", *cluster)
+                            .field("attribute", *attribute)
+                            .field(
+                                "hist_cluster",
+                                hist_cluster.iter().map(|&x| Json::Num(x)).collect::<Vec<_>>(),
+                            )
+                            .field(
+                                "hist_rest",
+                                hist_rest.iter().map(|&x| Json::Num(x)).collect::<Vec<_>>(),
+                            )
+                    })
+                    .collect();
+                obj.field(
+                    "attributes",
+                    served
+                        .attributes
+                        .iter()
+                        .map(|&a| Json::Num(a as f64))
+                        .collect::<Vec<_>>(),
+                )
+                .field(
+                    "attribute_names",
+                    served
+                        .attribute_names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect::<Vec<_>>(),
+                )
+                .field("eps_spent", served.eps_spent)
+                .field("stages", stages)
+                .field("clusters", clusters)
+                .render()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_takes_defaults() {
+        let req = ExplainRequest::from_json_line(r#"{"id": 9}"#).unwrap();
+        assert_eq!(req, ExplainRequest::new(9));
+        assert_eq!(req.seed, 9, "seed defaults to the id");
+        assert!((req.total_epsilon() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_request_roundtrips() {
+        let line = r#"{"id":3,"dataset":"patients","seed":41,"cluster_by":2,"n_clusters":4,
+                       "k":2,"eps_cand":0.2,"eps_comb":0.3,"eps_hist":null,
+                       "weights":[2,1,1],"stage2_kernel":"counter","consistency":true}"#
+            .replace('\n', " ");
+        let req = ExplainRequest::from_json_line(&line).unwrap();
+        assert_eq!(req.dataset, "patients");
+        assert_eq!(req.seed, 41);
+        assert_eq!(req.eps_hist, None);
+        assert!((req.weights.int - 0.5).abs() < 1e-12);
+        assert_eq!(req.stage2_kernel, Stage2Kernel::CounterSerial);
+        assert!(req.consistency);
+        let reparsed = ExplainRequest::from_json_line(&req.to_json_line()).unwrap();
+        assert_eq!(reparsed, req);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            (r#"{"seed": 1}"#, "missing required field 'id'"),
+            (r#"{"id": -1}"#, "'id'"),
+            (r#"{"id": 1, "weights": [1, 2]}"#, "three elements"),
+            (r#"{"id": 1, "weights": [0, 0, 0]}"#, "positive sum"),
+            (r#"{"id": 1, "stage2_kernel": "fourier"}"#, "kernel"),
+            (r#"{"id": 1, "eps_cand": "a lot"}"#, "'eps_cand'"),
+            (r#"[1, 2]"#, "must be a JSON object"),
+            (r#"{"id": 1"#, "expected"),
+        ] {
+            let err = ExplainRequest::from_json_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn stage_summary_drops_cache_hit() {
+        let event = StageEvent {
+            stage: "build-counts",
+            wall: std::time::Duration::from_millis(5),
+            epsilon: 0.0,
+            charges: vec![],
+            metrics: vec![("cache_hit", 1.0), ("n_attributes", 12.0)],
+        };
+        let summary = StageSummary::from_event(&event);
+        assert_eq!(summary.metrics, vec![("n_attributes".to_string(), 12.0)]);
+    }
+
+    #[test]
+    fn error_response_renders_compactly() {
+        let line = ExplainResponse::error(4, "unknown dataset 'x'").to_json_line();
+        assert_eq!(line, r#"{"id":4,"ok":false,"error":"unknown dataset 'x'"}"#);
+    }
+}

@@ -1,0 +1,376 @@
+//! The batch executor: requests in, responses out, on a worker pool.
+//!
+//! [`ExplainService::run_batch`] is the serving loop. Its concurrency model
+//! is the runtime crate's counter-claimed job queue
+//! ([`ordered_parallel_map_catch`]): the batch *is* the bounded queue, worker
+//! threads claim requests in input order, and each response lands in its
+//! request's slot — so the response vector is a deterministic function of the
+//! request vector for every worker count. A panicking request (a buggy
+//! mechanism, a hostile input that trips an internal assertion) is isolated
+//! to its own error response; the pool keeps draining the queue.
+//!
+//! Privacy ordering: a request's **entire** ε is reserved on the dataset's
+//! [`SharedAccountant`](dpx_dp::SharedAccountant) in one atomic `try_spend`
+//! *before* any mechanism runs. There is no check-then-spend window for two
+//! workers to race through, so the per-dataset cap holds under any
+//! interleaving. The reservation is deliberately not refunded if the pipeline
+//! later fails — over-counting spend is privacy-safe, refunds after a partial
+//! release are not.
+
+use crate::registry::DatasetRegistry;
+use crate::request::{ExplainRequest, ExplainResponse, ServedExplanation};
+use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine};
+use dpx_data::Dataset;
+use dpx_dp::budget::Epsilon;
+use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
+use dpx_runtime::{default_threads, ordered_parallel_map_catch};
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// A service-level failure: I/O on the request/response streams, or a
+/// request line that is not valid JSON. (Per-request execution failures are
+/// *data*, not errors — they become `"ok": false` response lines.)
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading requests or writing responses failed.
+    Io(std::io::Error),
+    /// A request line failed to decode; `line` is 1-based.
+    BadRequest {
+        /// 1-based line number in the request stream.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::BadRequest { line, message } => {
+                write!(f, "bad request on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Reads a JSONL request stream (blank lines and `#` comment lines are
+/// skipped), failing on the first undecodable line.
+pub fn parse_requests<R: BufRead>(reader: R) -> Result<Vec<ExplainRequest>, ServeError> {
+    let mut requests = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let req = ExplainRequest::from_json_line(trimmed).map_err(|message| {
+            ServeError::BadRequest {
+                line: i + 1,
+                message,
+            }
+        })?;
+        requests.push(req);
+    }
+    Ok(requests)
+}
+
+/// Writes responses as JSONL, sorted by request id (ties keep batch order).
+pub fn write_responses<W: Write>(
+    responses: &[ExplainResponse],
+    writer: &mut W,
+) -> Result<(), ServeError> {
+    let mut sorted: Vec<&ExplainResponse> = responses.iter().collect();
+    sorted.sort_by_key(|r| r.id);
+    for response in sorted {
+        writeln!(writer, "{}", response.to_json_line())?;
+    }
+    Ok(())
+}
+
+/// The explanation service: a registry plus a worker-pool width.
+#[derive(Debug)]
+pub struct ExplainService {
+    registry: Arc<DatasetRegistry>,
+    workers: usize,
+}
+
+impl ExplainService {
+    /// A service over `registry` with one worker per available core (capped
+    /// later by the batch size).
+    pub fn new(registry: Arc<DatasetRegistry>) -> Self {
+        ExplainService {
+            registry,
+            workers: default_threads(usize::MAX),
+        }
+    }
+
+    /// Sets the worker-pool width (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The registry this service serves from.
+    pub fn registry(&self) -> &DatasetRegistry {
+        &self.registry
+    }
+
+    /// Serves one request with the default (geometric) histogram mechanism.
+    pub fn execute(&self, request: &ExplainRequest) -> ExplainResponse {
+        self.execute_with(request, &GeometricHistogram)
+    }
+
+    /// Serves one request with a custom histogram mechanism. Never panics on
+    /// bad request *data* — lookup, validation, budget, and pipeline failures
+    /// all come back as error responses.
+    pub fn execute_with<M: HistogramMechanism + Sync>(
+        &self,
+        request: &ExplainRequest,
+        mechanism: &M,
+    ) -> ExplainResponse {
+        match self.try_execute(request, mechanism) {
+            Ok(served) => ExplainResponse {
+                id: request.id,
+                outcome: Ok(served),
+            },
+            Err(message) => ExplainResponse::error(request.id, message),
+        }
+    }
+
+    fn try_execute<M: HistogramMechanism + Sync>(
+        &self,
+        request: &ExplainRequest,
+        mechanism: &M,
+    ) -> Result<ServedExplanation, String> {
+        let entry = self
+            .registry
+            .get(&request.dataset)
+            .ok_or_else(|| format!("unknown dataset '{}'", request.dataset))?;
+        if request.n_clusters == 0 {
+            return Err("n_clusters must be positive".to_string());
+        }
+        if request.cluster_by >= entry.data().schema().arity() {
+            return Err(format!(
+                "cluster_by {} out of range (dataset has {} attributes)",
+                request.cluster_by,
+                entry.data().schema().arity()
+            ));
+        }
+        let total = Epsilon::new(request.total_epsilon()).map_err(|e| e.to_string())?;
+        // The whole request budget is reserved in ONE atomic operation before
+        // any private computation starts. If the cap cannot absorb it, the
+        // request is rejected with nothing recorded.
+        entry
+            .accountant()
+            .try_spend(format!("request/{}", request.id), total)
+            .map_err(|e| format!("budget rejected: {e}"))?;
+        let labels = derive_labels(entry.data(), request.cluster_by, request.n_clusters);
+        let mut ctx =
+            ExplainContext::with_shared_cache(entry.data_arc(), request.seed, entry.cache());
+        let engine =
+            ExplainEngine::new(request.config()).with_stage2_kernel(request.stage2_kernel);
+        let mut observer = CollectingObserver::new();
+        let outcome = engine
+            .explain_with_mechanism(
+                &mut ctx,
+                &labels,
+                request.n_clusters,
+                mechanism,
+                &mut observer,
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(ServedExplanation::new(
+            &outcome.explanation,
+            outcome.accountant.spent(),
+            observer.events(),
+        ))
+    }
+
+    /// Serves a whole batch on the worker pool with the default mechanism.
+    /// Responses come back in request order; sort or
+    /// [`write_responses`] by id for a canonical stream.
+    pub fn run_batch(&self, requests: Vec<ExplainRequest>) -> Vec<ExplainResponse> {
+        self.run_batch_with_mechanism(requests, &GeometricHistogram)
+    }
+
+    /// [`Self::run_batch`] with a custom histogram mechanism. A request that
+    /// panics mid-pipeline (e.g. a faulty mechanism) yields an error response
+    /// carrying the panic message; every other request is served normally.
+    pub fn run_batch_with_mechanism<M: HistogramMechanism + Sync>(
+        &self,
+        requests: Vec<ExplainRequest>,
+        mechanism: &M,
+    ) -> Vec<ExplainResponse> {
+        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        ordered_parallel_map_catch(requests, self.workers, |request| {
+            self.execute_with(request, mechanism)
+        })
+        .into_iter()
+        .zip(ids)
+        .map(|(slot, id)| match slot {
+            Ok(response) => response,
+            Err(panic_message) => {
+                ExplainResponse::error(id, format!("worker panicked: {panic_message}"))
+            }
+        })
+        .collect()
+    }
+}
+
+/// The served labeling: a *public, data-independent rule* applied per row —
+/// cluster `row[cluster_by] mod n_clusters`. Serving treats the clustering
+/// function as given (the paper's black box `f`); a modulus of a coded value
+/// is the simplest total function that is free to evaluate, deterministic,
+/// and shared between requests so the counts cache actually gets hits.
+pub fn derive_labels(data: &Dataset, cluster_by: usize, n_clusters: usize) -> Vec<usize> {
+    data.column(cluster_by)
+        .iter()
+        .map(|&v| v as usize % n_clusters)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx_data::synth::diabetes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn registry_with(name: &str, cap: Option<f64>) -> Arc<DatasetRegistry> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = Arc::new(diabetes::spec(2).generate(600, &mut rng).data);
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register(name, data, cap.map(|c| Epsilon::new(c).unwrap()));
+        registry
+    }
+
+    #[test]
+    fn serves_a_minimal_request() {
+        let service = ExplainService::new(registry_with("default", None)).with_workers(2);
+        let response = service.execute(&ExplainRequest::new(1));
+        let served = response.outcome.expect("request served");
+        assert_eq!(served.attributes.len(), 2);
+        assert_eq!(served.stages.len(), 4);
+        assert!((served.eps_spent - 0.3).abs() < 1e-9);
+        assert_eq!(served.clusters.len(), 2);
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_fields_become_error_responses() {
+        let service = ExplainService::new(registry_with("default", None));
+        let mut req = ExplainRequest::new(1);
+        req.dataset = "elsewhere".to_string();
+        let response = service.execute(&req);
+        assert!(response.outcome.unwrap_err().contains("unknown dataset"));
+
+        let mut req = ExplainRequest::new(2);
+        req.cluster_by = 999;
+        assert!(service
+            .execute(&req)
+            .outcome
+            .unwrap_err()
+            .contains("out of range"));
+
+        let mut req = ExplainRequest::new(3);
+        req.n_clusters = 0;
+        assert!(service
+            .execute(&req)
+            .outcome
+            .unwrap_err()
+            .contains("positive"));
+
+        let mut req = ExplainRequest::new(4);
+        req.eps_hist = None; // selection-only config cannot drive the full pipeline
+        let err = service.execute(&req).outcome.unwrap_err();
+        assert!(err.contains("epsilon"), "got: {err}");
+    }
+
+    #[test]
+    fn budget_cap_rejects_with_nothing_recorded() {
+        let registry = registry_with("default", Some(0.5));
+        let service = ExplainService::new(Arc::clone(&registry));
+        let entry = registry.get("default").unwrap();
+        // 0.3 each: first fits, second would breach 0.5.
+        assert!(service.execute(&ExplainRequest::new(1)).is_ok());
+        let rejected = service.execute(&ExplainRequest::new(2));
+        assert!(rejected
+            .outcome
+            .unwrap_err()
+            .contains("budget rejected"));
+        assert_eq!(entry.accountant().num_charges(), 1);
+        assert!(entry.accountant().spent() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn batch_responses_match_serial_execution() {
+        let registry = registry_with("default", None);
+        let serial = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+        let expected: Vec<String> = (0..6)
+            .map(|id| serial.execute(&ExplainRequest::new(id)).to_json_line())
+            .collect();
+        // A fresh registry per worker count: the accountant must see the same
+        // spends, and the cache starts cold each time.
+        for workers in [1, 3, 8] {
+            let registry = registry_with("default", None);
+            let service = ExplainService::new(registry).with_workers(workers);
+            let requests: Vec<ExplainRequest> = (0..6).map(ExplainRequest::new).collect();
+            let got: Vec<String> = service
+                .run_batch(requests)
+                .iter()
+                .map(ExplainResponse::to_json_line)
+                .collect();
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parse_requests_skips_blanks_and_flags_bad_lines() {
+        let text = "\n# comment\n{\"id\": 1}\n{\"id\": 2, \"seed\": 5}\n";
+        let requests = parse_requests(text.as_bytes()).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[1].seed, 5);
+
+        let err = parse_requests("{\"id\": 1}\nnot json\n".as_bytes()).unwrap_err();
+        match err {
+            ServeError::BadRequest { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_responses_sorts_by_id() {
+        let responses = vec![
+            ExplainResponse::error(5, "late"),
+            ExplainResponse::error(1, "early"),
+        ];
+        let mut out = Vec::new();
+        write_responses(&responses, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"id\":1"), "got {first}");
+    }
+
+    #[test]
+    fn derive_labels_is_total_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = diabetes::spec(2).generate(100, &mut rng).data;
+        let labels = derive_labels(&data, 1, 3);
+        assert_eq!(labels.len(), 100);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+}

@@ -1,0 +1,209 @@
+//! Budget-race stress battery: many threads hammer one accountant with
+//! mixed-size requests against a hard ε cap.
+//!
+//! The point of [`SharedAccountant::try_spend`] is that check-and-record is
+//! ONE atomic operation. To show the test has teeth, the same adversarial
+//! harness first drives a deliberately naive check-*then*-spend gate — the
+//! TOCTOU implementation a straightforward port of the single-threaded
+//! accountant would produce — and demonstrates that it overspends the cap
+//! under a maximally hostile interleaving. The shipped accountant then runs
+//! under the identical workloads at 1, 2, 8, and 32 threads and must never
+//! exceed the cap, while recording every accepted spend exactly.
+
+use dpx_dp::budget::{Accountant, Epsilon};
+use dpx_dp::SharedAccountant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
+
+/// The cap tolerance the accountant itself uses (`check_cap` allows
+/// `cap * (1 + 1e-9)` of float round-off).
+const CAP_TOL: f64 = 1e-9;
+
+/// The deliberately broken gate: `check` and `spend` are separate critical
+/// sections, so between a passing check and its spend another thread can
+/// spend the same headroom. This is exactly the bug `SharedAccountant`'s
+/// single-lock `try_spend` closes.
+struct NaiveCheckThenSpend {
+    ledger: Mutex<Vec<f64>>,
+    cap: f64,
+}
+
+impl NaiveCheckThenSpend {
+    fn new(cap: f64) -> Self {
+        NaiveCheckThenSpend {
+            ledger: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<f64>> {
+        self.ledger.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// First half of the race: would `eps` fit right now?
+    fn check(&self, eps: f64) -> bool {
+        let spent: f64 = self.lock().iter().sum();
+        spent + eps <= self.cap * (1.0 + CAP_TOL)
+    }
+
+    /// Second half: record unconditionally (the check already "passed").
+    fn spend(&self, eps: f64) {
+        self.lock().push(eps);
+    }
+
+    fn spent(&self) -> f64 {
+        self.lock().iter().sum()
+    }
+}
+
+#[test]
+fn naive_check_then_spend_overspends_under_contention() {
+    // 8 threads race one 0.3-sized request each against a 1.0 cap. The
+    // barrier between every thread's check and its spend is the adversarial
+    // scheduler: all checks observe spent = 0 and pass, then all spends
+    // land — 2.4 ε against a 1.0 cap. Deterministic, not just likely.
+    let threads = 8;
+    let gate = NaiveCheckThenSpend::new(1.0);
+    let aligned = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                aligned.wait();
+                let ok = gate.check(0.3);
+                aligned.wait(); // hold every spend until every check passed
+                if ok {
+                    gate.spend(0.3);
+                }
+            });
+        }
+    });
+    assert!(
+        gate.spent() > 1.0 + CAP_TOL,
+        "the naive gate was expected to overspend (spent {}), so this \
+         harness would not detect a TOCTOU accountant",
+        gate.spent()
+    );
+}
+
+#[test]
+fn shared_accountant_never_overspends_under_the_same_race() {
+    // The exact harness that breaks the naive gate: aligned threads, one
+    // 0.3 request each, cap 1.0. With atomic try_spend at most ⌊1.0/0.3⌋
+    // requests can ever be accepted, whatever the interleaving.
+    let threads = 8;
+    let accountant = SharedAccountant::with_cap(Epsilon::new(1.0).unwrap());
+    let aligned = Barrier::new(threads);
+    let accepted = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let accountant = &accountant;
+            let aligned = &aligned;
+            let accepted = &accepted;
+            scope.spawn(move || {
+                aligned.wait();
+                if accountant
+                    .try_spend(format!("race/{t}"), Epsilon::new(0.3).unwrap())
+                    .is_ok()
+                {
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(accepted.load(Ordering::SeqCst), 3, "⌊1.0 / 0.3⌋ fit");
+    assert!(accountant.spent() <= 1.0 * (1.0 + CAP_TOL));
+    assert_eq!(accountant.num_charges(), 3);
+}
+
+/// One stress round: `threads` workers each fire `attempts` mixed-size
+/// requests at a capped accountant as fast as they can. Returns the total ε
+/// the workers *believe* they were granted.
+fn hammer(threads: usize, attempts: usize, cap: f64, accountant: &SharedAccountant) -> f64 {
+    // Mixed request sizes, co-prime-ish with the cap so acceptance order
+    // actually matters near the boundary.
+    let sizes = [0.01, 0.07, 0.02, 0.25, 0.05, 0.11];
+    let granted = Mutex::new(0.0f64);
+    let start = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let accountant = &accountant;
+            let granted = &granted;
+            let start = &start;
+            let sizes = &sizes;
+            scope.spawn(move || {
+                start.wait();
+                let mut mine = 0.0;
+                for a in 0..attempts {
+                    let eps = sizes[(t + a) % sizes.len()];
+                    if accountant
+                        .try_spend(format!("t{t}/a{a}"), Epsilon::new(eps).unwrap())
+                        .is_ok()
+                    {
+                        mine += eps;
+                    }
+                    if a % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                *granted.lock().unwrap_or_else(PoisonError::into_inner) += mine;
+            });
+        }
+    });
+    let total = *granted.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = cap;
+    total
+}
+
+#[test]
+fn stress_total_spend_never_exceeds_cap_and_every_grant_is_recorded() {
+    for threads in [1, 2, 8, 32] {
+        let cap = 1.0;
+        let accountant = SharedAccountant::with_cap(Epsilon::new(cap).unwrap());
+        let granted = hammer(threads, 64, cap, &accountant);
+
+        // Invariant 1: the ledger never exceeds the cap (up to the
+        // accountant's own float tolerance).
+        assert!(
+            accountant.spent() <= cap * (1.0 + CAP_TOL),
+            "threads={threads}: spent {} > cap {cap}",
+            accountant.spent()
+        );
+        // Invariant 2: everything the workers were granted is in the ledger
+        // — an accepted try_spend is fully recorded, never lost.
+        assert!(
+            (accountant.spent() - granted).abs() < 1e-9,
+            "threads={threads}: ledger {} != granted {granted}",
+            accountant.spent()
+        );
+        // Invariant 3: the ledger is internally consistent — the snapshot's
+        // per-charge sum is the reported spend, one entry per grant.
+        let snapshot: Accountant = accountant.snapshot();
+        let ledger_sum: f64 = snapshot.sequential_charges().map(|c| c.epsilon).sum();
+        assert!((ledger_sum - accountant.spent()).abs() < 1e-9);
+        assert_eq!(snapshot.num_charges(), accountant.num_charges());
+        // Invariant 4: the cap was actually contended — the workload offered
+        // far more ε than the cap admits, so near-full utilization means the
+        // races were real, not a workload that never reached the boundary.
+        assert!(
+            accountant.spent() > cap - 0.25,
+            "threads={threads}: spent only {} of cap {cap}; workload too weak",
+            accountant.spent()
+        );
+    }
+}
+
+#[test]
+fn stress_rejections_record_nothing() {
+    // A cap so small that almost everything is rejected: the ledger must
+    // contain only the accepted spends, and audit() must stay renderable
+    // while other threads are still spending.
+    let accountant = SharedAccountant::with_cap(Epsilon::new(0.05).unwrap());
+    let granted = hammer(16, 32, 0.05, &accountant);
+    assert!((accountant.spent() - granted).abs() < 1e-9);
+    assert!(accountant.spent() <= 0.05 * (1.0 + CAP_TOL));
+    let audit = accountant.audit();
+    assert!(
+        audit.contains("total ε"),
+        "audit must render after the storm:\n{audit}"
+    );
+}
