@@ -100,6 +100,22 @@ impl Cli {
         }
     }
 
+    /// An optional string flag (`None` when absent).
+    pub fn opt_string(&self, name: &str) -> Option<String> {
+        self.flags.get(name).cloned()
+    }
+
+    /// An optional `u64` flag (`None` when absent).
+    pub fn opt_u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got '{v}'"))),
+        }
+    }
+
     /// Parses `--stage2-kernel` (`seq` | `counter` | `counter-par[/N]`;
     /// defaults to the streaming sequential-RNG kernel, which preserves the
     /// historical seeded outputs).
@@ -218,6 +234,18 @@ mod tests {
         assert_eq!(c.stage2_kernel().unwrap(), Stage2Kernel::CounterParallel(0));
         let c = cli(&["explain", "--stage2-kernel", "gumbel"]).unwrap();
         assert!(matches!(c.stage2_kernel(), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn optional_flags_distinguish_absent_from_set() {
+        let c = cli(&["serve-batch", "--ledger", "x.wal", "--deadline-ms", "250"]).unwrap();
+        assert_eq!(c.opt_string("ledger").as_deref(), Some("x.wal"));
+        assert_eq!(c.opt_u64("deadline-ms").unwrap(), Some(250));
+        let c = cli(&["serve-batch"]).unwrap();
+        assert_eq!(c.opt_string("ledger"), None);
+        assert_eq!(c.opt_u64("deadline-ms").unwrap(), None);
+        let c = cli(&["serve-batch", "--deadline-ms", "soon"]).unwrap();
+        assert!(c.opt_u64("deadline-ms").is_err());
     }
 
     #[test]

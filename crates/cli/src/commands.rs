@@ -241,9 +241,30 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
 /// pool (see `dpx-serve`). Responses are written sorted by request id, and
 /// every serialized field is deterministic, so the output file is
 /// byte-identical for any `--workers` value.
+///
+/// `--ledger` attaches a durable write-ahead ε ledger: every grant is fsynced
+/// before its request runs, and a restarted invocation rebuilds the
+/// accountant at the recovered spend. `--resume` (requires `--ledger`) keeps
+/// the response lines an interrupted run already flushed to `--out` and skips
+/// re-spending for request ids that hold a recovered grant, so kill-and-rerun
+/// converges on exactly the uninterrupted output without double-charging.
 fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
-    use dpx_serve::{parse_requests, write_responses, DatasetRegistry, ExplainService};
-    use std::sync::Arc;
+    use dpx_dp::ledger::LedgerWriter;
+    use dpx_dp::{SharedAccountant, NO_REQUEST};
+    use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
+    use dpx_serve::{parse_requests, BatchOptions, DatasetRegistry, ExplainService};
+    use std::collections::HashSet;
+    use std::io::Write as _;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    let ledger_path = cli.opt_string("ledger");
+    let resume = cli.bool("resume");
+    let deadline_ms = cli.opt_u64("deadline-ms")?;
+    if resume && ledger_path.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires --ledger (there is no grant log to resume from)".into(),
+        ));
+    }
 
     let data = load(cli)?;
     let requests_path = cli.required("requests")?.to_string();
@@ -255,34 +276,146 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
     };
 
     let registry = Arc::new(DatasetRegistry::new());
-    let entry = registry.register(cli.string("name", "default"), Arc::new(data), cap);
+    let name = cli.string("name", "default");
+    let mut granted: HashSet<u64> = HashSet::new();
+    let entry = match &ledger_path {
+        Some(path) => {
+            let (writer, recovery) = LedgerWriter::open(std::path::Path::new(path))?;
+            granted.extend(
+                recovery
+                    .grants
+                    .iter()
+                    .map(|g| g.request_id)
+                    .filter(|&id| id != NO_REQUEST),
+            );
+            let accountant = SharedAccountant::recovered(cap, writer, &recovery.grants);
+            registry.register_with(name, Arc::new(data), accountant)
+        }
+        None => registry.register(name, Arc::new(data), cap),
+    };
     let requests = parse_requests(BufReader::new(File::open(&requests_path)?))
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let n_requests = requests.len();
 
-    let service = ExplainService::new(Arc::clone(&registry)).with_workers(workers);
-    let responses = service.run_batch(requests);
-    let ok = responses.iter().filter(|r| r.is_ok()).count();
+    // --resume keeps whatever response lines the interrupted run already
+    // flushed (a torn final line is dropped) and only re-runs the rest.
+    let kept: Vec<(u64, String)> = if resume {
+        read_kept_responses(&out_path)?
+    } else {
+        Vec::new()
+    };
+    let kept_ids: HashSet<u64> = kept.iter().map(|(id, _)| *id).collect();
+    let to_run: Vec<_> = requests
+        .into_iter()
+        .filter(|r| !kept_ids.contains(&r.id))
+        .collect();
 
+    let opts = BatchOptions {
+        deadline_ms,
+        granted,
+    };
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(workers);
+
+    // Stream every response append-and-flush (kept lines re-written first) so
+    // a crash loses at most the in-flight requests; the canonical sorted
+    // rewrite happens once the batch completes.
+    let mut stream = BufWriter::new(File::create(&out_path)?);
+    for (_, line) in &kept {
+        writeln!(stream, "{line}")?;
+    }
+    stream.flush()?;
+    let stream = Mutex::new(stream);
+    let responses = service.run_batch_streamed(
+        to_run,
+        &opts,
+        &dpx_dp::histogram::GeometricHistogram,
+        Some(&|response: &dpx_serve::ExplainResponse| {
+            let mut w = stream.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writeln!(w, "{}", response.to_json_line());
+            let _ = w.flush();
+            faultpoint::hit(SERVICE_POST_RESPOND);
+        }),
+    );
+    drop(stream);
+
+    let ok = responses.iter().filter(|r| r.is_ok()).count()
+        + kept
+            .iter()
+            .filter(|(_, line)| line.contains("\"ok\":true"))
+            .count();
+
+    let mut lines: Vec<(u64, String)> = kept;
+    lines.extend(responses.iter().map(|r| (r.id, r.to_json_line())));
+    lines.sort_by_key(|&(id, _)| id);
     let mut writer = BufWriter::new(File::create(&out_path)?);
-    write_responses(&responses, &mut writer).map_err(|e| match e {
-        dpx_serve::ServeError::Io(io) => CliError::Io(io),
-        other => CliError::Usage(other.to_string()),
-    })?;
+    for (_, line) in &lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+
+    if resume {
+        writeln!(
+            out,
+            "resumed: kept {} previously written responses, re-ran {}",
+            kept_ids.len(),
+            lines.len() - kept_ids.len()
+        )?;
+    }
     writeln!(
         out,
         "served {n_requests} requests on {} workers: {ok} ok, {} failed",
         service.workers(),
         n_requests - ok
     )?;
+    let headroom = match entry.accountant().remaining() {
+        Some(rem) => format!(", ε remaining = {rem:.6}"),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "dataset '{}' spent ε = {:.6} over {} accepted requests -> {out_path}",
+        "dataset '{}' spent ε = {:.6} over {} accepted requests{headroom} -> {out_path}",
         entry.name(),
         entry.accountant().spent(),
         entry.accountant().num_charges()
     )?;
     Ok(())
+}
+
+/// Reads the response lines an interrupted `serve-batch` already wrote to
+/// `path` (missing file → nothing kept). A final line that is torn — no
+/// trailing newline, or unparseable — is dropped: the crash landed mid-write
+/// and its request will simply be re-served. An unparseable *interior* line
+/// means the file is not a response stream at all, which is an error rather
+/// than something to silently overwrite.
+fn read_kept_responses(path: &str) -> Result<Vec<(u64, String)>, CliError> {
+    use dpx_serve::Json;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CliError::Io(e)),
+    };
+    let mut lines: Vec<&str> = text.lines().collect();
+    if !text.ends_with('\n') {
+        lines.pop();
+    }
+    let last = lines.len();
+    let mut kept = Vec::with_capacity(lines.len());
+    for (i, line) in lines.into_iter().enumerate() {
+        let id = Json::parse(line)
+            .ok()
+            .and_then(|json| json.get("id").and_then(Json::as_u64));
+        match id {
+            Some(id) => kept.push((id, line.to_string())),
+            None if i + 1 == last => {} // torn tail despite its newline
+            None => {
+                return Err(CliError::Usage(format!(
+                    "--resume: line {} of {path} is not a response line; refusing to overwrite",
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(kept)
 }
 
 fn rank<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
@@ -571,10 +704,7 @@ mod tests {
         assert_eq!(outputs[0], outputs[1], "workers 1 vs 2 diverged");
         assert_eq!(outputs[0], outputs[2], "workers 1 vs 7 diverged");
         let text = String::from_utf8(outputs[0].clone()).unwrap();
-        let ids: Vec<&str> = text
-            .lines()
-            .map(|l| l.split(',').next().unwrap())
-            .collect();
+        let ids: Vec<&str> = text.lines().map(|l| l.split(',').next().unwrap()).collect();
         assert_eq!(
             ids,
             vec!["{\"id\":1", "{\"id\":2", "{\"id\":5", "{\"id\":7"],
@@ -630,6 +760,145 @@ mod tests {
             2,
             "rejections surface in responses:\n{body}"
         );
+    }
+
+    #[test]
+    fn serve_batch_ledger_recovers_and_resume_completes_a_torn_run() {
+        let dir = tmpdir();
+        let prefix = dir.join("durable");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "400",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let reqs = dir.join("durable-reqs.jsonl");
+        std::fs::write(
+            &reqs,
+            "{\"id\": 1}\n{\"id\": 2}\n{\"id\": 3}\n{\"id\": 4}\n",
+        )
+        .unwrap();
+        let resp = dir.join("durable-resp.jsonl");
+        let wal = dir.join("durable.wal");
+        let args = |extra: &[&str]| -> Vec<String> {
+            let mut v: Vec<String> = [
+                "serve-batch",
+                "--data",
+                &format!("{prefix_s}.csv"),
+                "--schema",
+                &format!("{prefix_s}.schema"),
+                "--requests",
+                reqs.to_str().unwrap(),
+                "--out",
+                resp.to_str().unwrap(),
+                "--workers",
+                "2",
+                "--budget",
+                "10",
+                "--ledger",
+                wal.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        let run = |extra: &[&str]| {
+            let argv = args(extra);
+            run_cli(&argv.iter().map(String::as_str).collect::<Vec<_>>())
+        };
+
+        let text = run(&[]).unwrap();
+        assert!(text.contains("4 ok, 0 failed"), "{text}");
+        assert!(text.contains("ε remaining = 8.800000"), "{text}");
+        let reference = std::fs::read_to_string(&resp).unwrap();
+
+        // Simulate a crash: keep two complete response lines plus a torn
+        // third. The ledger still holds all four fsynced grants, so the
+        // resumed run must reproduce the rest without any new spending.
+        let mut torn: String = reference
+            .lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        torn.push_str("{\"id\":9"); // mid-write fragment, no newline
+        std::fs::write(&resp, &torn).unwrap();
+
+        let text = run(&["--resume"]).unwrap();
+        assert!(
+            text.contains("resumed: kept 2 previously written responses, re-ran 2"),
+            "{text}"
+        );
+        assert!(text.contains("4 ok, 0 failed"), "{text}");
+        // Replayed grants, no double-charging: spend is still 4 × 0.3.
+        assert!(text.contains("spent ε = 1.200000"), "{text}");
+        assert!(text.contains("ε remaining = 8.800000"), "{text}");
+        assert_eq!(
+            std::fs::read_to_string(&resp).unwrap(),
+            reference,
+            "resume converged on the uninterrupted output"
+        );
+    }
+
+    #[test]
+    fn serve_batch_resume_requires_a_ledger() {
+        let err = run_cli(&["serve-batch", "--resume"]).unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--resume requires --ledger"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_batch_deadline_times_out_requests_but_keeps_their_spend() {
+        let dir = tmpdir();
+        let prefix = dir.join("deadline");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "400",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let reqs = dir.join("deadline-reqs.jsonl");
+        std::fs::write(&reqs, "{\"id\": 1}\n{\"id\": 2}\n").unwrap();
+        let resp = dir.join("deadline-resp.jsonl");
+        let text = run_cli(&[
+            "serve-batch",
+            "--data",
+            &format!("{prefix_s}.csv"),
+            "--schema",
+            &format!("{prefix_s}.schema"),
+            "--requests",
+            reqs.to_str().unwrap(),
+            "--out",
+            resp.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--budget",
+            "1.0",
+            "--deadline-ms",
+            "0",
+        ])
+        .unwrap();
+        assert!(text.contains("0 ok, 2 failed"), "{text}");
+        // The reserved ε stays spent: a refund would make the cap a function
+        // of wall-clock timing.
+        assert!(text.contains("spent ε = 0.600000"), "{text}");
+        assert!(text.contains("ε remaining = 0.400000"), "{text}");
+        let body = std::fs::read_to_string(&resp).unwrap();
+        assert_eq!(body.matches("\"reason\":\"deadline_exceeded\"").count(), 2);
+        assert!(body.contains("\"eps_remaining\":"), "{body}");
     }
 
     #[test]

@@ -32,15 +32,20 @@ pub enum CliError {
     Data(dpx_data::DataError),
     /// DP pipeline failure.
     Dp(dpx_dp::DpError),
+    /// Durable ε ledger failure (corrupt file, wrong magic, failed fsync).
+    Ledger(dpx_dp::LedgerError),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
-            CliError::Io(e) => write!(f, "io error: {e}"),
+            // The kind keeps NotFound vs PermissionDenied (etc.)
+            // distinguishable once the error is flattened to a log line.
+            CliError::Io(e) => write!(f, "io error ({:?}): {e}", e.kind()),
             CliError::Data(e) => write!(f, "data error: {e}"),
             CliError::Dp(e) => write!(f, "privacy error: {e}"),
+            CliError::Ledger(e) => write!(f, "ledger error: {e}"),
         }
     }
 }
@@ -62,6 +67,12 @@ impl From<dpx_data::DataError> for CliError {
 impl From<dpx_dp::DpError> for CliError {
     fn from(e: dpx_dp::DpError) -> Self {
         CliError::Dp(e)
+    }
+}
+
+impl From<dpx_dp::LedgerError> for CliError {
+    fn from(e: dpx_dp::LedgerError) -> Self {
+        CliError::Ledger(e)
     }
 }
 
@@ -102,14 +113,24 @@ USAGE:
   dpclustx-cli serve-batch --data <file.csv> --schema <file.schema>
                     --requests <reqs.jsonl> --out <resps.jsonl>
                     [--workers N] [--budget E] [--name NAME]
+                    [--ledger <file.wal>] [--resume] [--deadline-ms MS]
       Executes a batch of explanation requests (one JSON object per line;
       'id' required, everything else defaulted: dataset, seed, cluster_by,
       n_clusters, k, eps_cand, eps_comb, eps_hist, weights, stage2_kernel,
-      consistency) against the loaded dataset on an N-worker pool. All
-      requests share one counts cache and one atomically-charged privacy
-      accountant (--budget caps the dataset's total ε; requests that would
-      breach it are rejected with nothing recorded). Responses are written
-      sorted by id and are byte-identical for every --workers value.
+      consistency, deadline_ms) against the loaded dataset on an N-worker
+      pool. All requests share one counts cache and one atomically-charged
+      privacy accountant (--budget caps the dataset's total ε; requests that
+      would breach it are rejected with nothing recorded). Responses are
+      written sorted by id and are byte-identical for every --workers value.
+      --ledger makes the accountant durable: every grant is fsynced to the
+      write-ahead file before a request runs, and a restarted serve-batch
+      with the same --ledger resumes at the recovered spend instead of
+      double-charging the cap. --resume (requires --ledger) additionally
+      keeps already-written response lines in --out and skips re-spending
+      for request ids that hold a recovered grant. --deadline-ms bounds each
+      request's wall clock (per-request 'deadline_ms' overrides it); a timed
+      -out request answers ok:false with reason deadline_exceeded, its
+      reserved ε deliberately left spent.
 
   dpclustx-cli rank     ... --cluster C
       Prints the exact (non-private!) ranked candidate attributes of one

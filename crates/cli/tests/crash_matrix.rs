@@ -1,0 +1,252 @@
+//! The crash matrix: `serve-batch` under every single-point kill.
+//!
+//! For each named fault point on the serving path, a child `dpclustx-cli`
+//! process is armed (via `DPX_CRASH_AT=point:nth`) to abort — no unwinding,
+//! no flushes — at a seeded hit count, then restarted with `--resume` against
+//! the same write-ahead ledger. After every kill the matrix asserts the
+//! recovery invariants the design document promises:
+//!
+//! 1. the recovered spend covers every response the crashed run managed to
+//!    flush (no output without a durable grant) and never exceeds the cap;
+//! 2. the union of pre-crash and post-recovery responses is byte-identical
+//!    to an uninterrupted run — at 1 worker and at 4.
+//!
+//! Everything is seeded; nothing asserts wall-clock time, so the matrix is
+//! deterministic in CI.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dpclustx-cli");
+const CAP: f64 = 10.0;
+/// Default ε split per request: eps_cand + eps_comb + eps_hist = 0.3.
+const EPS_PER_REQUEST: f64 = 0.3;
+const N_REQUESTS: usize = 5;
+
+const POINTS: [&str; 5] = [
+    "ledger.pre_fsync",
+    "ledger.post_fsync",
+    "service.pre_spend",
+    "service.post_spend",
+    "service.post_respond",
+];
+
+/// Seeded nth-hit choices (no `rand` in the test: a bare LCG is plenty).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpx-crash-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let output = Command::new(BIN).args(args).output().expect("spawn cli");
+    assert!(
+        output.status.success(),
+        "{:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn serve_args(
+    csv: &str,
+    schema: &str,
+    reqs: &Path,
+    out: &Path,
+    workers: usize,
+    ledger: Option<&Path>,
+    resume: bool,
+) -> Vec<String> {
+    let mut args = vec![
+        "serve-batch".to_string(),
+        "--data".into(),
+        csv.to_string(),
+        "--schema".into(),
+        schema.to_string(),
+        "--requests".into(),
+        reqs.to_str().unwrap().to_string(),
+        "--out".into(),
+        out.to_str().unwrap().to_string(),
+        "--workers".into(),
+        workers.to_string(),
+        "--budget".into(),
+        CAP.to_string(),
+    ];
+    if let Some(ledger) = ledger {
+        args.push("--ledger".into());
+        args.push(ledger.to_str().unwrap().to_string());
+    }
+    if resume {
+        args.push("--resume".into());
+    }
+    args
+}
+
+/// The ids of complete, ok-marked response lines in a possibly-torn file.
+fn flushed_ok_ids(out: &Path) -> HashSet<u64> {
+    let text = match std::fs::read_to_string(out) {
+        Ok(text) => text,
+        Err(_) => return HashSet::new(), // crash before the first response
+    };
+    let mut lines: Vec<&str> = text.lines().collect();
+    if !text.ends_with('\n') {
+        lines.pop(); // torn final line
+    }
+    lines
+        .iter()
+        .filter_map(|line| {
+            let json = dpx_serve::Json::parse(line).ok()?;
+            if json.get("ok").and_then(dpx_serve::Json::as_bool)? {
+                json.get("id").and_then(dpx_serve::Json::as_u64)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_single_point_kill_recovers_to_the_uninterrupted_output() {
+    let dir = tmpdir();
+    let prefix = dir.join("matrix");
+    let prefix_s = prefix.to_str().unwrap().to_string();
+    run_ok(&[
+        "generate",
+        "--dataset",
+        "diabetes",
+        "--rows",
+        "400",
+        "--out",
+        &prefix_s,
+    ]);
+    let csv = format!("{prefix_s}.csv");
+    let schema = format!("{prefix_s}.schema");
+    let reqs = dir.join("matrix-reqs.jsonl");
+    std::fs::write(
+        &reqs,
+        (1..=N_REQUESTS)
+            .map(|id| format!("{{\"id\": {id}, \"seed\": {id}}}\n"))
+            .collect::<String>(),
+    )
+    .unwrap();
+
+    // Uninterrupted reference: byte-identical at 1 and 4 workers.
+    let reference = {
+        let mut outs = Vec::new();
+        for workers in [1usize, 4] {
+            let out = dir.join(format!("reference-w{workers}.jsonl"));
+            let args = serve_args(&csv, &schema, &reqs, &out, workers, None, false);
+            let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+            run_ok(&argv);
+            outs.push(std::fs::read(&out).unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "reference diverged across worker counts");
+        outs.remove(0)
+    };
+
+    let mut lcg = Lcg(0x5eed_2026);
+    let mut scenarios = 0usize;
+    let mut crashed = 0usize;
+    for workers in [1usize, 4] {
+        for point in POINTS {
+            // Two seeded hit counts per point; dedup keeps the run count flat.
+            let nths: HashSet<u64> = (0..2).map(|_| 1 + lcg.next() % 4).collect();
+            for nth in nths {
+                scenarios += 1;
+                let tag = format!("w{workers}-{}-{nth}", point.replace('.', "_"));
+                let out = dir.join(format!("{tag}.jsonl"));
+                let wal = dir.join(format!("{tag}.wal"));
+                let _ = std::fs::remove_file(&out);
+                let _ = std::fs::remove_file(&wal);
+
+                let args = serve_args(&csv, &schema, &reqs, &out, workers, Some(&wal), true);
+                let killed = Command::new(BIN)
+                    .args(&args)
+                    .env("DPX_CRASH_AT", format!("{point}:{nth}"))
+                    .output()
+                    .expect("spawn armed cli");
+                if killed.status.success() {
+                    // The point was hit fewer than nth times: nothing to
+                    // recover, but the completed run must match the reference.
+                    assert_eq!(
+                        std::fs::read(&out).unwrap(),
+                        reference,
+                        "[{tag}] un-triggered run diverged"
+                    );
+                } else {
+                    crashed += 1;
+                    let stderr = String::from_utf8_lossy(&killed.stderr);
+                    assert!(
+                        stderr.contains("injected crash at"),
+                        "[{tag}] died without the injection marker:\n{stderr}"
+                    );
+                }
+
+                // Invariant 1: whatever the kill left behind, the ledger
+                // covers every flushed response and respects the cap.
+                let recovery = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+                let spent = recovery.spent();
+                assert!(
+                    spent <= CAP + 1e-9,
+                    "[{tag}] recovered spend {spent} exceeds cap {CAP}"
+                );
+                let grant_ids: HashSet<u64> =
+                    recovery.grants.iter().map(|g| g.request_id).collect();
+                let ok_ids = flushed_ok_ids(&out);
+                for id in &ok_ids {
+                    assert!(
+                        grant_ids.contains(id),
+                        "[{tag}] response {id} was flushed without a durable grant"
+                    );
+                }
+                assert!(
+                    spent + 1e-9 >= EPS_PER_REQUEST * ok_ids.len() as f64,
+                    "[{tag}] spend {spent} does not cover {} flushed responses",
+                    ok_ids.len()
+                );
+
+                // Invariant 2: resume converges on the uninterrupted bytes.
+                let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+                run_ok(&argv);
+                assert_eq!(
+                    std::fs::read(&out).unwrap(),
+                    reference,
+                    "[{tag}] resumed output diverged from the uninterrupted run"
+                );
+                let settled = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+                let expected = EPS_PER_REQUEST * N_REQUESTS as f64;
+                assert!(
+                    (settled.spent() - expected).abs() < 1e-9,
+                    "[{tag}] settled spend {} != {expected} (double-spend?)",
+                    settled.spent()
+                );
+                let settled_ids: HashSet<u64> =
+                    settled.grants.iter().map(|g| g.request_id).collect();
+                assert_eq!(
+                    settled_ids,
+                    (1..=N_REQUESTS as u64).collect::<HashSet<u64>>(),
+                    "[{tag}] each request holds exactly one grant"
+                );
+            }
+        }
+    }
+    assert!(
+        crashed >= scenarios / 2,
+        "only {crashed}/{scenarios} schedules actually fired — the matrix is \
+         not exercising the kill paths"
+    );
+}

@@ -42,6 +42,7 @@ use dpx_data::{hash_labels, Dataset, Schema};
 use dpx_dp::budget::{Accountant, Epsilon};
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
 use dpx_dp::DpError;
+use dpx_runtime::CancelToken;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -174,11 +175,7 @@ impl ExplainContext {
     /// Opens a context over an already-shared dataset whose counts memo is
     /// shared with other holders of `cache` — the serving layer's per-dataset
     /// configuration, where concurrent sessions reuse one another's builds.
-    pub fn with_shared_cache(
-        data: Arc<Dataset>,
-        seed: u64,
-        cache: Arc<SharedCountsCache>,
-    ) -> Self {
+    pub fn with_shared_cache(data: Arc<Dataset>, seed: u64, cache: Arc<SharedCountsCache>) -> Self {
         let fingerprint = data.fingerprint();
         ExplainContext {
             data,
@@ -272,11 +269,17 @@ impl ExplainContext {
 /// noise source changes
 /// which draws the master RNG stream sees — the default `SequentialRng`
 /// preserves historical seeded outputs exactly.
-#[derive(Debug, Clone, Copy)]
+///
+/// An optional [`CancelToken`] makes runs deadline-bounded: the engine polls
+/// it **between** stages only — a stage boundary is the one place where no
+/// mechanism is mid-flight, so stopping there releases nothing partial and
+/// the privacy accounting of the completed stages stands as recorded.
+#[derive(Debug, Clone)]
 pub struct ExplainEngine {
     config: DpClustXConfig,
     threads: usize,
     stage2_kernel: Stage2Kernel,
+    cancel: Option<CancelToken>,
 }
 
 impl ExplainEngine {
@@ -286,6 +289,7 @@ impl ExplainEngine {
             config,
             threads: 1,
             stage2_kernel: Stage2Kernel::SequentialRng,
+            cancel: None,
         }
     }
 
@@ -298,6 +302,15 @@ impl ExplainEngine {
     /// Selects the Stage-2 combination-selection kernel.
     pub fn with_stage2_kernel(mut self, kernel: Stage2Kernel) -> Self {
         self.stage2_kernel = kernel;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, polled at stage
+    /// boundaries. A cancelled run returns [`DpError::Cancelled`]; ε already
+    /// charged by completed stages stays spent (see the serving layer's
+    /// reservation-before-work rule for why nothing is refunded).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -444,6 +457,9 @@ impl ExplainEngine {
             &HistogramRelease,
         ];
         for stage in pipeline {
+            if let Some(reason) = self.cancel.as_ref().and_then(|t| t.cancel_reason()) {
+                return Err(DpError::Cancelled { reason });
+            }
             let mark = state.accountant.mark();
             let start = Instant::now();
             let metrics = stage.run(&mut state)?;

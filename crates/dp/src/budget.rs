@@ -10,6 +10,7 @@
 //! that it spent exactly the ε it claims (Theorem 5.1).
 
 use crate::error::DpError;
+use crate::ledger::{GrantRecord, LedgerWriter, NO_REQUEST};
 use std::fmt;
 
 /// A validated privacy parameter `ε > 0`.
@@ -183,6 +184,29 @@ impl Accountant {
         seq + par
     }
 
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<f64> {
+        self.cap
+    }
+
+    /// Headroom under the cap: `cap - spent`, clamped at zero. `None` when
+    /// the accountant is uncapped (headroom is unbounded, not zero).
+    pub fn remaining(&self) -> Option<f64> {
+        self.cap.map(|cap| (cap - self.spent()).max(0.0))
+    }
+
+    /// Records a charge replayed from a durable ledger, **bypassing the cap**:
+    /// recovered grants are history — the ε is already spent, and refusing to
+    /// count it would under-report the true privacy loss. A recovered total at
+    /// or above the cap simply leaves [`Accountant::remaining`] at zero.
+    fn charge_replayed(&mut self, label: impl Into<String>, epsilon: f64) {
+        self.sequential.push(Charge {
+            label: label.into(),
+            epsilon,
+            kind: ChargeKind::Sequential,
+        });
+    }
+
     fn check_cap(&self, extra: f64) -> Result<(), DpError> {
         if let Some(cap) = self.cap {
             let spent = self.spent();
@@ -328,9 +352,25 @@ impl Accountant {
 /// The inner ledger stays the audited, single-threaded [`Accountant`];
 /// [`snapshot`](SharedAccountant::snapshot) clones it out for audit trails
 /// and [`LedgerMark`]-based delta queries.
+///
+/// # Durability
+///
+/// An optional write-ahead sink (see [`crate::ledger`]) can be attached, after
+/// which every accepted spend follows the WAL rule *check cap → append+fsync →
+/// record in memory*, all under the one lock. A spend only reports success
+/// once its grant is on stable storage, so a crash at any instant leaves the
+/// durable record a superset of every spend any caller ever saw accepted —
+/// the restart can only over-count (privacy-safe), never forget.
+#[derive(Debug, Default)]
+struct Ledgered {
+    acc: Accountant,
+    sink: Option<LedgerWriter>,
+}
+
+/// See the type-level docs above; this is the shared, lockable shell.
 #[derive(Debug, Default)]
 pub struct SharedAccountant {
-    inner: std::sync::Mutex<Accountant>,
+    inner: std::sync::Mutex<Ledgered>,
 }
 
 impl SharedAccountant {
@@ -342,17 +382,50 @@ impl SharedAccountant {
     /// A shared accountant that atomically rejects charges once the total
     /// would exceed `cap`.
     pub fn with_cap(cap: Epsilon) -> Self {
-        SharedAccountant {
-            inner: std::sync::Mutex::new(Accountant::with_cap(cap)),
-        }
+        Self::from_accountant(Accountant::with_cap(cap))
     }
 
     /// Wraps an existing ledger (e.g. to continue a session's accounting
     /// across threads).
     pub fn from_accountant(accountant: Accountant) -> Self {
         SharedAccountant {
-            inner: std::sync::Mutex::new(accountant),
+            inner: std::sync::Mutex::new(Ledgered {
+                acc: accountant,
+                sink: None,
+            }),
         }
+    }
+
+    /// Rebuilds an accountant from a recovered ledger and re-attaches the
+    /// writer for further durable spends. Replayed grants **bypass the cap**
+    /// — they are history, and under-reporting spent ε is the one direction
+    /// accounting must never err in. A recovered spend at or above the cap
+    /// leaves zero headroom; it does not fail recovery.
+    pub fn recovered(cap: Option<Epsilon>, writer: LedgerWriter, grants: &[GrantRecord]) -> Self {
+        let mut acc = match cap {
+            Some(cap) => Accountant::with_cap(cap),
+            None => Accountant::new(),
+        };
+        for grant in grants {
+            acc.charge_replayed(grant.label.clone(), grant.epsilon);
+        }
+        SharedAccountant {
+            inner: std::sync::Mutex::new(Ledgered {
+                acc,
+                sink: Some(writer),
+            }),
+        }
+    }
+
+    /// Attaches a durable write-ahead sink: from now on every accepted spend
+    /// is fsynced to the ledger file before it is reported accepted.
+    pub fn attach_ledger(&self, writer: LedgerWriter) {
+        self.lock().sink = Some(writer);
+    }
+
+    /// Whether a durable sink is attached.
+    pub fn is_durable(&self) -> bool {
+        self.lock().sink.is_some()
     }
 
     /// Every [`Accountant`] mutation is a cap check followed by append-only
@@ -360,7 +433,7 @@ impl SharedAccountant {
     /// consistent even if a holder's thread panicked elsewhere between
     /// operations; recovering from poisoning is therefore sound, and keeps
     /// one crashed worker from wedging every other session's budget.
-    fn lock(&self) -> std::sync::MutexGuard<'_, Accountant> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ledgered> {
         self.inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -370,41 +443,115 @@ impl SharedAccountant {
     /// the charge is accepted and fully recorded in the ledger, or nothing is
     /// recorded and [`DpError::BudgetExceeded`] is returned. No interleaving
     /// of concurrent `try_spend` calls can overdraw the cap.
+    ///
+    /// With a durable sink attached the grant is recorded under
+    /// [`NO_REQUEST`]; spends that belong to a serving request should use
+    /// [`try_spend_grant`](Self::try_spend_grant) so a resumed run can skip
+    /// the request by id.
     pub fn try_spend(&self, label: impl Into<String>, eps: Epsilon) -> Result<(), DpError> {
-        self.lock().charge(label, eps)
+        self.try_spend_grant(NO_REQUEST, label, eps)
+    }
+
+    /// [`try_spend`](Self::try_spend) with an explicit request id recorded in
+    /// the durable grant. Order of operations under the single lock: cap
+    /// check, then append+fsync to the sink (if any), then the in-memory
+    /// charge — success is only reported once the grant is durable, and a
+    /// failed fsync rejects the spend with [`DpError::LedgerWrite`].
+    pub fn try_spend_grant(
+        &self,
+        request_id: u64,
+        label: impl Into<String>,
+        eps: Epsilon,
+    ) -> Result<(), DpError> {
+        let label = label.into();
+        let mut inner = self.lock();
+        inner.acc.check_cap(eps.get())?;
+        if let Some(sink) = inner.sink.as_mut() {
+            let grant = GrantRecord {
+                request_id,
+                epsilon: eps.get(),
+                label: label.clone(),
+            };
+            sink.append(&grant).map_err(|e| DpError::LedgerWrite {
+                message: e.to_string(),
+            })?;
+        }
+        inner.acc.charge(label, eps)
     }
 
     /// Atomic parallel-composition variant of
     /// [`try_spend`](Self::try_spend): see [`Accountant::charge_parallel`].
+    ///
+    /// With a durable sink attached the grant is logged at its *full* ε even
+    /// though only the group increment counts in memory — the flat ledger
+    /// format carries no group structure, and replaying parallel charges as
+    /// sequential ones can only over-count, which is the safe direction.
     pub fn try_spend_parallel(
         &self,
         group: impl Into<String>,
         member: impl Into<String>,
         eps: Epsilon,
     ) -> Result<(), DpError> {
-        self.lock().charge_parallel(group, member, eps)
+        let group = group.into();
+        let member = member.into();
+        let mut inner = self.lock();
+        if inner.sink.is_some() {
+            // Pre-check the *increment* (what charge_parallel will charge)
+            // so the grant is never appended for a spend the cap rejects.
+            let prior_max = inner
+                .acc
+                .parallel
+                .iter()
+                .find(|(g, _, _)| *g == group)
+                .map(|(_, max, _)| *max);
+            let extra = match prior_max {
+                Some(max) => (eps.get() - max).max(0.0),
+                None => eps.get(),
+            };
+            inner.acc.check_cap(extra)?;
+            let grant = GrantRecord {
+                request_id: NO_REQUEST,
+                epsilon: eps.get(),
+                label: format!("{group}/{member}"),
+            };
+            let sink = inner.sink.as_mut().expect("checked above");
+            sink.append(&grant).map_err(|e| DpError::LedgerWrite {
+                message: e.to_string(),
+            })?;
+        }
+        inner.acc.charge_parallel(group, member, eps)
     }
 
     /// Total ε spent so far.
     pub fn spent(&self) -> f64 {
-        self.lock().spent()
+        self.lock().acc.spent()
+    }
+
+    /// Headroom under the cap, clamped at zero (`None` when uncapped).
+    pub fn remaining(&self) -> Option<f64> {
+        self.lock().acc.remaining()
+    }
+
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<f64> {
+        self.lock().acc.cap()
     }
 
     /// Number of individual charges recorded.
     pub fn num_charges(&self) -> usize {
-        self.lock().num_charges()
+        self.lock().acc.num_charges()
     }
 
     /// A point-in-time clone of the inner ledger (audit trails, delta
     /// queries). The clone is consistent: it can never show a charge whose
     /// cap check had not already passed.
     pub fn snapshot(&self) -> Accountant {
-        self.lock().clone()
+        self.lock().acc.clone()
     }
 
     /// Renders the audit trail of the spend so far.
     pub fn audit(&self) -> String {
-        self.lock().audit()
+        self.lock().acc.audit()
     }
 }
 
@@ -633,6 +780,96 @@ mod tests {
             + acc.spent_since(&m2);
         assert!((parts - total).abs() < 1e-12);
         assert!((total - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_reports_headroom_and_clamps() {
+        let acc = SharedAccountant::with_cap(Epsilon::new(0.5).unwrap());
+        assert_eq!(acc.remaining(), Some(0.5));
+        acc.try_spend("a", Epsilon::new(0.3).unwrap()).unwrap();
+        assert!((acc.remaining().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(SharedAccountant::new().remaining(), None);
+    }
+
+    #[test]
+    fn durable_spends_survive_recovery_and_skip_by_request_id() {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert!(recovery.grants.is_empty());
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &[]);
+        assert!(acc.is_durable());
+        acc.try_spend_grant(1, "request/1", Epsilon::new(0.3).unwrap())
+            .unwrap();
+        // Cap rejection appends nothing to the durable log.
+        assert!(acc
+            .try_spend_grant(2, "request/2", Epsilon::new(0.3).unwrap())
+            .is_err());
+        acc.try_spend("session", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        drop(acc);
+
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert_eq!(recovery.grants.len(), 2);
+        assert_eq!(recovery.grants[0].request_id, 1);
+        assert_eq!(recovery.grants[1].request_id, NO_REQUEST);
+        let resumed =
+            SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery.grants);
+        assert!((resumed.spent() - 0.4).abs() < 1e-12);
+        assert!((resumed.remaining().unwrap() - 0.1).abs() < 1e-12);
+        // The replayed spend still gates new grants against the cap.
+        assert!(resumed
+            .try_spend_grant(3, "request/3", Epsilon::new(0.2).unwrap())
+            .is_err());
+        resumed
+            .try_spend_grant(3, "request/3", Epsilon::new(0.1).unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn replay_bypasses_cap_but_blocks_new_spends() {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overcap.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut writer, _) = LedgerWriter::open(&path).unwrap();
+        writer.append(&GrantRecord::for_request(1, 0.4)).unwrap();
+        writer.append(&GrantRecord::for_request(2, 0.4)).unwrap();
+        drop(writer);
+
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        // Recovered spend 0.8 exceeds the 0.5 cap: replay must not fail, but
+        // headroom is zero and any new spend is rejected.
+        let acc =
+            SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery.grants);
+        assert!((acc.spent() - 0.8).abs() < 1e-12);
+        assert_eq!(acc.remaining(), Some(0.0));
+        assert!(acc.try_spend("more", Epsilon::new(0.01).unwrap()).is_err());
+    }
+
+    #[test]
+    fn durable_parallel_spends_replay_conservatively() {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("parallel.wal");
+        let _ = std::fs::remove_file(&path);
+        let (writer, _) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &[]);
+        acc.try_spend_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
+            .unwrap();
+        acc.try_spend_parallel("hist", "c1", Epsilon::new(0.07).unwrap())
+            .unwrap();
+        // In memory the group costs max = 0.07 ...
+        assert!((acc.spent() - 0.07).abs() < 1e-12);
+        drop(acc);
+        // ... but the flat durable log replays 0.05 + 0.07 (over-counting is
+        // the safe direction for history).
+        let recovery = crate::ledger::recover(&path).unwrap();
+        assert!((recovery.spent() - 0.12).abs() < 1e-12);
+        assert_eq!(recovery.grants[0].label, "hist/c0");
     }
 
     #[test]

@@ -44,6 +44,19 @@ pub enum DpError {
         /// The number of parts requested (always `0`).
         parts: usize,
     },
+    /// The pipeline was cooperatively cancelled at a stage boundary (e.g. a
+    /// request deadline). Any ε already reserved stays spent — refunding on
+    /// cancellation would make the budget depend on timing.
+    Cancelled {
+        /// Why the cancellation fired (e.g. `deadline_exceeded`).
+        reason: String,
+    },
+    /// The durable ε ledger could not persist a grant. The spend is rejected:
+    /// accepting it would let output exist with no durable record of its ε.
+    LedgerWrite {
+        /// The underlying ledger failure, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for DpError {
@@ -77,6 +90,10 @@ impl fmt::Display for DpError {
             DpError::InvalidSplit { parts } => {
                 write!(f, "cannot split a budget into {parts} parts")
             }
+            DpError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
+            DpError::LedgerWrite { message } => {
+                write!(f, "budget ledger write failed: {message}")
+            }
         }
     }
 }
@@ -103,6 +120,14 @@ mod tests {
             cap: 1.0,
         };
         assert!(e.to_string().contains("0.5"));
+        let e = DpError::Cancelled {
+            reason: "deadline_exceeded".to_string(),
+        };
+        assert_eq!(e.to_string(), "cancelled: deadline_exceeded");
+        let e = DpError::LedgerWrite {
+            message: "disk full".to_string(),
+        };
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! The durable ε write-ahead ledger.
+//!
+//! Privacy loss is irreversible: once a mechanism has drawn fresh randomness,
+//! the ε it consumed is spent whether or not the process survives to remember
+//! it. An in-memory accountant therefore has a crash hole — a restart against
+//! the same dataset starts from zero and silently double-spends the cap. This
+//! module closes the hole with a **write-ahead ledger**: every accepted grant
+//! is appended to a checksummed, length-prefixed log and `fsync`ed *before*
+//! the in-memory ledger records it and the spend is reported as accepted, so
+//! on restart the recovered spend is always ≥ the spend that any output was
+//! produced under (over-counting is privacy-safe; forgetting is not).
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "DPXWAL01"                                   (8 bytes)
+//! record := len:u32le  hcrc:u32le  payload  pcrc:u32le
+//! payload:= request_id:u64le  epsilon:f64le-bits  label_len:u32le  label
+//! ```
+//!
+//! `hcrc` is the CRC-32 of the 4 `len` bytes; `pcrc` is the CRC-32 of the
+//! payload. The double checksum makes the two failure modes distinguishable
+//! *by construction*:
+//!
+//! * **Torn tail** (a crash mid-append): appended bytes are a *prefix* of a
+//!   valid record, so either fewer than 8 header bytes remain (rule: torn),
+//!   or the header is intact but the payload is short (rule: torn). Recovery
+//!   truncates after the last valid record and continues.
+//! * **Interior corruption** (bit rot, a bad disk): a *complete* record whose
+//!   `hcrc` or `pcrc` does not match, an impossible length, or an
+//!   undecodable payload. That is not a crash artifact — silently dropping
+//!   it would forget spent ε — so recovery fails with the typed
+//!   [`LedgerError::Corrupt`].
+//!
+//! The request-id column exists for resume: a restarted server skips requests
+//! whose ids already hold a grant (their ε is reserved; re-execution is
+//! deterministic and free).
+
+use dpx_runtime::faultpoint::{LEDGER_POST_FSYNC, LEDGER_PRE_FSYNC};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The 8-byte file magic (`DPXWAL01`).
+pub const MAGIC: &[u8; 8] = b"DPXWAL01";
+
+/// Upper bound on a record's payload length. The writer enforces it, so a
+/// larger length in a file can only be corruption, never a torn write.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// The `request_id` recorded for grants that do not belong to a request
+/// (e.g. interactive-session charges routed through a durable accountant).
+pub const NO_REQUEST: u64 = u64::MAX;
+
+/// One durable grant: a request id, the ε it reserved, and its audit label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantRecord {
+    /// The serving request this grant belongs to ([`NO_REQUEST`] if none).
+    pub request_id: u64,
+    /// ε reserved by the grant (finite, `> 0`).
+    pub epsilon: f64,
+    /// Audit label (e.g. `"request/7"`).
+    pub label: String,
+}
+
+impl GrantRecord {
+    /// A grant for serving request `request_id` with the serving layer's
+    /// `request/<id>` label convention.
+    pub fn for_request(request_id: u64, epsilon: f64) -> Self {
+        GrantRecord {
+            request_id,
+            epsilon,
+            label: format!("request/{request_id}"),
+        }
+    }
+}
+
+/// A ledger failure, split by what the operator must do about it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerError {
+    /// The underlying file operation failed. The [`std::io::ErrorKind`] is
+    /// preserved so `NotFound` and `PermissionDenied` stay distinguishable in
+    /// logs.
+    Io {
+        /// The failed operation's error kind.
+        kind: std::io::ErrorKind,
+        /// The rendered I/O error.
+        message: String,
+    },
+    /// The file exists but does not start with the ledger magic — almost
+    /// certainly the wrong path, which must not be "recovered" into a ledger.
+    BadMagic,
+    /// A complete interior record failed validation. Spent ε may be
+    /// unaccounted; the ledger must not be used without intervention.
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What failed (header CRC, payload CRC, length bound, decode).
+        detail: String,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io { kind, message } => {
+                write!(f, "ledger io error ({kind:?}): {message}")
+            }
+            LedgerError::BadMagic => write!(f, "ledger file has wrong magic (not a DPXWAL01 file)"),
+            LedgerError::Corrupt { offset, detail } => {
+                write!(f, "ledger corrupt at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// What [`recover`] reconstructed from a ledger file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Every valid grant, in append order.
+    pub grants: Vec<GrantRecord>,
+    /// Length of the valid prefix (magic + whole records), in bytes.
+    pub valid_len: u64,
+    /// Torn-tail bytes past the valid prefix that recovery drops.
+    pub truncated_bytes: u64,
+}
+
+impl Recovery {
+    /// An empty recovery (fresh ledger).
+    fn empty() -> Self {
+        Recovery {
+            grants: Vec::new(),
+            valid_len: MAGIC.len() as u64,
+            truncated_bytes: 0,
+        }
+    }
+
+    /// Total ε across all recovered grants (sequential-composition sum; the
+    /// durable ledger is deliberately conservative and never applies
+    /// parallel-composition maxima to history).
+    pub fn spent(&self) -> f64 {
+        self.grants.iter().map(|g| g.epsilon).sum()
+    }
+}
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn encode_payload(grant: &GrantRecord) -> Vec<u8> {
+    let label = grant.label.as_bytes();
+    let mut payload = Vec::with_capacity(20 + label.len());
+    payload.extend_from_slice(&grant.request_id.to_le_bytes());
+    payload.extend_from_slice(&grant.epsilon.to_bits().to_le_bytes());
+    payload.extend_from_slice(&(label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(label);
+    payload
+}
+
+fn encode_record(grant: &GrantRecord) -> Vec<u8> {
+    let payload = encode_payload(grant);
+    let len = payload.len() as u32;
+    let mut record = Vec::with_capacity(12 + payload.len());
+    record.extend_from_slice(&len.to_le_bytes());
+    record.extend_from_slice(&crc32(&len.to_le_bytes()).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record
+}
+
+fn decode_payload(payload: &[u8], offset: u64) -> Result<GrantRecord, LedgerError> {
+    let corrupt = |detail: &str| LedgerError::Corrupt {
+        offset,
+        detail: detail.to_string(),
+    };
+    if payload.len() < 20 {
+        return Err(corrupt("payload shorter than its fixed fields"));
+    }
+    let request_id = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let epsilon = f64::from_bits(u64::from_le_bytes(
+        payload[8..16].try_into().expect("8 bytes"),
+    ));
+    let label_len = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes")) as usize;
+    if label_len != payload.len() - 20 {
+        return Err(corrupt("label length disagrees with record length"));
+    }
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(corrupt("grant epsilon is not finite and positive"));
+    }
+    let label = std::str::from_utf8(&payload[20..])
+        .map_err(|_| corrupt("label is not valid UTF-8"))?
+        .to_string();
+    Ok(GrantRecord {
+        request_id,
+        epsilon,
+        label,
+    })
+}
+
+/// Replays the ledger at `path` without modifying it.
+///
+/// A missing file and an empty or torn-header file recover as empty; a torn
+/// tail is reported via [`Recovery::truncated_bytes`]; a corrupt interior is
+/// a typed error (see the module docs for the torn/corrupt distinction).
+pub fn recover(path: &Path) -> Result<Recovery, LedgerError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Recovery::empty()),
+        Err(e) => return Err(e.into()),
+    };
+    recover_bytes(&bytes)
+}
+
+fn recover_bytes(bytes: &[u8]) -> Result<Recovery, LedgerError> {
+    if bytes.len() < MAGIC.len() {
+        // A crash between create and the first sync can leave a partial
+        // magic; there is nothing recorded yet, so the ledger is fresh.
+        return Ok(Recovery {
+            truncated_bytes: bytes.len() as u64,
+            valid_len: MAGIC.len() as u64,
+            ..Recovery::empty()
+        });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(LedgerError::BadMagic);
+    }
+    let mut grants = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(Recovery {
+                grants,
+                valid_len: pos as u64,
+                truncated_bytes: 0,
+            });
+        }
+        if remaining < 8 {
+            // Not even a full header: torn tail.
+            return Ok(Recovery {
+                grants,
+                valid_len: pos as u64,
+                truncated_bytes: remaining as u64,
+            });
+        }
+        let len_bytes: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
+        let hcrc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if crc32(&len_bytes) != hcrc {
+            return Err(LedgerError::Corrupt {
+                offset: pos as u64,
+                detail: "header checksum mismatch".to_string(),
+            });
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_RECORD_LEN {
+            // The writer bounds lengths, and a torn write cannot fabricate a
+            // checksum-valid oversized header — this is corruption.
+            return Err(LedgerError::Corrupt {
+                offset: pos as u64,
+                detail: format!("record length {len} exceeds the format bound"),
+            });
+        }
+        let need = 8 + len as usize + 4;
+        if remaining < need {
+            // Valid header, short payload: a append cut off mid-record.
+            return Ok(Recovery {
+                grants,
+                valid_len: pos as u64,
+                truncated_bytes: remaining as u64,
+            });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        let pcrc = u32::from_le_bytes(
+            bytes[pos + 8 + len as usize..pos + need]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if crc32(payload) != pcrc {
+            return Err(LedgerError::Corrupt {
+                offset: pos as u64,
+                detail: "payload checksum mismatch".to_string(),
+            });
+        }
+        grants.push(decode_payload(payload, pos as u64)?);
+        pos += need;
+    }
+}
+
+/// An append handle on a ledger file. Every [`append`](LedgerWriter::append)
+/// writes one whole record and `fsync`s before returning — a grant that this
+/// type reports as written survives the process.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    file: File,
+}
+
+impl LedgerWriter {
+    /// Creates a fresh ledger at `path` (truncating any existing file),
+    /// writing and syncing the magic.
+    pub fn create(path: &Path) -> Result<Self, LedgerError> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(LedgerWriter { file })
+    }
+
+    /// Opens the ledger at `path` for appending, creating it when absent.
+    ///
+    /// Replays the existing file first; a torn tail is physically truncated
+    /// (the crash-recovery rule) before the returned writer appends past it.
+    /// The caller receives the [`Recovery`] to rebuild its accountant from.
+    pub fn open(path: &Path) -> Result<(Self, Recovery), LedgerError> {
+        let recovery = recover(path)?;
+        if recovery.grants.is_empty() && recovery.valid_len == MAGIC.len() as u64 {
+            // Fresh, missing, or torn-header file: (re)initialize in place.
+            return Ok((Self::create(path)?, recovery));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        if recovery.truncated_bytes > 0 {
+            file.set_len(recovery.valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(recovery.valid_len))?;
+        Ok((LedgerWriter { file }, recovery))
+    }
+
+    /// Appends one grant record and syncs it to stable storage. On success
+    /// the grant is durable; on error nothing may be assumed and the caller
+    /// must not treat the spend as accepted.
+    pub fn append(&mut self, grant: &GrantRecord) -> Result<(), LedgerError> {
+        let record = encode_record(grant);
+        debug_assert!(record.len() - 12 <= MAX_RECORD_LEN as usize);
+        self.file.write_all(&record)?;
+        dpx_runtime::faultpoint::hit(LEDGER_PRE_FSYNC);
+        self.file.sync_data()?;
+        dpx_runtime::faultpoint::hit(LEDGER_POST_FSYNC);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpx-ledger-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_grants() -> Vec<GrantRecord> {
+        vec![
+            GrantRecord::for_request(7, 0.3),
+            GrantRecord::for_request(2, 0.1),
+            GrantRecord {
+                request_id: NO_REQUEST,
+                epsilon: 0.25,
+                label: "session/explain ε·λ".to_string(), // non-ASCII label
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn write_then_recover_roundtrips() {
+        let path = tmp("roundtrip.wal");
+        let (mut writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert!(recovery.grants.is_empty());
+        for g in sample_grants() {
+            writer.append(&g).unwrap();
+        }
+        drop(writer);
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.grants, sample_grants());
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert!((recovered.spent() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = tmp("reopen.wal");
+        let (mut writer, _) = LedgerWriter::open(&path).unwrap();
+        writer.append(&GrantRecord::for_request(1, 0.5)).unwrap();
+        drop(writer);
+        let (mut writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert_eq!(recovery.grants.len(), 1);
+        writer.append(&GrantRecord::for_request(2, 0.25)).unwrap();
+        drop(writer);
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.grants.len(), 2);
+        assert_eq!(recovered.grants[1].request_id, 2);
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let recovery = recover(&tmp("never-written.wal")).unwrap();
+        assert!(recovery.grants.is_empty());
+        assert_eq!(recovery.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let path = tmp("torn.wal");
+        let (mut writer, _) = LedgerWriter::open(&path).unwrap();
+        for g in sample_grants() {
+            writer.append(&g).unwrap();
+        }
+        drop(writer);
+        let full = std::fs::read(&path).unwrap();
+        // Cut 5 bytes into the last record.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let recovery = recover(&path).unwrap();
+        assert_eq!(recovery.grants.len(), sample_grants().len() - 1);
+        assert!(recovery.truncated_bytes > 0);
+
+        // Reopening physically truncates and appends cleanly after the cut.
+        let (mut writer, _) = LedgerWriter::open(&path).unwrap();
+        writer.append(&GrantRecord::for_request(9, 0.1)).unwrap();
+        drop(writer);
+        let healed = recover(&path).unwrap();
+        assert_eq!(healed.truncated_bytes, 0);
+        assert_eq!(healed.grants.len(), sample_grants().len());
+        assert_eq!(healed.grants.last().unwrap().request_id, 9);
+    }
+
+    #[test]
+    fn interior_bitflip_is_typed_corruption() {
+        let path = tmp("bitflip.wal");
+        let (mut writer, _) = LedgerWriter::open(&path).unwrap();
+        for g in sample_grants() {
+            writer.append(&g).unwrap();
+        }
+        drop(writer);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the first record's payload (well inside the file).
+        bytes[MAGIC.len() + 10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match recover(&path).unwrap_err() {
+            LedgerError::Corrupt { offset, .. } => {
+                assert_eq!(offset, MAGIC.len() as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_not_recovered() {
+        let path = tmp("magic.wal");
+        std::fs::write(&path, b"definitely not a ledger file").unwrap();
+        assert_eq!(recover(&path).unwrap_err(), LedgerError::BadMagic);
+        assert!(LedgerWriter::open(&path).is_err(), "open must not clobber");
+    }
+
+    #[test]
+    fn io_error_preserves_kind() {
+        let err = recover(Path::new("/nonexistent-dir/x/y.wal"));
+        // Reading a file under a missing directory is NotFound -> empty
+        // recovery; creating under it is the error path.
+        assert!(err.is_ok());
+        let err = LedgerWriter::create(Path::new("/nonexistent-dir/x/y.wal")).unwrap_err();
+        match err {
+            LedgerError::Io { kind, .. } => {
+                assert_eq!(kind, std::io::ErrorKind::NotFound);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(err.to_string().contains("NotFound"), "{err}");
+    }
+
+    #[test]
+    fn nonpositive_epsilon_in_record_is_corruption() {
+        let bad = GrantRecord {
+            request_id: 1,
+            epsilon: -0.5,
+            label: "x".to_string(),
+        };
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_record(&bad));
+        match recover_bytes(&bytes).unwrap_err() {
+            LedgerError::Corrupt { detail, .. } => assert!(detail.contains("epsilon")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

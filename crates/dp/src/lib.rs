@@ -54,6 +54,7 @@ pub mod geometric;
 pub mod gumbel;
 pub mod histogram;
 pub mod laplace;
+pub mod ledger;
 pub mod noisy_max;
 pub mod sparse_vector;
 pub mod topk;
@@ -63,4 +64,5 @@ pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;
 pub use histogram::{GeometricHistogram, HistogramMechanism, LaplaceHistogram};
+pub use ledger::{GrantRecord, LedgerError, LedgerWriter, Recovery, NO_REQUEST};
 pub use topk::one_shot_top_k;

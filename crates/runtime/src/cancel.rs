@@ -1,0 +1,153 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! Serving puts a wall-clock bound on requests: an analyst-facing system
+//! cannot let one pathological request (an enormous Stage-2 search, a huge
+//! dataset scan) occupy a worker forever. Preemption is off the table — a
+//! DP pipeline interrupted mid-mechanism could leak through *which* partial
+//! work it did — so cancellation here is **cooperative**: the pipeline polls
+//! a [`CancelToken`] at its stage boundaries, which are exactly the points
+//! where no mechanism is mid-flight and stopping is privacy-clean.
+//!
+//! A token cancels for one of two reasons:
+//!
+//! * someone called [`CancelToken::cancel`] with an explicit reason, or
+//! * its deadline (set at construction via [`CancelToken::with_deadline`])
+//!   passed — the reason is then [`REASON_DEADLINE`].
+//!
+//! Once observed, a cancellation is *latched*: every later
+//! [`cancel_reason`](CancelToken::cancel_reason) call reports the same first
+//! reason, so concurrent observers of one token agree on why it fired.
+//! Clones share state — hand one token to every stage of a request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The latched reason reported when a token's deadline passes.
+pub const REASON_DEADLINE: &str = "deadline_exceeded";
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    reason: Mutex<Option<String>>,
+    deadline: Option<Instant>,
+}
+
+/// A shareable, cooperative cancellation flag with an optional deadline.
+///
+/// Cheap to clone (an `Arc`); all clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never cancels on its own (only via [`Self::cancel`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that cancels itself once `budget` has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: Mutex::new(None),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Explicitly cancels the token. The first reason wins; later calls (and
+    /// a later deadline expiry) do not overwrite it.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        self.latch(reason.into());
+    }
+
+    fn latch(&self, reason: String) {
+        let mut slot = self
+            .inner
+            .reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        // Store after the reason is in place so a reader that sees the flag
+        // always finds a reason.
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Why the token is cancelled, or `None` while it is still live. Checks
+    /// the deadline, so polling this *is* the cooperative cancellation point.
+    pub fn cancel_reason(&self) -> Option<String> {
+        if !self.inner.cancelled.load(Ordering::Acquire) {
+            match self.inner.deadline {
+                Some(deadline) if Instant::now() >= deadline => {
+                    self.latch(REASON_DEADLINE.to_string());
+                }
+                _ => return None,
+            }
+        }
+        self.inner
+            .reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Whether the token is cancelled (deadline included).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_reason().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.cancel_reason(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_latches_first_reason() {
+        let token = CancelToken::new();
+        token.cancel("shutdown");
+        token.cancel("too late");
+        assert_eq!(token.cancel_reason().as_deref(), Some("shutdown"));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel("upstream");
+        assert_eq!(clone.cancel_reason().as_deref(), Some("upstream"));
+    }
+
+    #[test]
+    fn zero_deadline_cancels_immediately_and_deterministically() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(token.cancel_reason().as_deref(), Some(REASON_DEADLINE));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_stays_live() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_beats_later_deadline() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        token.cancel("operator");
+        // The explicit reason was latched before the deadline was polled.
+        assert_eq!(token.cancel_reason().as_deref(), Some("operator"));
+    }
+}

@@ -21,12 +21,24 @@
 //! * [`ordered_parallel_map_catch`] — the serving-pool variant of the map:
 //!   per-item panic isolation (a panicking item becomes its own `Err` slot,
 //!   every other item still runs), same ordered, deterministic output.
+//!
+//! Robust serving adds two more process-level primitives, also below every
+//! other crate so the DP layer and the pipeline can share them:
+//!
+//! * [`cancel`] — a cooperative [`CancelToken`] with an optional deadline,
+//!   polled at pipeline stage boundaries (the privacy-clean stopping points).
+//! * [`faultpoint`] — named, environment-armed crash points
+//!   (`ledger.pre_fsync`, `service.pre_spend`, …) that let a test harness
+//!   kill a serving process at one exact state and assert recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod faultpoint;
 pub mod parallel;
 
+pub use cancel::{CancelToken, REASON_DEADLINE};
 pub use parallel::{
     chunked_reduce, default_threads, ordered_parallel_map, ordered_parallel_map_catch,
 };

@@ -290,7 +290,8 @@ mod tests {
 
     #[test]
     fn map_catch_empty_and_all_ok() {
-        let empty: Vec<Result<i32, String>> = ordered_parallel_map_catch(Vec::new(), 4, |&x: &i32| x);
+        let empty: Vec<Result<i32, String>> =
+            ordered_parallel_map_catch(Vec::new(), 4, |&x: &i32| x);
         assert!(empty.is_empty());
         let ok = ordered_parallel_map_catch(vec![1, 2, 3], 2, |&x| x + 1);
         assert_eq!(

@@ -234,10 +234,7 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b' ' | b'\t' | b'\n' | b'\r')
-        ) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
@@ -251,10 +248,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                byte as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
         }
     }
 
@@ -438,8 +432,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number '{text}' at byte {start}"))
@@ -473,17 +467,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"open", "{'a':1}"] {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"open", "{'a':1}",
+        ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
     }
 
     #[test]
     fn unicode_escapes_roundtrip() {
-        assert_eq!(
-            Json::parse(r#""é😀""#).unwrap(),
-            Json::Str("é😀".into())
-        );
+        assert_eq!(Json::parse(r#""é😀""#).unwrap(), Json::Str("é😀".into()));
         assert!(Json::parse(r#""\ud800""#).is_err(), "unpaired surrogate");
     }
 

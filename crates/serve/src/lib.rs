@@ -21,6 +21,17 @@
 //!   N workers, responses land in input-order slots, and a panicking request
 //!   fails alone while the pool keeps serving.
 //!
+//! Crash safety rides on the DP crate's write-ahead ledger: a dataset whose
+//! accountant has a ledger attached fsyncs every grant before `try_spend`
+//! reports success, [`BatchOptions::granted`] lets a restarted batch skip
+//! re-spending for recovered request ids, and
+//! [`ExplainService::run_batch_streamed`] streams each response to a sink as
+//! it is produced so a crash loses at most the in-flight lines. Requests are
+//! deadline-bounded cooperatively: the engine polls a
+//! [`CancelToken`](dpx_runtime::CancelToken) at stage boundaries and an
+//! expired request answers `ok: false` with reason `deadline_exceeded`, its
+//! reserved ε deliberately left spent.
+//!
 //! The `dpclustx-cli serve-batch` subcommand wires this crate to files:
 //! JSONL requests in, JSONL responses (sorted by id) out.
 
@@ -35,4 +46,7 @@ pub mod service;
 pub use json::Json;
 pub use registry::{DatasetEntry, DatasetRegistry};
 pub use request::{ExplainRequest, ExplainResponse, ServedExplanation, StageSummary};
-pub use service::{derive_labels, parse_requests, write_responses, ExplainService, ServeError};
+pub use service::{
+    derive_labels, parse_requests, reason, write_responses, BatchOptions, ExplainService,
+    ServeError,
+};

@@ -41,6 +41,22 @@ impl DatasetEntry {
         }
     }
 
+    /// Builds an entry around `data` with a caller-provided accountant —
+    /// the crash-safe serving path uses this to install an accountant
+    /// rebuilt from a recovered write-ahead ledger.
+    pub fn with_accountant(
+        name: impl Into<String>,
+        data: Arc<Dataset>,
+        accountant: SharedAccountant,
+    ) -> Self {
+        DatasetEntry {
+            name: name.into(),
+            data,
+            cache: Arc::new(SharedCountsCache::new()),
+            accountant: Arc::new(accountant),
+        }
+    }
+
     /// The registration name.
     pub fn name(&self) -> &str {
         &self.name
@@ -96,6 +112,24 @@ impl DatasetRegistry {
     ) -> Arc<DatasetEntry> {
         let name = name.into();
         let entry = Arc::new(DatasetEntry::new(name.clone(), data, cap));
+        self.lock().insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// Registers `data` under `name` with a caller-provided accountant (see
+    /// [`DatasetEntry::with_accountant`]), replacing any previous entry.
+    pub fn register_with(
+        &self,
+        name: impl Into<String>,
+        data: Arc<Dataset>,
+        accountant: SharedAccountant,
+    ) -> Arc<DatasetEntry> {
+        let name = name.into();
+        let entry = Arc::new(DatasetEntry::with_accountant(
+            name.clone(),
+            data,
+            accountant,
+        ));
         self.lock().insert(name, Arc::clone(&entry));
         entry
     }

@@ -49,6 +49,11 @@ pub struct ExplainRequest {
     pub stage2_kernel: Stage2Kernel,
     /// Apply the partition-consistency projection to released histograms.
     pub consistency: bool,
+    /// Per-request wall-clock budget in milliseconds (`None`: the batch
+    /// default, or unbounded). The engine polls the deadline at stage
+    /// boundaries; an expired request answers `ok: false` with reason
+    /// `deadline_exceeded` while its reserved ε stays spent.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ExplainRequest {
@@ -67,6 +72,7 @@ impl ExplainRequest {
             weights: Weights::equal(),
             stage2_kernel: Stage2Kernel::default(),
             consistency: false,
+            deadline_ms: None,
         }
     }
 
@@ -138,6 +144,30 @@ impl ExplainRequest {
                 .as_bool()
                 .ok_or_else(|| "'consistency' must be a boolean".to_string())?;
         }
+        if let Some(d) = v.get("deadline_ms") {
+            req.deadline_ms = match d {
+                Json::Null => None,
+                _ => Some(d.as_u64().ok_or_else(|| {
+                    "'deadline_ms' must be a non-negative integer or null".to_string()
+                })?),
+            };
+        }
+        // Validate ε at the wire boundary: a non-finite or negative budget
+        // must never reach the accountant (NaN compares false against every
+        // cap check, which would silently admit an unbounded spend).
+        for (name, value) in [
+            ("eps_cand", Some(req.eps_cand)),
+            ("eps_comb", Some(req.eps_comb)),
+            ("eps_hist", req.eps_hist),
+        ] {
+            if let Some(value) = value {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(format!(
+                        "'{name}' must be a finite non-negative number, got {value}"
+                    ));
+                }
+            }
+        }
         Ok(req)
     }
 
@@ -157,17 +187,21 @@ impl ExplainRequest {
             Some(e) => obj.field("eps_hist", e),
             None => obj.field("eps_hist", Json::Null),
         };
-        obj.field(
-            "weights",
-            vec![
-                Json::Num(self.weights.int),
-                Json::Num(self.weights.suf),
-                Json::Num(self.weights.div),
-            ],
-        )
-        .field("stage2_kernel", self.stage2_kernel.label())
-        .field("consistency", self.consistency)
-        .render()
+        obj = obj
+            .field(
+                "weights",
+                vec![
+                    Json::Num(self.weights.int),
+                    Json::Num(self.weights.suf),
+                    Json::Num(self.weights.div),
+                ],
+            )
+            .field("stage2_kernel", self.stage2_kernel.label())
+            .field("consistency", self.consistency);
+        if let Some(d) = self.deadline_ms {
+            obj = obj.field("deadline_ms", d);
+        }
+        obj.render()
     }
 }
 
@@ -295,15 +329,47 @@ pub struct ExplainResponse {
     pub id: u64,
     /// The explanation, or why there is none.
     pub outcome: Result<ServedExplanation, String>,
+    /// Machine-readable failure class (`deadline_exceeded`,
+    /// `budget_exceeded`, …) for error responses that have one.
+    pub reason: Option<String>,
+    /// Headroom left under the dataset's cap at response time. Only attached
+    /// to error responses of capped datasets — it depends on what other
+    /// requests were admitted first, so it would break the byte-identical
+    /// determinism of success lines.
+    pub eps_remaining: Option<f64>,
 }
 
 impl ExplainResponse {
+    /// A success response.
+    pub fn success(id: u64, served: ServedExplanation) -> Self {
+        ExplainResponse {
+            id,
+            outcome: Ok(served),
+            reason: None,
+            eps_remaining: None,
+        }
+    }
+
     /// An error response.
     pub fn error(id: u64, message: impl Into<String>) -> Self {
         ExplainResponse {
             id,
             outcome: Err(message.into()),
+            reason: None,
+            eps_remaining: None,
         }
+    }
+
+    /// Tags the response with a machine-readable failure reason.
+    pub fn with_reason(mut self, reason: impl Into<String>) -> Self {
+        self.reason = Some(reason.into());
+        self
+    }
+
+    /// Attaches the dataset's remaining ε headroom.
+    pub fn with_eps_remaining(mut self, remaining: f64) -> Self {
+        self.eps_remaining = Some(remaining);
+        self
     }
 
     /// Whether the request was served.
@@ -319,7 +385,16 @@ impl ExplainResponse {
             .field("id", self.id)
             .field("ok", self.is_ok());
         match &self.outcome {
-            Err(message) => obj.field("error", message.as_str()).render(),
+            Err(message) => {
+                let mut obj = obj.field("error", message.as_str());
+                if let Some(reason) = &self.reason {
+                    obj = obj.field("reason", reason.as_str());
+                }
+                if let Some(remaining) = self.eps_remaining {
+                    obj = obj.field("eps_remaining", remaining);
+                }
+                obj.render()
+            }
             Ok(served) => {
                 let stages: Vec<Json> = served
                     .stages
@@ -333,10 +408,7 @@ impl ExplainResponse {
                                 s.metrics
                                     .iter()
                                     .map(|(k, v)| {
-                                        Json::Array(vec![
-                                            Json::Str(k.clone()),
-                                            Json::Num(*v),
-                                        ])
+                                        Json::Array(vec![Json::Str(k.clone()), Json::Num(*v)])
                                     })
                                     .collect::<Vec<_>>(),
                             )
@@ -351,7 +423,10 @@ impl ExplainResponse {
                             .field("attribute", *attribute)
                             .field(
                                 "hist_cluster",
-                                hist_cluster.iter().map(|&x| Json::Num(x)).collect::<Vec<_>>(),
+                                hist_cluster
+                                    .iter()
+                                    .map(|&x| Json::Num(x))
+                                    .collect::<Vec<_>>(),
                             )
                             .field(
                                 "hist_rest",
@@ -447,5 +522,53 @@ mod tests {
     fn error_response_renders_compactly() {
         let line = ExplainResponse::error(4, "unknown dataset 'x'").to_json_line();
         assert_eq!(line, r#"{"id":4,"ok":false,"error":"unknown dataset 'x'"}"#);
+    }
+
+    #[test]
+    fn error_response_renders_reason_and_headroom() {
+        let line = ExplainResponse::error(4, "request timed out")
+            .with_reason("deadline_exceeded")
+            .with_eps_remaining(0.25)
+            .to_json_line();
+        assert_eq!(
+            line,
+            r#"{"id":4,"ok":false,"error":"request timed out","reason":"deadline_exceeded","eps_remaining":0.25}"#
+        );
+    }
+
+    #[test]
+    fn nonfinite_or_negative_epsilon_is_rejected_at_the_wire() {
+        for (line, needle) in [
+            (r#"{"id":1,"eps_cand":-0.1}"#, "'eps_cand'"),
+            (r#"{"id":1,"eps_comb":-3}"#, "'eps_comb'"),
+            (r#"{"id":1,"eps_hist":-0.5}"#, "'eps_hist'"),
+        ] {
+            let err = ExplainRequest::from_json_line(line).unwrap_err();
+            assert!(
+                err.contains(needle) && err.contains("finite non-negative"),
+                "{line}: {err}"
+            );
+        }
+        // NaN/Infinity are unrepresentable in JSON and already die in the
+        // parser; a null eps_hist stays legal (selection-only request).
+        assert!(ExplainRequest::from_json_line(r#"{"id":1,"eps_hist":null}"#).is_ok());
+        assert!(ExplainRequest::from_json_line(r#"{"id":1,"eps_cand":1e999}"#).is_err());
+    }
+
+    #[test]
+    fn deadline_roundtrips_and_defaults_to_none() {
+        let req = ExplainRequest::from_json_line(r#"{"id":1}"#).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        assert!(!req.to_json_line().contains("deadline_ms"));
+
+        let req = ExplainRequest::from_json_line(r#"{"id":1,"deadline_ms":250}"#).unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        let reparsed = ExplainRequest::from_json_line(&req.to_json_line()).unwrap();
+        assert_eq!(reparsed, req);
+
+        let req = ExplainRequest::from_json_line(r#"{"id":1,"deadline_ms":null}"#).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        let err = ExplainRequest::from_json_line(r#"{"id":1,"deadline_ms":-5}"#).unwrap_err();
+        assert!(err.contains("'deadline_ms'"));
     }
 }

@@ -23,10 +23,14 @@ use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine};
 use dpx_data::Dataset;
 use dpx_dp::budget::Epsilon;
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
-use dpx_runtime::{default_threads, ordered_parallel_map_catch};
+use dpx_dp::DpError;
+use dpx_runtime::faultpoint::{self, SERVICE_POST_SPEND, SERVICE_PRE_SPEND};
+use dpx_runtime::{default_threads, ordered_parallel_map_catch, CancelToken};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A service-level failure: I/O on the request/response streams, or a
 /// request line that is not valid JSON. (Per-request execution failures are
@@ -47,7 +51,10 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Io(e) => write!(f, "io error: {e}"),
+            // The kind is rendered explicitly: recovery-path failures must
+            // keep `NotFound` vs `PermissionDenied` (etc.) distinguishable in
+            // logs even after the error is flattened to a string.
+            ServeError::Io(e) => write!(f, "io error ({:?}): {e}", e.kind()),
             ServeError::BadRequest { line, message } => {
                 write!(f, "bad request on line {line}: {message}")
             }
@@ -64,21 +71,33 @@ impl From<std::io::Error> for ServeError {
 }
 
 /// Reads a JSONL request stream (blank lines and `#` comment lines are
-/// skipped), failing on the first undecodable line.
+/// skipped), failing on the first undecodable line. Request ids must be
+/// unique within the batch: ids key the sorted response stream and the
+/// durable ledger's resume-by-id logic, so a duplicate is rejected here at
+/// the wire boundary rather than yielding two same-id responses.
 pub fn parse_requests<R: BufRead>(reader: R) -> Result<Vec<ExplainRequest>, ServeError> {
     let mut requests = Vec::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let req = ExplainRequest::from_json_line(trimmed).map_err(|message| {
-            ServeError::BadRequest {
+        let req =
+            ExplainRequest::from_json_line(trimmed).map_err(|message| ServeError::BadRequest {
                 line: i + 1,
                 message,
-            }
-        })?;
+            })?;
+        if let Some(first) = seen.insert(req.id, i + 1) {
+            return Err(ServeError::BadRequest {
+                line: i + 1,
+                message: format!(
+                    "duplicate request id {} (first used on line {first})",
+                    req.id
+                ),
+            });
+        }
         requests.push(req);
     }
     Ok(requests)
@@ -95,6 +114,47 @@ pub fn write_responses<W: Write>(
         writeln!(writer, "{}", response.to_json_line())?;
     }
     Ok(())
+}
+
+/// Machine-readable failure classes attached to error responses.
+pub mod reason {
+    /// The request's deadline expired at a stage boundary.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// The dataset's ε cap could not absorb the request.
+    pub const BUDGET_EXCEEDED: &str = "budget_exceeded";
+    /// The durable ledger could not persist the grant.
+    pub const LEDGER_WRITE: &str = "ledger_write";
+}
+
+/// Batch-level execution options: the deadline default and the resume sets.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Default per-request deadline in milliseconds, used by requests that
+    /// carry no `deadline_ms` of their own. (A per-request bound, not a
+    /// whole-batch wall clock: batch-relative deadlines would make which
+    /// requests time out depend on scheduling.)
+    pub deadline_ms: Option<u64>,
+    /// Request ids whose ε is already reserved in a recovered ledger: the
+    /// spend step is skipped (re-spending would double-charge the cap) and
+    /// execution proceeds — the pipeline is deterministic, so re-running a
+    /// granted request reproduces the crashed run's exact response.
+    pub granted: HashSet<u64>,
+}
+
+/// A typed per-request failure: the human-readable message plus the optional
+/// machine-readable class (see [`reason`]).
+struct ServeFailure {
+    message: String,
+    reason: Option<String>,
+}
+
+impl ServeFailure {
+    fn plain(message: impl Into<String>) -> Self {
+        ServeFailure {
+            message: message.into(),
+            reason: None,
+        }
+    }
 }
 
 /// The explanation service: a registry plus a worker-pool width.
@@ -143,47 +203,96 @@ impl ExplainService {
         request: &ExplainRequest,
         mechanism: &M,
     ) -> ExplainResponse {
-        match self.try_execute(request, mechanism) {
-            Ok(served) => ExplainResponse {
-                id: request.id,
-                outcome: Ok(served),
-            },
-            Err(message) => ExplainResponse::error(request.id, message),
+        self.execute_opts(request, &BatchOptions::default(), mechanism)
+    }
+
+    /// [`Self::execute_with`] under explicit [`BatchOptions`] (deadline
+    /// default and recovered-grant set).
+    pub fn execute_opts<M: HistogramMechanism + Sync>(
+        &self,
+        request: &ExplainRequest,
+        opts: &BatchOptions,
+        mechanism: &M,
+    ) -> ExplainResponse {
+        match self.try_execute(request, opts, mechanism) {
+            Ok(served) => ExplainResponse::success(request.id, served),
+            Err(failure) => {
+                let mut response = ExplainResponse::error(request.id, failure.message);
+                if let Some(reason) = failure.reason {
+                    response = response.with_reason(reason);
+                }
+                // Headroom is only attached where it is well-defined (capped
+                // dataset) and cannot break determinism (error lines of
+                // capped datasets are already admission-order dependent).
+                if let Some(remaining) = self
+                    .registry
+                    .get(&request.dataset)
+                    .and_then(|entry| entry.accountant().remaining())
+                {
+                    response = response.with_eps_remaining(remaining);
+                }
+                response
+            }
         }
     }
 
     fn try_execute<M: HistogramMechanism + Sync>(
         &self,
         request: &ExplainRequest,
+        opts: &BatchOptions,
         mechanism: &M,
-    ) -> Result<ServedExplanation, String> {
+    ) -> Result<ServedExplanation, ServeFailure> {
         let entry = self
             .registry
             .get(&request.dataset)
-            .ok_or_else(|| format!("unknown dataset '{}'", request.dataset))?;
+            .ok_or_else(|| ServeFailure::plain(format!("unknown dataset '{}'", request.dataset)))?;
         if request.n_clusters == 0 {
-            return Err("n_clusters must be positive".to_string());
+            return Err(ServeFailure::plain("n_clusters must be positive"));
         }
         if request.cluster_by >= entry.data().schema().arity() {
-            return Err(format!(
+            return Err(ServeFailure::plain(format!(
                 "cluster_by {} out of range (dataset has {} attributes)",
                 request.cluster_by,
                 entry.data().schema().arity()
-            ));
+            )));
         }
-        let total = Epsilon::new(request.total_epsilon()).map_err(|e| e.to_string())?;
-        // The whole request budget is reserved in ONE atomic operation before
-        // any private computation starts. If the cap cannot absorb it, the
-        // request is rejected with nothing recorded.
-        entry
-            .accountant()
-            .try_spend(format!("request/{}", request.id), total)
-            .map_err(|e| format!("budget rejected: {e}"))?;
+        let total = Epsilon::new(request.total_epsilon())
+            .map_err(|e| ServeFailure::plain(e.to_string()))?;
+        if opts.granted.contains(&request.id) {
+            // This id already holds a durable grant from a crashed run: its ε
+            // is reserved, so spending again would double-charge the cap.
+            // Re-execution is free — the pipeline is a pure function of the
+            // request, so the response equals the one the crash destroyed.
+        } else {
+            faultpoint::hit(SERVICE_PRE_SPEND);
+            // The whole request budget is reserved in ONE atomic operation
+            // before any private computation starts (durably so when the
+            // dataset's accountant has a ledger attached). If the cap cannot
+            // absorb it, the request is rejected with nothing recorded.
+            entry
+                .accountant()
+                .try_spend_grant(request.id, format!("request/{}", request.id), total)
+                .map_err(|e| match e {
+                    DpError::BudgetExceeded { .. } => ServeFailure {
+                        message: format!("budget rejected: {e}"),
+                        reason: Some(reason::BUDGET_EXCEEDED.to_string()),
+                    },
+                    DpError::LedgerWrite { .. } => ServeFailure {
+                        message: e.to_string(),
+                        reason: Some(reason::LEDGER_WRITE.to_string()),
+                    },
+                    other => ServeFailure::plain(format!("budget rejected: {other}")),
+                })?;
+            faultpoint::hit(SERVICE_POST_SPEND);
+        }
         let labels = derive_labels(entry.data(), request.cluster_by, request.n_clusters);
         let mut ctx =
             ExplainContext::with_shared_cache(entry.data_arc(), request.seed, entry.cache());
-        let engine =
+        let mut engine =
             ExplainEngine::new(request.config()).with_stage2_kernel(request.stage2_kernel);
+        if let Some(ms) = request.deadline_ms.or(opts.deadline_ms) {
+            engine = engine.with_cancel(CancelToken::with_deadline(Duration::from_millis(ms)));
+        }
         let mut observer = CollectingObserver::new();
         let outcome = engine
             .explain_with_mechanism(
@@ -193,7 +302,17 @@ impl ExplainService {
                 mechanism,
                 &mut observer,
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| match e {
+                // The reserved ε is deliberately NOT refunded: the stages
+                // that ran before the boundary poll have already released
+                // noise, and a refund would turn the cap into a function of
+                // wall-clock timing.
+                DpError::Cancelled { ref reason } => ServeFailure {
+                    reason: Some(reason.clone()),
+                    message: e.to_string(),
+                },
+                other => ServeFailure::plain(other.to_string()),
+            })?;
         Ok(ServedExplanation::new(
             &outcome.explanation,
             outcome.accountant.spent(),
@@ -216,16 +335,45 @@ impl ExplainService {
         requests: Vec<ExplainRequest>,
         mechanism: &M,
     ) -> Vec<ExplainResponse> {
+        self.run_batch_streamed(requests, &BatchOptions::default(), mechanism, None)
+    }
+
+    /// The full-control batch runner: explicit [`BatchOptions`] plus an
+    /// optional streaming sink.
+    ///
+    /// The sink is invoked by the worker *as each response is produced* (in
+    /// completion order, under whatever lock the sink takes internally) so a
+    /// crash mid-batch loses at most the in-flight responses — the crash-safe
+    /// CLI uses it to append-and-flush each line before the batch finishes.
+    /// Responses for requests that panicked are synthesized afterwards and
+    /// passed to the sink too; the returned vector is in request order as
+    /// always.
+    pub fn run_batch_streamed<M: HistogramMechanism + Sync>(
+        &self,
+        requests: Vec<ExplainRequest>,
+        opts: &BatchOptions,
+        mechanism: &M,
+        sink: Option<&(dyn Fn(&ExplainResponse) + Sync)>,
+    ) -> Vec<ExplainResponse> {
         let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
         ordered_parallel_map_catch(requests, self.workers, |request| {
-            self.execute_with(request, mechanism)
+            let response = self.execute_opts(request, opts, mechanism);
+            if let Some(sink) = sink {
+                sink(&response);
+            }
+            response
         })
         .into_iter()
         .zip(ids)
         .map(|(slot, id)| match slot {
             Ok(response) => response,
             Err(panic_message) => {
-                ExplainResponse::error(id, format!("worker panicked: {panic_message}"))
+                let response =
+                    ExplainResponse::error(id, format!("worker panicked: {panic_message}"));
+                if let Some(sink) = sink {
+                    sink(&response);
+                }
+                response
             }
         })
         .collect()
@@ -308,10 +456,7 @@ mod tests {
         // 0.3 each: first fits, second would breach 0.5.
         assert!(service.execute(&ExplainRequest::new(1)).is_ok());
         let rejected = service.execute(&ExplainRequest::new(2));
-        assert!(rejected
-            .outcome
-            .unwrap_err()
-            .contains("budget rejected"));
+        assert!(rejected.outcome.unwrap_err().contains("budget rejected"));
         assert_eq!(entry.accountant().num_charges(), 1);
         assert!(entry.accountant().spent() <= 0.5 + 1e-9);
     }
@@ -350,6 +495,109 @@ mod tests {
             ServeError::BadRequest { line, .. } => assert_eq!(line, 2),
             other => panic!("expected BadRequest, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_requests_rejects_duplicate_ids() {
+        let err =
+            parse_requests("{\"id\": 1}\n\n{\"id\": 2}\n{\"id\": 1}\n".as_bytes()).unwrap_err();
+        match err {
+            ServeError::BadRequest { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("duplicate request id 1"), "{message}");
+                assert!(message.contains("line 1"), "{message}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_error_display_preserves_kind() {
+        let err = ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "ledger file",
+        ));
+        let text = err.to_string();
+        assert!(text.contains("PermissionDenied"), "{text}");
+        assert!(text.contains("ledger file"), "{text}");
+    }
+
+    #[test]
+    fn zero_deadline_times_out_with_reason_and_spent_budget() {
+        let registry = registry_with("default", Some(1.0));
+        let service = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+        let mut req = ExplainRequest::new(1);
+        req.deadline_ms = Some(0);
+        let response = service.execute(&req);
+        assert_eq!(response.reason.as_deref(), Some("deadline_exceeded"));
+        let err = response.outcome.unwrap_err();
+        assert!(err.contains("deadline_exceeded"), "{err}");
+        // Reservation-before-work: the ε stays spent even though no
+        // explanation was released.
+        let entry = registry.get("default").unwrap();
+        assert!((entry.accountant().spent() - 0.3).abs() < 1e-12);
+        assert!((response.eps_remaining.unwrap() - 0.7).abs() < 1e-12);
+
+        // The batch-level default applies to requests without their own.
+        let opts = BatchOptions {
+            deadline_ms: Some(0),
+            ..Default::default()
+        };
+        let response = service.execute_opts(&ExplainRequest::new(2), &opts, &GeometricHistogram);
+        assert_eq!(response.reason.as_deref(), Some("deadline_exceeded"));
+    }
+
+    #[test]
+    fn budget_rejection_carries_reason_and_headroom() {
+        let registry = registry_with("default", Some(0.5));
+        let service = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+        assert!(service.execute(&ExplainRequest::new(1)).is_ok());
+        let rejected = service.execute(&ExplainRequest::new(2));
+        assert_eq!(rejected.reason.as_deref(), Some("budget_exceeded"));
+        assert!((rejected.eps_remaining.unwrap() - 0.2).abs() < 1e-12);
+        // Uncapped datasets attach no headroom (it would be meaningless).
+        let open = ExplainService::new(registry_with("default", None));
+        let mut req = ExplainRequest::new(3);
+        req.n_clusters = 0;
+        assert_eq!(open.execute(&req).eps_remaining, None);
+    }
+
+    #[test]
+    fn granted_requests_skip_the_spend_and_reproduce_the_response() {
+        let registry = registry_with("default", Some(0.3));
+        let service = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+        let baseline = service.execute(&ExplainRequest::new(7)).to_json_line();
+        // The cap is now exhausted; a fresh spend for id 7 would be rejected,
+        // but a granted id skips the spend and reproduces the response.
+        let opts = BatchOptions {
+            granted: [7].into_iter().collect(),
+            ..Default::default()
+        };
+        let replay = service
+            .execute_opts(&ExplainRequest::new(7), &opts, &GeometricHistogram)
+            .to_json_line();
+        assert_eq!(replay, baseline);
+        let entry = registry.get("default").unwrap();
+        assert_eq!(entry.accountant().num_charges(), 1, "no second charge");
+    }
+
+    #[test]
+    fn streamed_batch_sinks_every_response() {
+        let registry = registry_with("default", None);
+        let service = ExplainService::new(registry).with_workers(3);
+        let requests: Vec<ExplainRequest> = (0..5).map(ExplainRequest::new).collect();
+        let seen = std::sync::Mutex::new(Vec::new());
+        let sink = |r: &ExplainResponse| seen.lock().unwrap().push(r.id);
+        let responses = service.run_batch_streamed(
+            requests,
+            &BatchOptions::default(),
+            &GeometricHistogram,
+            Some(&sink),
+        );
+        let mut sunk = seen.into_inner().unwrap();
+        sunk.sort_unstable();
+        assert_eq!(sunk, (0..5).collect::<Vec<u64>>());
+        assert_eq!(responses.len(), 5);
     }
 
     #[test]

@@ -184,11 +184,7 @@ fn panicking_request_fails_alone_and_the_pool_keeps_serving() {
     let entry = registry.get("default").expect("registered");
     assert_eq!(entry.accountant().num_charges(), 5);
     assert!(!entry.cache().is_empty(), "cache not wedged by the panic");
-    let again = service.run_batch(
-        (10..14)
-            .map(ExplainRequest::new)
-            .collect::<Vec<_>>(),
-    );
+    let again = service.run_batch((10..14).map(ExplainRequest::new).collect::<Vec<_>>());
     assert!(again.iter().all(dpx_serve::ExplainResponse::is_ok));
     assert_eq!(entry.accountant().num_charges(), 9);
 }

@@ -7,9 +7,7 @@ use dpx_data::csv::write_csv;
 use dpx_data::schema_io::write_schema;
 use dpx_data::synth;
 use dpx_dp::budget::Epsilon;
-use dpx_serve::{
-    parse_requests, write_responses, DatasetRegistry, ExplainRequest, ExplainService,
-};
+use dpx_serve::{parse_requests, write_responses, DatasetRegistry, ExplainRequest, ExplainService};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -65,7 +63,12 @@ fn sorted_responses_are_bit_identical_across_worker_counts() {
     let ids: Vec<u64> = text
         .lines()
         .map(|l| {
-            dpx_serve::Json::parse(l).unwrap().get("id").unwrap().as_u64().unwrap()
+            dpx_serve::Json::parse(l)
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_u64()
+                .unwrap()
         })
         .collect();
     assert_eq!(ids, vec![1, 2, 3, 5, 6, 8, 9, 11]);
