@@ -238,11 +238,18 @@ mod tests {
 
     #[test]
     fn optional_flags_distinguish_absent_from_set() {
-        let c = cli(&["serve-batch", "--ledger", "x.wal", "--deadline-ms", "250"]).unwrap();
-        assert_eq!(c.opt_string("ledger").as_deref(), Some("x.wal"));
+        let c = cli(&[
+            "serve-batch",
+            "--ledger-dir",
+            "wals",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(c.opt_string("ledger-dir").as_deref(), Some("wals"));
         assert_eq!(c.opt_u64("deadline-ms").unwrap(), Some(250));
         let c = cli(&["serve-batch"]).unwrap();
-        assert_eq!(c.opt_string("ledger"), None);
+        assert_eq!(c.opt_string("ledger-dir"), None);
         assert_eq!(c.opt_u64("deadline-ms").unwrap(), None);
         let c = cli(&["serve-batch", "--deadline-ms", "soon"]).unwrap();
         assert!(c.opt_u64("deadline-ms").is_err());

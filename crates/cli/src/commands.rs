@@ -242,28 +242,52 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
 /// every serialized field is deterministic, so the output file is
 /// byte-identical for any `--workers` value.
 ///
-/// `--ledger` attaches a durable write-ahead ε ledger: every grant is fsynced
-/// before its request runs, and a restarted invocation rebuilds the
-/// accountant at the recovered spend. `--resume` (requires `--ledger`) keeps
-/// the response lines an interrupted run already flushed to `--out` and skips
-/// re-spending for request ids that hold a recovered grant, so kill-and-rerun
-/// converges on exactly the uninterrupted output without double-charging.
+/// `--ledger-dir` attaches a durable sharded ε ledger: each dataset gets its
+/// own write-ahead file (`<dir>/<dataset>.wal`), every grant is fsynced
+/// before its request runs, and a restarted invocation recovers each shard at
+/// its exact spend. `--checkpoint-every N` compacts a shard's WAL to a
+/// checkpoint record after every N grants, bounding recovery replay.
+/// `--resume` (requires `--ledger-dir`) keeps the response lines an
+/// interrupted run already flushed to `--out` and skips re-spending for
+/// request ids that hold a recovered grant, so kill-and-rerun converges on
+/// exactly the uninterrupted output without double-charging.
 fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
-    use dpx_dp::ledger::LedgerWriter;
-    use dpx_dp::{SharedAccountant, NO_REQUEST};
     use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
-    use dpx_serve::{parse_requests, BatchOptions, DatasetRegistry, ExplainService};
+    use dpx_serve::{
+        parse_requests, AccountantShards, BatchOptions, DatasetRegistry, ExplainService,
+        ShardConfig,
+    };
     use std::collections::HashSet;
     use std::io::Write as _;
     use std::sync::{Arc, Mutex, PoisonError};
 
-    let ledger_path = cli.opt_string("ledger");
+    if cli.opt_string("ledger").is_some() {
+        return Err(CliError::Usage(
+            "--ledger <file> was replaced by --ledger-dir <dir> \
+             (one write-ahead ledger per dataset: <dir>/<dataset>.wal)"
+                .into(),
+        ));
+    }
+    let ledger_dir = cli.opt_string("ledger-dir");
     let resume = cli.bool("resume");
     let deadline_ms = cli.opt_u64("deadline-ms")?;
-    if resume && ledger_path.is_none() {
+    let checkpoint_every = cli.opt_u64("checkpoint-every")?;
+    if resume && ledger_dir.is_none() {
         return Err(CliError::Usage(
-            "--resume requires --ledger (there is no grant log to resume from)".into(),
+            "--resume requires --ledger-dir (there is no grant log to resume from)".into(),
         ));
+    }
+    if let Some(every) = checkpoint_every {
+        if ledger_dir.is_none() {
+            return Err(CliError::Usage(
+                "--checkpoint-every requires --ledger-dir (nothing to checkpoint in memory)".into(),
+            ));
+        }
+        if every == 0 {
+            return Err(CliError::Usage(
+                "--checkpoint-every must be positive".into(),
+            ));
+        }
     }
 
     let data = load(cli)?;
@@ -275,24 +299,24 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         b => Some(dpx_dp::budget::Epsilon::new(b)?),
     };
 
-    let registry = Arc::new(DatasetRegistry::new());
+    let registry = match &ledger_dir {
+        Some(dir) => Arc::new(DatasetRegistry::with_shards(Arc::new(
+            AccountantShards::in_dir(std::path::Path::new(dir))?,
+        ))),
+        None => Arc::new(DatasetRegistry::new()),
+    };
     let name = cli.string("name", "default");
-    let mut granted: HashSet<u64> = HashSet::new();
-    let entry = match &ledger_path {
-        Some(path) => {
-            let (writer, recovery) = LedgerWriter::open(std::path::Path::new(path))?;
-            granted.extend(
-                recovery
-                    .grants
-                    .iter()
-                    .map(|g| g.request_id)
-                    .filter(|&id| id != NO_REQUEST),
-            );
-            let accountant = SharedAccountant::recovered(cap, writer, &recovery.grants);
-            registry.register_with(name, Arc::new(data), accountant)
+    let entry = match &ledger_dir {
+        Some(_) => {
+            let config = ShardConfig {
+                cap,
+                checkpoint_every,
+            };
+            registry.register_sharded(name, Arc::new(data), config)?
         }
         None => registry.register(name, Arc::new(data), cap),
     };
+    let granted: HashSet<u64> = entry.accountant().granted_ids().into_iter().collect();
     let requests = parse_requests(BufReader::new(File::open(&requests_path)?))
         .map_err(|e| CliError::Usage(e.to_string()))?;
     let n_requests = requests.len();
@@ -313,6 +337,7 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
     let opts = BatchOptions {
         deadline_ms,
         granted,
+        checkpoint_every,
     };
     let service = ExplainService::new(Arc::clone(&registry)).with_workers(workers);
 
@@ -378,6 +403,28 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         entry.accountant().spent(),
         entry.accountant().num_charges()
     )?;
+    if ledger_dir.is_some() {
+        for (shard, stats) in registry.shards().stats() {
+            let origin = if stats.recovered_from_checkpoint {
+                format!(
+                    "from checkpoint (+{} tail records)",
+                    stats.checkpoint_age_at_recovery
+                )
+            } else {
+                "full history".to_string()
+            };
+            writeln!(
+                out,
+                "ledger '{shard}': replayed {} records ({origin}), truncated {} torn bytes, \
+                 {} checkpoints written ({} failed), {} grants since last checkpoint",
+                stats.records_replayed,
+                stats.truncated_bytes,
+                stats.checkpoints_written,
+                stats.checkpoint_failures,
+                stats.appends_since_checkpoint
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -784,7 +831,7 @@ mod tests {
         )
         .unwrap();
         let resp = dir.join("durable-resp.jsonl");
-        let wal = dir.join("durable.wal");
+        let ledger_dir = dir.join("durable-ledger");
         let args = |extra: &[&str]| -> Vec<String> {
             let mut v: Vec<String> = [
                 "serve-batch",
@@ -800,8 +847,10 @@ mod tests {
                 "2",
                 "--budget",
                 "10",
-                "--ledger",
-                wal.to_str().unwrap(),
+                "--ledger-dir",
+                ledger_dir.to_str().unwrap(),
+                "--checkpoint-every",
+                "3",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -817,6 +866,17 @@ mod tests {
         let text = run(&[]).unwrap();
         assert!(text.contains("4 ok, 0 failed"), "{text}");
         assert!(text.contains("ε remaining = 8.800000"), "{text}");
+        // Satellite: the summary reports per-shard ledger stats. A fresh run
+        // replays nothing; with --checkpoint-every 3 one checkpoint lands.
+        assert!(
+            text.contains("ledger 'default': replayed 0 records (full history)"),
+            "{text}"
+        );
+        assert!(text.contains("1 checkpoints written (0 failed)"), "{text}");
+        assert!(
+            ledger_dir.join("default.wal").is_file(),
+            "per-dataset WAL lives under the ledger dir"
+        );
         let reference = std::fs::read_to_string(&resp).unwrap();
 
         // Simulate a crash: keep two complete response lines plus a torn
@@ -839,6 +899,14 @@ mod tests {
         // Replayed grants, no double-charging: spend is still 4 × 0.3.
         assert!(text.contains("spent ε = 1.200000"), "{text}");
         assert!(text.contains("ε remaining = 8.800000"), "{text}");
+        // Satellite: resume output carries the ledger stats too — recovery
+        // started from the checkpoint and replayed only the 1-grant tail.
+        assert!(
+            text.contains(
+                "ledger 'default': replayed 2 records (from checkpoint (+1 tail records))"
+            ),
+            "{text}"
+        );
         assert_eq!(
             std::fs::read_to_string(&resp).unwrap(),
             reference,
@@ -850,7 +918,25 @@ mod tests {
     fn serve_batch_resume_requires_a_ledger() {
         let err = run_cli(&["serve-batch", "--resume"]).unwrap_err();
         match err {
-            CliError::Usage(m) => assert!(m.contains("--resume requires --ledger"), "{m}"),
+            CliError::Usage(m) => assert!(m.contains("--resume requires --ledger-dir"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_batch_rejects_the_removed_single_file_ledger_flag() {
+        let err = run_cli(&["serve-batch", "--ledger", "x.wal"]).unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--ledger-dir"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_batch_checkpoint_every_requires_a_ledger_dir() {
+        let err = run_cli(&["serve-batch", "--checkpoint-every", "4"]).unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("requires --ledger-dir"), "{m}"),
             other => panic!("expected usage error, got {other:?}"),
         }
     }

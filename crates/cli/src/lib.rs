@@ -113,7 +113,8 @@ USAGE:
   dpclustx-cli serve-batch --data <file.csv> --schema <file.schema>
                     --requests <reqs.jsonl> --out <resps.jsonl>
                     [--workers N] [--budget E] [--name NAME]
-                    [--ledger <file.wal>] [--resume] [--deadline-ms MS]
+                    [--ledger-dir <dir>] [--checkpoint-every N] [--resume]
+                    [--deadline-ms MS]
       Executes a batch of explanation requests (one JSON object per line;
       'id' required, everything else defaulted: dataset, seed, cluster_by,
       n_clusters, k, eps_cand, eps_comb, eps_hist, weights, stage2_kernel,
@@ -122,12 +123,18 @@ USAGE:
       privacy accountant (--budget caps the dataset's total ε; requests that
       would breach it are rejected with nothing recorded). Responses are
       written sorted by id and are byte-identical for every --workers value.
-      --ledger makes the accountant durable: every grant is fsynced to the
-      write-ahead file before a request runs, and a restarted serve-batch
-      with the same --ledger resumes at the recovered spend instead of
-      double-charging the cap. --resume (requires --ledger) additionally
-      keeps already-written response lines in --out and skips re-spending
-      for request ids that hold a recovered grant. --deadline-ms bounds each
+      --ledger-dir makes accounting durable and sharded: each dataset gets
+      its own write-ahead ledger (<dir>/<dataset>.wal), every grant is
+      fsynced before its request runs, and a restarted serve-batch with the
+      same --ledger-dir recovers each shard at its exact spend instead of
+      double-charging the cap. --checkpoint-every N (requires --ledger-dir)
+      compacts a shard's ledger to a single checkpoint record after every N
+      grants, so recovery replays at most N records instead of the full
+      history. --resume (requires --ledger-dir) additionally keeps
+      already-written response lines in --out and skips re-spending for
+      request ids that hold a recovered grant. The summary reports each
+      shard's ledger stats (records replayed, torn bytes truncated,
+      checkpoint age) alongside the ε accounting. --deadline-ms bounds each
       request's wall clock (per-request 'deadline_ms' overrides it); a timed
       -out request answers ok:false with reason deadline_exceeded, its
       reserved ε deliberately left spent.

@@ -3,11 +3,15 @@
 //! For each named fault point on the serving path, a child `dpclustx-cli`
 //! process is armed (via `DPX_CRASH_AT=point:nth`) to abort — no unwinding,
 //! no flushes — at a seeded hit count, then restarted with `--resume` against
-//! the same write-ahead ledger. After every kill the matrix asserts the
-//! recovery invariants the design document promises:
+//! the same sharded ledger directory. Every run checkpoints aggressively
+//! (`--checkpoint-every 2`), so the kill schedule also lands *inside* the
+//! checkpoint's compact-and-truncate (before and after the atomic rename that
+//! replaces the WAL). After every kill the matrix asserts the recovery
+//! invariants the design document promises:
 //!
 //! 1. the recovered spend covers every response the crashed run managed to
-//!    flush (no output without a durable grant) and never exceeds the cap;
+//!    flush (no output without a durable grant) and never exceeds the cap —
+//!    whether recovery starts from a checkpoint record or full history;
 //! 2. the union of pre-crash and post-recovery responses is byte-identical
 //!    to an uninterrupted run — at 1 worker and at 4.
 //!
@@ -24,9 +28,12 @@ const CAP: f64 = 10.0;
 const EPS_PER_REQUEST: f64 = 0.3;
 const N_REQUESTS: usize = 5;
 
-const POINTS: [&str; 5] = [
+const POINTS: [&str; 8] = [
     "ledger.pre_fsync",
     "ledger.post_fsync",
+    "ledger.ckpt_pre_rename",
+    "ledger.ckpt_post_rename",
+    "shard.pre_append",
     "service.pre_spend",
     "service.post_spend",
     "service.post_respond",
@@ -87,8 +94,10 @@ fn serve_args(
         CAP.to_string(),
     ];
     if let Some(ledger) = ledger {
-        args.push("--ledger".into());
+        args.push("--ledger-dir".into());
         args.push(ledger.to_str().unwrap().to_string());
+        args.push("--checkpoint-every".into());
+        args.push("2".into());
     }
     if resume {
         args.push("--resume".into());
@@ -169,11 +178,12 @@ fn every_single_point_kill_recovers_to_the_uninterrupted_output() {
                 scenarios += 1;
                 let tag = format!("w{workers}-{}-{nth}", point.replace('.', "_"));
                 let out = dir.join(format!("{tag}.jsonl"));
-                let wal = dir.join(format!("{tag}.wal"));
+                let ledger_dir = dir.join(format!("{tag}-ledger"));
+                let wal = ledger_dir.join("default.wal");
                 let _ = std::fs::remove_file(&out);
-                let _ = std::fs::remove_file(&wal);
+                let _ = std::fs::remove_dir_all(&ledger_dir);
 
-                let args = serve_args(&csv, &schema, &reqs, &out, workers, Some(&wal), true);
+                let args = serve_args(&csv, &schema, &reqs, &out, workers, Some(&ledger_dir), true);
                 let killed = Command::new(BIN)
                     .args(&args)
                     .env("DPX_CRASH_AT", format!("{point}:{nth}"))
@@ -196,16 +206,16 @@ fn every_single_point_kill_recovers_to_the_uninterrupted_output() {
                     );
                 }
 
-                // Invariant 1: whatever the kill left behind, the ledger
-                // covers every flushed response and respects the cap.
+                // Invariant 1: whatever the kill left behind, the shard's
+                // ledger covers every flushed response and respects the cap
+                // — via its checkpoint record, its grant tail, or both.
                 let recovery = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
                 let spent = recovery.spent();
                 assert!(
                     spent <= CAP + 1e-9,
                     "[{tag}] recovered spend {spent} exceeds cap {CAP}"
                 );
-                let grant_ids: HashSet<u64> =
-                    recovery.grants.iter().map(|g| g.request_id).collect();
+                let grant_ids: HashSet<u64> = recovery.granted_ids().collect();
                 let ok_ids = flushed_ok_ids(&out);
                 for id in &ok_ids {
                     assert!(
@@ -234,8 +244,7 @@ fn every_single_point_kill_recovers_to_the_uninterrupted_output() {
                     "[{tag}] settled spend {} != {expected} (double-spend?)",
                     settled.spent()
                 );
-                let settled_ids: HashSet<u64> =
-                    settled.grants.iter().map(|g| g.request_id).collect();
+                let settled_ids: HashSet<u64> = settled.granted_ids().collect();
                 assert_eq!(
                     settled_ids,
                     (1..=N_REQUESTS as u64).collect::<HashSet<u64>>(),

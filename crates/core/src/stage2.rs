@@ -1224,8 +1224,9 @@ mod tests {
 
         // Reference: walk every slice serially, recording the state at each
         // slice start.
+        type OdometerState = (Vec<usize>, Vec<Vec<f64>>, Vec<f64>);
         let mut serial = Odometer::seek(&cache, &ks, 0);
-        let mut states: Vec<(Vec<usize>, Vec<Vec<f64>>, Vec<f64>)> = Vec::new();
+        let mut states: Vec<OdometerState> = Vec::new();
         loop {
             states.push((
                 serial.choice.clone(),

@@ -10,7 +10,11 @@
 //! that it spent exactly the ε it claims (Theorem 5.1).
 
 use crate::error::DpError;
-use crate::ledger::{GrantRecord, LedgerWriter, NO_REQUEST};
+use crate::ledger::{
+    CheckpointRecord, GrantRecord, GroupSnapshot, LedgerWriter, Recovery, NO_REQUEST,
+};
+use dpx_runtime::faultpoint::{self, SHARD_PRE_APPEND};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A validated privacy parameter `ε > 0`.
@@ -158,8 +162,15 @@ pub struct LedgerMark {
 pub struct Accountant {
     cap: Option<f64>,
     sequential: Vec<Charge>,
-    /// `(group, max ε seen, members)`
+    /// `(group, max ε seen, members)`, in group-creation order. The order is
+    /// load-bearing: [`Accountant::spent`] adds group maxima in it, and
+    /// checkpoint replay reproduces the identical float-addition sequence.
     parallel: Vec<(String, f64, Vec<Charge>)>,
+    /// Group name → index into `parallel`. Lookup used to be a linear scan
+    /// per charge — O(#groups · #charges) across a per-cluster histogram
+    /// release; the map makes each charge O(1) without disturbing the
+    /// creation order that `parallel` preserves.
+    parallel_index: HashMap<String, usize>,
 }
 
 impl Accountant {
@@ -207,6 +218,53 @@ impl Accountant {
         });
     }
 
+    /// Parallel-composition counterpart of [`Accountant::charge_replayed`]:
+    /// cap-bypassing replay of a grant into its named group, using the same
+    /// running-max update as the live path so replay is bit-exact.
+    fn charge_replayed_parallel(&mut self, group: String, label: String, epsilon: f64) {
+        let charge = Charge {
+            label,
+            epsilon,
+            kind: ChargeKind::Parallel,
+        };
+        match self.parallel_index.get(&group) {
+            Some(&idx) => {
+                let entry = &mut self.parallel[idx];
+                entry.1 = entry.1.max(epsilon);
+                entry.2.push(charge);
+            }
+            None => {
+                self.parallel_index
+                    .insert(group.clone(), self.parallel.len());
+                self.parallel.push((group, epsilon, vec![charge]));
+            }
+        }
+    }
+
+    /// The sequential partial sum (the left fold [`Accountant::spent`]
+    /// starts from) — what a checkpoint snapshots bit-exactly.
+    fn sequential_spent(&self) -> f64 {
+        self.sequential.iter().map(|c| c.epsilon).sum()
+    }
+
+    /// Snapshots this accountant's composition state (plus the given granted
+    /// request ids) as a checkpoint record. Group maxima are captured in
+    /// creation order so replay adds them back in the same order.
+    fn checkpoint_record(&self, granted: &[u64]) -> CheckpointRecord {
+        CheckpointRecord {
+            seq_spent: self.sequential_spent(),
+            granted: granted.to_vec(),
+            groups: self
+                .parallel
+                .iter()
+                .map(|(name, max, _)| GroupSnapshot {
+                    name: name.clone(),
+                    max: *max,
+                })
+                .collect(),
+        }
+    }
+
     fn check_cap(&self, extra: f64) -> Result<(), DpError> {
         if let Some(cap) = self.cap {
             let spent = self.spent();
@@ -249,17 +307,30 @@ impl Accountant {
             epsilon: eps.get(),
             kind: ChargeKind::Parallel,
         };
-        if let Some(idx) = self.parallel.iter().position(|(g, _, _)| *g == group) {
-            let extra = (eps.get() - self.parallel[idx].1).max(0.0);
-            self.check_cap(extra)?;
-            let entry = &mut self.parallel[idx];
-            entry.1 = entry.1.max(eps.get());
-            entry.2.push(charge);
-        } else {
-            self.check_cap(eps.get())?;
-            self.parallel.push((group, eps.get(), vec![charge]));
+        match self.parallel_index.get(&group) {
+            Some(&idx) => {
+                let extra = (eps.get() - self.parallel[idx].1).max(0.0);
+                self.check_cap(extra)?;
+                let entry = &mut self.parallel[idx];
+                entry.1 = entry.1.max(eps.get());
+                entry.2.push(charge);
+            }
+            None => {
+                self.check_cap(eps.get())?;
+                self.parallel_index
+                    .insert(group.clone(), self.parallel.len());
+                self.parallel.push((group, eps.get(), vec![charge]));
+            }
         }
         Ok(())
+    }
+
+    /// The effective ε of the named parallel group (its running maximum), if
+    /// the group exists.
+    pub fn parallel_group_max(&self, group: &str) -> Option<f64> {
+        self.parallel_index
+            .get(group)
+            .map(|&idx| self.parallel[idx].1)
     }
 
     /// Number of individual charges recorded (for audit output).
@@ -365,6 +436,67 @@ impl Accountant {
 struct Ledgered {
     acc: Accountant,
     sink: Option<LedgerWriter>,
+    /// Request ids holding durable grants (recovered + accepted this run) —
+    /// the skip-set a checkpoint must carry for resume to stay correct.
+    granted: Vec<u64>,
+    /// Grants appended since the last checkpoint (or since recovery).
+    appends_since_checkpoint: u64,
+    /// Checkpoint after this many appends (`None`: never automatically).
+    checkpoint_every: Option<u64>,
+    stats: LedgerStats,
+}
+
+impl Ledgered {
+    /// Compacts the attached WAL to `magic + checkpoint` capturing the
+    /// current accountant state. A compaction failure is recorded in the
+    /// stats but does not propagate: the pre-checkpoint WAL still holds the
+    /// full history, so nothing is lost — the log just stays long.
+    fn checkpoint(&mut self) {
+        let record = self.acc.checkpoint_record(&self.granted);
+        if let Some(sink) = self.sink.as_mut() {
+            match sink.checkpoint(&record) {
+                Ok(()) => {
+                    self.appends_since_checkpoint = 0;
+                    self.stats.checkpoints_written += 1;
+                }
+                Err(_) => self.stats.checkpoint_failures += 1,
+            }
+        }
+    }
+
+    /// Applies the auto-checkpoint policy after a successful durable append.
+    fn note_append(&mut self) {
+        self.appends_since_checkpoint += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.sink.is_some() && self.appends_since_checkpoint >= every {
+                self.checkpoint();
+            }
+        }
+    }
+}
+
+/// Observability counters for a [`SharedAccountant`]'s durable ledger: what
+/// recovery had to do, and what the checkpoint policy has done since. All
+/// zeros for purely in-memory accountants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Records decoded during recovery (a head checkpoint counts as one).
+    pub records_replayed: u64,
+    /// Torn-tail bytes recovery truncated.
+    pub truncated_bytes: u64,
+    /// Whether recovery started from a checkpoint record.
+    pub recovered_from_checkpoint: bool,
+    /// Grant records that postdated the checkpoint at recovery time (the
+    /// checkpoint's age; equals `records_replayed` minus the checkpoint
+    /// itself when one was present).
+    pub checkpoint_age_at_recovery: u64,
+    /// Grants appended since the last checkpoint (or recovery).
+    pub appends_since_checkpoint: u64,
+    /// Checkpoints successfully written by this accountant.
+    pub checkpoints_written: u64,
+    /// Checkpoint attempts that failed (the WAL keeps its full history; the
+    /// failure costs log length, never ε).
+    pub checkpoint_failures: u64,
 }
 
 /// See the type-level docs above; this is the shared, lockable shell.
@@ -391,7 +523,7 @@ impl SharedAccountant {
         SharedAccountant {
             inner: std::sync::Mutex::new(Ledgered {
                 acc: accountant,
-                sink: None,
+                ..Ledgered::default()
             }),
         }
     }
@@ -401,18 +533,58 @@ impl SharedAccountant {
     /// — they are history, and under-reporting spent ε is the one direction
     /// accounting must never err in. A recovered spend at or above the cap
     /// leaves zero headroom; it does not fail recovery.
-    pub fn recovered(cap: Option<Epsilon>, writer: LedgerWriter, grants: &[GrantRecord]) -> Self {
+    ///
+    /// Replay is composition-aware and bit-exact: a head checkpoint seeds
+    /// the sequential fold with the snapshotted partial sum and recreates
+    /// each parallel group at its snapshotted maximum (in creation order);
+    /// tail grants then replay through the same update rules the live path
+    /// uses, so the rebuilt [`SharedAccountant::spent`] equals the
+    /// pre-crash in-memory value to the last bit — the *tight*
+    /// max-per-group bound, not the old conservative flat sum.
+    pub fn recovered(cap: Option<Epsilon>, writer: LedgerWriter, recovery: &Recovery) -> Self {
         let mut acc = match cap {
             Some(cap) => Accountant::with_cap(cap),
             None => Accountant::new(),
         };
-        for grant in grants {
-            acc.charge_replayed(grant.label.clone(), grant.epsilon);
+        let mut granted = Vec::new();
+        if let Some(ckpt) = &recovery.checkpoint {
+            if ckpt.seq_spent > 0.0 {
+                acc.charge_replayed("ledger/checkpoint", ckpt.seq_spent);
+            }
+            for group in &ckpt.groups {
+                acc.charge_replayed_parallel(
+                    group.name.clone(),
+                    "ledger/checkpoint".to_string(),
+                    group.max,
+                );
+            }
+            granted.extend_from_slice(&ckpt.granted);
+        }
+        for grant in &recovery.grants {
+            match &grant.group {
+                None => acc.charge_replayed(grant.label.clone(), grant.epsilon),
+                Some(group) => {
+                    acc.charge_replayed_parallel(group.clone(), grant.label.clone(), grant.epsilon)
+                }
+            }
+            if grant.request_id != NO_REQUEST {
+                granted.push(grant.request_id);
+            }
         }
         SharedAccountant {
             inner: std::sync::Mutex::new(Ledgered {
                 acc,
                 sink: Some(writer),
+                granted,
+                appends_since_checkpoint: recovery.checkpoint_age(),
+                checkpoint_every: None,
+                stats: LedgerStats {
+                    records_replayed: recovery.records_replayed(),
+                    truncated_bytes: recovery.truncated_bytes,
+                    recovered_from_checkpoint: recovery.checkpoint.is_some(),
+                    checkpoint_age_at_recovery: recovery.checkpoint_age(),
+                    ..LedgerStats::default()
+                },
             }),
         }
     }
@@ -466,26 +638,37 @@ impl SharedAccountant {
         let label = label.into();
         let mut inner = self.lock();
         inner.acc.check_cap(eps.get())?;
-        if let Some(sink) = inner.sink.as_mut() {
+        if inner.sink.is_some() {
+            faultpoint::hit(SHARD_PRE_APPEND);
             let grant = GrantRecord {
                 request_id,
                 epsilon: eps.get(),
                 label: label.clone(),
+                group: None,
             };
+            let sink = inner.sink.as_mut().expect("checked above");
             sink.append(&grant).map_err(|e| DpError::LedgerWrite {
                 message: e.to_string(),
             })?;
         }
-        inner.acc.charge(label, eps)
+        inner.acc.charge(label, eps)?;
+        if request_id != NO_REQUEST {
+            inner.granted.push(request_id);
+        }
+        if inner.sink.is_some() {
+            inner.note_append();
+        }
+        Ok(())
     }
 
     /// Atomic parallel-composition variant of
     /// [`try_spend`](Self::try_spend): see [`Accountant::charge_parallel`].
     ///
-    /// With a durable sink attached the grant is logged at its *full* ε even
-    /// though only the group increment counts in memory — the flat ledger
-    /// format carries no group structure, and replaying parallel charges as
-    /// sequential ones can only over-count, which is the safe direction.
+    /// With a durable sink attached the grant is logged at its full ε
+    /// *tagged with its group*, so replay applies the same max-per-group
+    /// rule the in-memory ledger does — the recovered spend is the tight
+    /// parallel-composition bound, bit-exact with the live one, not the old
+    /// conservative flat sum.
     pub fn try_spend_parallel(
         &self,
         group: impl Into<String>,
@@ -498,28 +681,28 @@ impl SharedAccountant {
         if inner.sink.is_some() {
             // Pre-check the *increment* (what charge_parallel will charge)
             // so the grant is never appended for a spend the cap rejects.
-            let prior_max = inner
-                .acc
-                .parallel
-                .iter()
-                .find(|(g, _, _)| *g == group)
-                .map(|(_, max, _)| *max);
-            let extra = match prior_max {
+            let extra = match inner.acc.parallel_group_max(&group) {
                 Some(max) => (eps.get() - max).max(0.0),
                 None => eps.get(),
             };
             inner.acc.check_cap(extra)?;
+            faultpoint::hit(SHARD_PRE_APPEND);
             let grant = GrantRecord {
                 request_id: NO_REQUEST,
                 epsilon: eps.get(),
                 label: format!("{group}/{member}"),
+                group: Some(group.clone()),
             };
             let sink = inner.sink.as_mut().expect("checked above");
             sink.append(&grant).map_err(|e| DpError::LedgerWrite {
                 message: e.to_string(),
             })?;
         }
-        inner.acc.charge_parallel(group, member, eps)
+        inner.acc.charge_parallel(group, member, eps)?;
+        if inner.sink.is_some() {
+            inner.note_append();
+        }
+        Ok(())
     }
 
     /// Total ε spent so far.
@@ -547,6 +730,48 @@ impl SharedAccountant {
     /// cap check had not already passed.
     pub fn snapshot(&self) -> Accountant {
         self.lock().acc.clone()
+    }
+
+    /// Request ids holding grants (recovered from the ledger plus accepted
+    /// this run) — the resume skip-set.
+    pub fn granted_ids(&self) -> Vec<u64> {
+        self.lock().granted.clone()
+    }
+
+    /// Point-in-time ledger observability counters (see [`LedgerStats`]).
+    pub fn ledger_stats(&self) -> LedgerStats {
+        let inner = self.lock();
+        LedgerStats {
+            appends_since_checkpoint: inner.appends_since_checkpoint,
+            ..inner.stats
+        }
+    }
+
+    /// Sets the auto-checkpoint policy: after every `every` durable appends
+    /// the WAL is compacted to a single checkpoint record (`None` disables).
+    /// The compaction happens inside the spend's critical section, so the
+    /// checkpoint always snapshots a consistent accountant state.
+    pub fn set_checkpoint_every(&self, every: Option<u64>) {
+        self.lock().checkpoint_every = every;
+    }
+
+    /// Compacts the attached WAL to a checkpoint of the current state right
+    /// now, regardless of policy. Returns [`DpError::LedgerWrite`] if the
+    /// compaction failed (the WAL then still holds its full history — a
+    /// checkpoint failure costs log length, never ε). No-op without a sink.
+    pub fn checkpoint_now(&self) -> Result<(), DpError> {
+        let mut inner = self.lock();
+        if inner.sink.is_none() {
+            return Ok(());
+        }
+        let failures_before = inner.stats.checkpoint_failures;
+        inner.checkpoint();
+        if inner.stats.checkpoint_failures > failures_before {
+            return Err(DpError::LedgerWrite {
+                message: "checkpoint compaction failed; WAL keeps full history".to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Renders the audit trail of the spend so far.
@@ -800,7 +1025,7 @@ mod tests {
 
         let (writer, recovery) = LedgerWriter::open(&path).unwrap();
         assert!(recovery.grants.is_empty());
-        let acc = SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &[]);
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery);
         assert!(acc.is_durable());
         acc.try_spend_grant(1, "request/1", Epsilon::new(0.3).unwrap())
             .unwrap();
@@ -817,9 +1042,13 @@ mod tests {
         assert_eq!(recovery.grants[0].request_id, 1);
         assert_eq!(recovery.grants[1].request_id, NO_REQUEST);
         let resumed =
-            SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery.grants);
+            SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery);
         assert!((resumed.spent() - 0.4).abs() < 1e-12);
         assert!((resumed.remaining().unwrap() - 0.1).abs() < 1e-12);
+        assert_eq!(resumed.granted_ids(), vec![1]);
+        let stats = resumed.ledger_stats();
+        assert_eq!(stats.records_replayed, 2);
+        assert!(!stats.recovered_from_checkpoint);
         // The replayed spend still gates new grants against the cap.
         assert!(resumed
             .try_spend_grant(3, "request/3", Epsilon::new(0.2).unwrap())
@@ -843,33 +1072,141 @@ mod tests {
         let (writer, recovery) = LedgerWriter::open(&path).unwrap();
         // Recovered spend 0.8 exceeds the 0.5 cap: replay must not fail, but
         // headroom is zero and any new spend is rejected.
-        let acc =
-            SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery.grants);
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery);
         assert!((acc.spent() - 0.8).abs() < 1e-12);
         assert_eq!(acc.remaining(), Some(0.0));
         assert!(acc.try_spend("more", Epsilon::new(0.01).unwrap()).is_err());
     }
 
     #[test]
-    fn durable_parallel_spends_replay_conservatively() {
+    fn durable_parallel_spends_replay_tight_and_reclaim_epsilon() {
         let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("parallel.wal");
         let _ = std::fs::remove_file(&path);
-        let (writer, _) = LedgerWriter::open(&path).unwrap();
-        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &[]);
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &recovery);
         acc.try_spend_parallel("hist", "c0", Epsilon::new(0.05).unwrap())
             .unwrap();
         acc.try_spend_parallel("hist", "c1", Epsilon::new(0.07).unwrap())
             .unwrap();
-        // In memory the group costs max = 0.07 ...
+        // In memory the group costs max = 0.07.
         assert!((acc.spent() - 0.07).abs() < 1e-12);
+        let live_bits = acc.spent().to_bits();
+        let live_remaining = acc.remaining().unwrap();
         drop(acc);
-        // ... but the flat durable log replays 0.05 + 0.07 (over-counting is
-        // the safe direction for history).
+
+        // The group-tagged log replays the same tight max-per-group bound.
         let recovery = crate::ledger::recover(&path).unwrap();
-        assert!((recovery.spent() - 0.12).abs() < 1e-12);
+        assert!((recovery.spent() - 0.07).abs() < 1e-12);
         assert_eq!(recovery.grants[0].label, "hist/c0");
+        assert_eq!(recovery.grants[0].group.as_deref(), Some("hist"));
+
+        // Replaying through an accountant reclaims the ε the old flat rule
+        // (0.05 + 0.07 = 0.12) used to burn: headroom is restored bit-exactly.
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let resumed =
+            SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &recovery);
+        assert_eq!(resumed.spent().to_bits(), live_bits);
+        assert_eq!(resumed.remaining().unwrap(), live_remaining);
+        let flat_sum: f64 = recovery.grants.iter().map(|g| g.epsilon).sum();
+        assert!(
+            resumed.spent() < flat_sum,
+            "tight replay {} must beat flat {}",
+            resumed.spent(),
+            flat_sum
+        );
+    }
+
+    /// A crash+recover chain through checkpoints reproduces the live
+    /// accountant's spend to the last bit — the acceptance criterion for
+    /// composition-aware replay.
+    #[test]
+    fn checkpointed_recovery_is_bit_exact_with_live_accountant() {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bitexact.wal");
+        let _ = std::fs::remove_file(&path);
+
+        // A deliberately round-off-prone spend sequence (0.1 and 0.3 are not
+        // exactly representable) interleaving sequential and grouped spends.
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        acc.try_spend_grant(1, "request/1", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        acc.try_spend_parallel("cluster", "c0", Epsilon::new(0.3).unwrap())
+            .unwrap();
+        acc.try_spend_grant(2, "request/2", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        acc.checkpoint_now().unwrap();
+        acc.try_spend_parallel("cluster", "c1", Epsilon::new(0.7).unwrap())
+            .unwrap();
+        acc.try_spend_parallel("other", "c0", Epsilon::new(0.2).unwrap())
+            .unwrap();
+        acc.try_spend_grant(3, "request/3", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        let live_bits = acc.spent().to_bits();
+        let stats = acc.ledger_stats();
+        assert_eq!(stats.checkpoints_written, 1);
+        assert_eq!(stats.appends_since_checkpoint, 3);
+        drop(acc);
+
+        // "Crash": recover from the checkpointed WAL.
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert!(recovery.checkpoint.is_some());
+        assert_eq!(recovery.checkpoint_age(), 3);
+        assert_eq!(recovery.spent().to_bits(), live_bits, "Recovery::spent");
+        let resumed =
+            SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        assert_eq!(resumed.spent().to_bits(), live_bits, "replayed accountant");
+        let mut ids = resumed.granted_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+
+        // Checkpoint again post-recovery and recover once more: the chain of
+        // checkpoints stays bit-exact.
+        resumed
+            .try_spend_grant(4, "request/4", Epsilon::new(0.1).unwrap())
+            .unwrap();
+        let live_bits = resumed.spent().to_bits();
+        resumed.checkpoint_now().unwrap();
+        drop(resumed);
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert_eq!(recovery.records_replayed(), 1, "fully compacted");
+        let resumed =
+            SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        assert_eq!(resumed.spent().to_bits(), live_bits, "second generation");
+    }
+
+    #[test]
+    fn auto_checkpoint_policy_compacts_the_wal() {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("autockpt.wal");
+        let _ = std::fs::remove_file(&path);
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        acc.set_checkpoint_every(Some(3));
+        for id in 1..=7u64 {
+            acc.try_spend_grant(id, format!("request/{id}"), Epsilon::new(0.1).unwrap())
+                .unwrap();
+        }
+        let stats = acc.ledger_stats();
+        assert_eq!(stats.checkpoints_written, 2, "after the 3rd and 6th grant");
+        assert_eq!(
+            stats.appends_since_checkpoint, 1,
+            "the 7th is post-compaction"
+        );
+        let spent_bits = acc.spent().to_bits();
+        drop(acc);
+
+        let (_, recovery) = LedgerWriter::open(&path).unwrap();
+        // 1 checkpoint + the single post-checkpoint grant, not 7 records.
+        assert_eq!(recovery.records_replayed(), 2);
+        assert_eq!(recovery.spent().to_bits(), spent_bits);
+        let mut ids: Vec<u64> = recovery.granted_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=7).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -56,13 +56,17 @@ pub mod histogram;
 pub mod laplace;
 pub mod ledger;
 pub mod noisy_max;
+pub mod shards;
 pub mod sparse_vector;
 pub mod topk;
 
-pub use budget::{Accountant, Epsilon, Sensitivity, SharedAccountant};
+pub use budget::{Accountant, Epsilon, LedgerStats, Sensitivity, SharedAccountant};
 pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;
 pub use histogram::{GeometricHistogram, HistogramMechanism, LaplaceHistogram};
-pub use ledger::{GrantRecord, LedgerError, LedgerWriter, Recovery, NO_REQUEST};
+pub use ledger::{
+    CheckpointRecord, GrantRecord, GroupSnapshot, LedgerError, LedgerWriter, Recovery, NO_REQUEST,
+};
+pub use shards::{AccountantShards, ShardConfig};
 pub use topk::one_shot_top_k;

@@ -44,12 +44,39 @@ impl Prng {
                 ALPHABET[self.below(8) as usize]
             })
             .collect();
+        // A third of grants are parallel-composition members spread over a
+        // few group names, so replay exercises the max-per-group rule.
+        let group = match self.below(3) {
+            0 => Some(format!("group/{}", self.below(4))),
+            _ => None,
+        };
         GrantRecord {
             request_id,
             epsilon,
             label,
+            group,
         }
     }
+}
+
+/// The tight composition bound the recovered spend must equal: sequential
+/// grants sum, grouped grants contribute their per-group maximum.
+fn tight_spent(grants: &[GrantRecord]) -> f64 {
+    let seq: f64 = grants
+        .iter()
+        .filter(|g| g.group.is_none())
+        .map(|g| g.epsilon)
+        .sum();
+    let mut groups: Vec<(&str, f64)> = Vec::new();
+    for g in grants {
+        if let Some(name) = g.group.as_deref() {
+            match groups.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, max)) => *max = max.max(g.epsilon),
+                None => groups.push((name, g.epsilon)),
+            }
+        }
+    }
+    seq + groups.iter().map(|(_, m)| m).sum::<f64>()
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -77,7 +104,7 @@ fn random_grant_sequences_roundtrip() {
         let recovery = recover(&path).unwrap();
         assert_eq!(recovery.grants, grants, "case {case}");
         assert_eq!(recovery.truncated_bytes, 0, "case {case}");
-        let expected: f64 = grants.iter().map(|g| g.epsilon).sum();
+        let expected = tight_spent(&grants);
         assert!(
             (recovery.spent() - expected).abs() <= 1e-9 * expected.max(1.0),
             "case {case}"

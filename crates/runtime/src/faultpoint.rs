@@ -39,6 +39,18 @@ pub const SERVICE_POST_SPEND: &str = "service.post_spend";
 /// Fault point: a response line has been written and flushed. A restart must
 /// not recompute-and-duplicate it.
 pub const SERVICE_POST_RESPOND: &str = "service.post_respond";
+/// Fault point: a shard accountant passed its cap check but has not yet
+/// appended the grant to its WAL. A kill here must lose the request, never
+/// the budget invariant.
+pub const SHARD_PRE_APPEND: &str = "shard.pre_append";
+/// Fault point: a checkpoint's compacted replacement file is written and
+/// synced, but the atomic rename over the live WAL has not happened. A kill
+/// here must leave the full-history WAL intact (plus a stale tmp to sweep).
+pub const LEDGER_CKPT_PRE_RENAME: &str = "ledger.ckpt_pre_rename";
+/// Fault point: the checkpoint rename is done but the directory entry may
+/// not be synced and the writer handle not yet reopened. Recovery must read
+/// either the compacted file or the full history, both with the exact spend.
+pub const LEDGER_CKPT_POST_RENAME: &str = "ledger.ckpt_post_rename";
 
 /// One armed kill: abort when `point` is hit for the `nth` time (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]

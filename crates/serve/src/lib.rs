@@ -21,10 +21,14 @@
 //!   N workers, responses land in input-order slots, and a panicking request
 //!   fails alone while the pool keeps serving.
 //!
-//! Crash safety rides on the DP crate's write-ahead ledger: a dataset whose
-//! accountant has a ledger attached fsyncs every grant before `try_spend`
-//! reports success, [`BatchOptions::granted`] lets a restarted batch skip
-//! re-spending for recovered request ids, and
+//! Crash safety rides on the DP crate's sharded write-ahead ledgers: a
+//! durable registry ([`DatasetRegistry::with_shards`]) gives every dataset
+//! its own accountant shard with its own WAL file, each grant fsynced
+//! before `try_spend` reports success and each shard recovered
+//! independently on restart. [`BatchOptions::granted`] lets a restarted
+//! batch skip re-spending for recovered request ids,
+//! [`BatchOptions::checkpoint_every`] bounds replay by compacting each
+//! shard's WAL to a checkpoint record, and
 //! [`ExplainService::run_batch_streamed`] streams each response to a sink as
 //! it is produced so a crash loses at most the in-flight lines. Requests are
 //! deadline-bounded cooperatively: the engine polls a
@@ -43,6 +47,7 @@ pub mod registry;
 pub mod request;
 pub mod service;
 
+pub use dpx_dp::shards::{AccountantShards, ShardConfig};
 pub use json::Json;
 pub use registry::{DatasetEntry, DatasetRegistry};
 pub use request::{ExplainRequest, ExplainResponse, ServedExplanation, StageSummary};

@@ -9,11 +9,18 @@
 //! * one [`SharedAccountant`], whose `try_spend` is a single atomic
 //!   check-and-record — the per-dataset privacy cap holds under any
 //!   interleaving of worker threads.
+//!
+//! Accountants come out of an [`AccountantShards`] map — one shard per
+//! dataset, each with its own mutex and (for durable registries built with
+//! [`DatasetRegistry::with_shards`]) its own WAL file. Datasets therefore
+//! admit, fsync, and recover independently: a corrupt ledger or a hot lock
+//! on one dataset never touches another.
 
 use dpclustx::engine::SharedCountsCache;
 use dpx_data::Dataset;
 use dpx_dp::budget::Epsilon;
-use dpx_dp::SharedAccountant;
+use dpx_dp::shards::{AccountantShards, ShardConfig};
+use dpx_dp::{DpError, SharedAccountant};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -33,12 +40,7 @@ impl DatasetEntry {
             Some(cap) => SharedAccountant::with_cap(cap),
             None => SharedAccountant::new(),
         };
-        DatasetEntry {
-            name: name.into(),
-            data,
-            cache: Arc::new(SharedCountsCache::new()),
-            accountant: Arc::new(accountant),
-        }
+        Self::with_shared(name, data, Arc::new(accountant))
     }
 
     /// Builds an entry around `data` with a caller-provided accountant —
@@ -49,11 +51,22 @@ impl DatasetEntry {
         data: Arc<Dataset>,
         accountant: SharedAccountant,
     ) -> Self {
+        Self::with_shared(name, data, Arc::new(accountant))
+    }
+
+    /// Builds an entry around an already-shared accountant — the handle a
+    /// shard map hands out, so the entry and the shard map observe the very
+    /// same budget.
+    pub fn with_shared(
+        name: impl Into<String>,
+        data: Arc<Dataset>,
+        accountant: Arc<SharedAccountant>,
+    ) -> Self {
         DatasetEntry {
             name: name.into(),
             data,
             cache: Arc::new(SharedCountsCache::new()),
-            accountant: Arc::new(accountant),
+            accountant,
         }
     }
 
@@ -83,16 +96,39 @@ impl DatasetEntry {
     }
 }
 
-/// A name → [`DatasetEntry`] map, safe to share across worker threads.
-#[derive(Debug, Default)]
+/// A name → [`DatasetEntry`] map, safe to share across worker threads,
+/// backed by a per-dataset [`AccountantShards`] map.
+#[derive(Debug)]
 pub struct DatasetRegistry {
+    shards: Arc<AccountantShards>,
     entries: Mutex<HashMap<String, Arc<DatasetEntry>>>,
 }
 
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl DatasetRegistry {
-    /// An empty registry.
+    /// An empty registry with purely in-memory accountant shards.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(Arc::new(AccountantShards::in_memory()))
+    }
+
+    /// An empty registry over a caller-provided shard map — pass an
+    /// [`AccountantShards::in_dir`] map for per-dataset durable WALs.
+    pub fn with_shards(shards: Arc<AccountantShards>) -> Self {
+        DatasetRegistry {
+            shards,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The accountant shard map backing this registry (per-shard stats,
+    /// WAL paths).
+    pub fn shards(&self) -> &Arc<AccountantShards> {
+        &self.shards
     }
 
     /// Map operations either complete or leave the map unchanged, so
@@ -102,8 +138,11 @@ impl DatasetRegistry {
     }
 
     /// Registers `data` under `name` with an optional lifetime ε cap,
-    /// replacing any previous entry of that name (the old entry's accountant
-    /// and cache are dropped with it). Returns the new entry.
+    /// replacing any previous entry of that name (the old entry's
+    /// accountant and cache are dropped with it — **reset** semantics, so
+    /// the fresh accountant is always in-memory even on a durable-backed
+    /// registry; durable budgets are history and have no reset, use
+    /// [`DatasetRegistry::register_sharded`] for them). Returns the entry.
     pub fn register(
         &self,
         name: impl Into<String>,
@@ -111,13 +150,38 @@ impl DatasetRegistry {
         cap: Option<Epsilon>,
     ) -> Arc<DatasetEntry> {
         let name = name.into();
+        // Keep the shard map coherent: the replaced entry's shard must not
+        // be handed out for the re-registered dataset.
+        self.shards.evict(&name);
         let entry = Arc::new(DatasetEntry::new(name.clone(), data, cap));
         self.lock().insert(name, Arc::clone(&entry));
         entry
     }
 
+    /// Registers `data` under `name` on this registry's shard map: the
+    /// dataset's accountant is its shard, created with `config` on first
+    /// open — and for durable shard maps **recovered** from the dataset's
+    /// own WAL file, spent ε and granted request ids included. Replaces any
+    /// previous entry of that name (shared-state handles, not the budget:
+    /// the shard is get-or-create).
+    pub fn register_sharded(
+        &self,
+        name: impl Into<String>,
+        data: Arc<Dataset>,
+        config: ShardConfig,
+    ) -> Result<Arc<DatasetEntry>, DpError> {
+        let name = name.into();
+        let shard = self.shards.open(&name, config)?;
+        let entry = Arc::new(DatasetEntry::with_shared(name.clone(), data, shard));
+        self.lock().insert(name, Arc::clone(&entry));
+        Ok(entry)
+    }
+
     /// Registers `data` under `name` with a caller-provided accountant (see
     /// [`DatasetEntry::with_accountant`]), replacing any previous entry.
+    /// The accountant lives outside the shard map; prefer
+    /// [`DatasetRegistry::register_sharded`] unless the accountant truly
+    /// cannot come from a shard.
     pub fn register_with(
         &self,
         name: impl Into<String>,
@@ -125,6 +189,7 @@ impl DatasetRegistry {
         accountant: SharedAccountant,
     ) -> Arc<DatasetEntry> {
         let name = name.into();
+        self.shards.evict(&name);
         let entry = Arc::new(DatasetEntry::with_accountant(
             name.clone(),
             data,
@@ -139,8 +204,11 @@ impl DatasetRegistry {
         self.lock().get(name).cloned()
     }
 
-    /// Removes the entry registered under `name`, returning it.
+    /// Removes the entry registered under `name`, returning it. The
+    /// dataset's shard is evicted from the shard map too (a durable shard's
+    /// WAL file stays on disk — spent ε is history).
     pub fn remove(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.shards.evict(name);
         self.lock().remove(name)
     }
 
@@ -201,6 +269,34 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(second.accountant().spent(), 0.0);
         assert!(second.cache().is_empty());
+    }
+
+    #[test]
+    fn sharded_registration_recovers_durable_budget() {
+        let dir = std::env::temp_dir().join(format!("dpx-registry-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ShardConfig::capped(Epsilon::new(1.0).unwrap());
+        {
+            let shards = Arc::new(AccountantShards::in_dir(&dir).unwrap());
+            let registry = DatasetRegistry::with_shards(shards);
+            let entry = registry.register_sharded("d", dataset(), config).unwrap();
+            entry
+                .accountant()
+                .try_spend_grant(7, "request/7", Epsilon::new(0.25).unwrap())
+                .unwrap();
+        }
+        // A fresh registry over the same directory recovers the shard:
+        // durable budgets have no reset.
+        let shards = Arc::new(AccountantShards::in_dir(&dir).unwrap());
+        let registry = DatasetRegistry::with_shards(shards);
+        let entry = registry.register_sharded("d", dataset(), config).unwrap();
+        assert!((entry.accountant().spent() - 0.25).abs() < 1e-12);
+        assert_eq!(entry.accountant().granted_ids(), vec![7]);
+        // Re-registering the same name is get-or-create on the shard: the
+        // budget carries over within the process as well.
+        let again = registry.register_sharded("d", dataset(), config).unwrap();
+        assert!((again.accountant().spent() - 0.25).abs() < 1e-12);
+        assert_eq!(registry.shards().stats().len(), 1);
     }
 
     #[test]

@@ -139,6 +139,11 @@ pub struct BatchOptions {
     /// execution proceeds — the pipeline is deterministic, so re-running a
     /// granted request reproduces the crashed run's exact response.
     pub granted: HashSet<u64>,
+    /// Auto-checkpoint each served dataset's WAL after this many grants
+    /// (`None`: leave the datasets' existing policies untouched). Applied to
+    /// every dataset the batch references before any request runs; a no-op
+    /// for accountants without a durable ledger.
+    pub checkpoint_every: Option<u64>,
 }
 
 /// A typed per-request failure: the human-readable message plus the optional
@@ -218,18 +223,25 @@ impl ExplainService {
             Ok(served) => ExplainResponse::success(request.id, served),
             Err(failure) => {
                 let mut response = ExplainResponse::error(request.id, failure.message);
+                let accounting_failure = failure.reason.is_some();
                 if let Some(reason) = failure.reason {
                     response = response.with_reason(reason);
                 }
-                // Headroom is only attached where it is well-defined (capped
-                // dataset) and cannot break determinism (error lines of
-                // capped datasets are already admission-order dependent).
-                if let Some(remaining) = self
-                    .registry
-                    .get(&request.dataset)
-                    .and_then(|entry| entry.accountant().remaining())
-                {
-                    response = response.with_eps_remaining(remaining);
+                // Headroom is only attached where the failure is about the
+                // budget or its reservation (a typed reason: rejection,
+                // ledger write, deadline with ε kept) — those lines are
+                // admission-order dependent by nature and documented as
+                // such. Plain validation errors never touch the accountant,
+                // so attaching a live headroom reading there would leak
+                // scheduling into an otherwise deterministic stream.
+                if accounting_failure {
+                    if let Some(remaining) = self
+                        .registry
+                        .get(&request.dataset)
+                        .and_then(|entry| entry.accountant().remaining())
+                    {
+                        response = response.with_eps_remaining(remaining);
+                    }
                 }
                 response
             }
@@ -355,6 +367,19 @@ impl ExplainService {
         mechanism: &M,
         sink: Option<&(dyn Fn(&ExplainResponse) + Sync)>,
     ) -> Vec<ExplainResponse> {
+        if let Some(every) = opts.checkpoint_every {
+            // Install the policy once per referenced dataset, before any
+            // worker spends: the compactions then happen inside the spends'
+            // own critical sections.
+            let mut seen = HashSet::new();
+            for request in &requests {
+                if seen.insert(request.dataset.clone()) {
+                    if let Some(entry) = self.registry.get(&request.dataset) {
+                        entry.accountant().set_checkpoint_every(Some(every));
+                    }
+                }
+            }
+        }
         let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
         ordered_parallel_map_catch(requests, self.workers, |request| {
             let response = self.execute_opts(request, opts, mechanism);

@@ -13,10 +13,12 @@
 
 use dpx_data::synth;
 use dpx_dp::budget::Epsilon;
-use dpx_dp::ledger::{recover, LedgerWriter};
-use dpx_dp::{DpError, SharedAccountant, NO_REQUEST};
+use dpx_dp::ledger::recover;
+use dpx_dp::DpError;
 use dpx_runtime::{CancelToken, REASON_DEADLINE};
-use dpx_serve::{parse_requests, BatchOptions, DatasetRegistry, ExplainService};
+use dpx_serve::{
+    parse_requests, AccountantShards, BatchOptions, DatasetRegistry, ExplainService, ShardConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -30,10 +32,8 @@ const BATCH: &str = r#"
 {"id": 3, "seed": 43, "cluster_by": 0, "n_clusters": 3, "stage2_kernel": "counter"}
 "#;
 
-fn wal_path(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("dpx-serve-recovery-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{tag}.wal"))
+fn ledger_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpx-serve-recovery-{}-{tag}", std::process::id()))
 }
 
 fn dataset() -> Arc<dpx_data::Dataset> {
@@ -43,19 +43,18 @@ fn dataset() -> Arc<dpx_data::Dataset> {
 
 fn registry_with_ledger(
     data: Arc<dpx_data::Dataset>,
-    wal: &std::path::Path,
+    dir: &std::path::Path,
 ) -> (Arc<DatasetRegistry>, HashSet<u64>) {
-    let (writer, recovery) = LedgerWriter::open(wal).expect("ledger opens");
-    let granted: HashSet<u64> = recovery
-        .grants
-        .iter()
-        .map(|g| g.request_id)
-        .filter(|&id| id != NO_REQUEST)
-        .collect();
-    let accountant =
-        SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery.grants);
-    let registry = Arc::new(DatasetRegistry::new());
-    registry.register_with("default", data, accountant);
+    let shards = Arc::new(AccountantShards::in_dir(dir).expect("shard dir opens"));
+    let registry = Arc::new(DatasetRegistry::with_shards(shards));
+    let entry = registry
+        .register_sharded(
+            "default",
+            data,
+            ShardConfig::capped(Epsilon::new(10.0).unwrap()),
+        )
+        .expect("shard recovers");
+    let granted: HashSet<u64> = entry.accountant().granted_ids().into_iter().collect();
     (registry, granted)
 }
 
@@ -69,6 +68,7 @@ fn response_lines(
     let opts = BatchOptions {
         deadline_ms: None,
         granted,
+        checkpoint_every: None,
     };
     let mut responses = service.run_batch_streamed(
         requests,
@@ -82,12 +82,13 @@ fn response_lines(
 
 #[test]
 fn recovered_ledger_replays_grants_and_skips_respending() {
-    let wal = wal_path("replay");
-    let _ = std::fs::remove_file(&wal);
+    let dir = ledger_dir("replay");
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal = dir.join("default.wal");
     let data = dataset();
 
     // First life: empty ledger, three fresh spends.
-    let (registry, granted) = registry_with_ledger(Arc::clone(&data), &wal);
+    let (registry, granted) = registry_with_ledger(Arc::clone(&data), &dir);
     assert!(granted.is_empty(), "fresh ledger grants nothing");
     let first = response_lines(&registry, granted, 2);
     assert_eq!(first.len(), 3);
@@ -104,7 +105,7 @@ fn recovered_ledger_replays_grants_and_skips_respending() {
 
     // Second life: every id is granted, so the batch reproduces the exact
     // bytes while the accountant only ever replays — no new charges.
-    let (registry, granted) = registry_with_ledger(data, &wal);
+    let (registry, granted) = registry_with_ledger(data, &dir);
     assert_eq!(granted, HashSet::from([1, 2, 3]));
     let second = response_lines(&registry, granted, 4);
     assert_eq!(second, first, "granted replay must be byte-identical");
