@@ -8,12 +8,18 @@
 //! * `rows`       — 9d: time vs fraction of tuples used.
 //! * `bench`      — machine-readable perf harness: emits `BENCH_fig9.json`
 //!   (default `results/BENCH_fig9.json`, override with `--out`) containing
-//!   the counts-kernel ablation (naive PR-1 build vs flat serial vs flat
-//!   parallel) swept over rows, attribute subsets, and cluster counts, plus
-//!   the Stage-2 kernel sweep: leaf rates for the recursive DFS reference,
-//!   the streaming sequential-RNG enumerator, and the counter-based
+//!   the counts-kernel ablation (naive PR-1 build vs the frozen serial
+//!   reference vs the optimized worker-claimed kernel at each swept thread
+//!   count, default `1,2,4,8`) over rows, attribute subsets, and cluster
+//!   counts; the serial-vs-parallel **crossover sweep** (the measured row
+//!   count where the parallel kernel starts winning, `crossover.crossover_rows`);
+//!   the **incremental ablation** (`apply_delta` on a `--delta-fraction`
+//!   tail vs a full rebuild, `incremental.speedup_vs_rebuild`); plus the
+//!   Stage-2 kernel sweep: leaf rates for the recursive DFS reference, the
+//!   streaming sequential-RNG enumerator, and the counter-based
 //!   serial/parallel kernels, with counter serial/parallel argmax equality
-//!   asserted before any timing is trusted.
+//!   asserted before any timing is trusted. Counts cells are timed as
+//!   warmup + min-of-runs (see `counts_ablation::time_runs`).
 //!
 //! ```text
 //! cargo run -p dpx-bench --release --bin fig9_time -- --mode clusters
@@ -27,7 +33,9 @@ use dpclustx::stage2::{
     select_combination_counted_recursive, select_combination_with_kernel, Stage2Kernel,
 };
 use dpclustx::Weights;
-use dpx_bench::counts_ablation::{run_counts_ablation, CountsAblation};
+use dpx_bench::counts_ablation::{
+    run_counts_ablation, run_crossover_sweep, run_incremental_ablation, CountsAblation,
+};
 use dpx_bench::table::{mean, Table};
 use dpx_bench::{Args, DatasetKind, ExperimentContext, Json};
 use dpx_clustering::ClusteringMethod;
@@ -229,8 +237,19 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
     let kind = *datasets.first().expect("at least one dataset");
     let base_rows = args.usize("rows", 1_000_000);
     let n_clusters = args.usize("clusters", 9);
-    let threads = args.usize_list("threads", &[4]);
+    let threads = args.usize_list("threads", &[1, 2, 4, 8]);
     let row_counts = args.usize_list("rows-sweep", &[base_rows / 4, base_rows / 2, base_rows]);
+    let crossover_rows_swept = args.usize_list(
+        "crossover-sweep",
+        &[
+            base_rows / 100,
+            base_rows / 20,
+            base_rows / 10,
+            base_rows / 4,
+            base_rows,
+        ],
+    );
+    let delta_fraction = args.f64("delta-fraction", 0.01);
     let attr_fractions = args.f64_list("attr-fractions", &[0.25, 0.5, 1.0]);
     let cluster_counts = args.usize_list("clusters-sweep", &[3, n_clusters]);
     let ks = args.usize_list("k", &[2, 3, 4]);
@@ -277,6 +296,31 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
         .max_by_key(|a| a.rows)
         .expect("rows sweep is non-empty")
         .clone();
+
+    // Serial-vs-parallel crossover: prefixes of the dataset, frozen serial
+    // reference against the forced kernel at the widest swept thread count.
+    let crossover_threads = threads.iter().copied().max().unwrap_or(1);
+    eprintln!("# crossover sweep at {crossover_threads} threads");
+    let (crossover_points, crossover_rows) = run_crossover_sweep(
+        &data,
+        &labels,
+        n_clusters,
+        crossover_threads,
+        &crossover_rows_swept,
+        runs,
+    );
+
+    // Incremental path: append the last `delta_fraction` of the rows to a
+    // warm build and compare against rebuilding everything.
+    eprintln!("# incremental ablation: {delta_fraction} delta fraction");
+    let incremental = run_incremental_ablation(
+        &data,
+        &labels,
+        n_clusters,
+        delta_fraction,
+        crossover_threads,
+        runs,
+    );
 
     // Stage-2 kernel sweep on the real score table: the recursive DFS
     // reference and the streaming sequential-RNG enumerator share one noise
@@ -422,6 +466,41 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
                     cluster_cells.iter().map(ablation_json).collect::<Vec<_>>(),
                 ),
         )
+        .field(
+            "crossover",
+            Json::object()
+                .field("threads", crossover_threads)
+                .field(
+                    "points",
+                    crossover_points
+                        .iter()
+                        .map(|p| {
+                            Json::object()
+                                .field("rows", p.rows)
+                                .field("serial_seconds", p.serial_seconds)
+                                .field("parallel_seconds", p.parallel_seconds)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .field(
+                    "crossover_rows",
+                    // The bench Json has no null variant; NaN renders as
+                    // `null`, which is the "never crossed over" encoding.
+                    match crossover_rows {
+                        Some(r) => Json::Num(r as f64),
+                        None => Json::Num(f64::NAN),
+                    },
+                ),
+        )
+        .field(
+            "incremental",
+            Json::object()
+                .field("rows", incremental.rows)
+                .field("delta_rows", incremental.delta_rows)
+                .field("apply_delta_seconds", incremental.apply_delta_seconds)
+                .field("rebuild_seconds", incremental.rebuild_seconds)
+                .field("speedup_vs_rebuild", incremental.speedup_vs_rebuild),
+        )
         .field("stage2_node_rate", stage2_cells)
         .field("stage2_headline", stage2_headline);
 
@@ -443,6 +522,21 @@ fn run_bench_mode(args: &Args, datasets: &[DatasetKind], runs: usize, seed: u64)
         ]);
     }
     table.print();
+    match crossover_rows {
+        Some(r) => println!(
+            "crossover: parallel/{crossover_threads} beats the serial reference from {r} rows"
+        ),
+        None => println!(
+            "crossover: parallel/{crossover_threads} never beat the serial reference in the sweep"
+        ),
+    }
+    println!(
+        "incremental: apply_delta on {} rows = {:.4}s vs {:.4}s rebuild ({:.1}x)",
+        incremental.delta_rows,
+        incremental.apply_delta_seconds,
+        incremental.rebuild_seconds,
+        incremental.speedup_vs_rebuild
+    );
     println!(
         "stage-2 headline (c={n_clusters}, k={hk}): counter-parallel/{par_threads} at \
          {par_rate:.0} leaves/s = {:.2}x sequential ({seq_rate:.0} leaves/s)",

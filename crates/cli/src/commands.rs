@@ -323,8 +323,20 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
 
     // --resume keeps whatever response lines the interrupted run already
     // flushed (a torn final line is dropped) and only re-runs the rest.
+    // Append requests are the exception: their effect is in-memory dataset
+    // state that every restart rebuilds from scratch, so they always
+    // re-execute (free — no ε, deterministic) and any kept line for an
+    // append id is discarded in favor of the fresh one.
+    let append_ids: HashSet<u64> = requests
+        .iter()
+        .filter(|r| r.is_append())
+        .map(|r| r.id)
+        .collect();
     let kept: Vec<(u64, String)> = if resume {
         read_kept_responses(&out_path)?
+            .into_iter()
+            .filter(|(id, _)| !append_ids.contains(id))
+            .collect()
     } else {
         Vec::new()
     };
@@ -806,6 +818,112 @@ mod tests {
             body.matches("budget rejected").count(),
             2,
             "rejections surface in responses:\n{body}"
+        );
+    }
+
+    #[test]
+    fn serve_batch_appends_grow_the_dataset_and_always_rerun_on_resume() {
+        let dir = tmpdir();
+        let prefix = dir.join("grown");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "400",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        // A row of zeros is valid for every attribute (codes start at 0);
+        // the CSV header tells us the arity.
+        let header = std::fs::read_to_string(&csv)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let arity = header.split(',').count();
+        let row = format!("[{}]", vec!["0"; arity].join(","));
+        let reqs = dir.join("grown-reqs.jsonl");
+        std::fs::write(
+            &reqs,
+            format!(
+                "{{\"id\": 1, \"n_clusters\": 3}}\n\
+                 {{\"id\": 2, \"op\": \"append\", \"rows\": [{row}, {row}]}}\n\
+                 {{\"id\": 3, \"n_clusters\": 3, \"seed\": 9}}\n"
+            ),
+        )
+        .unwrap();
+        // Byte-identical across worker counts, with the append as a barrier.
+        let mut outputs = Vec::new();
+        for workers in ["1", "3"] {
+            let resp = dir.join(format!("grown-resp-{workers}.jsonl"));
+            let text = run_cli(&[
+                "serve-batch",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--requests",
+                reqs.to_str().unwrap(),
+                "--out",
+                resp.to_str().unwrap(),
+                "--workers",
+                workers,
+            ])
+            .unwrap();
+            assert!(text.contains("3 ok, 0 failed"), "{text}");
+            outputs.push(std::fs::read(&resp).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "workers 1 vs 3 diverged");
+        let body = String::from_utf8(outputs[0].clone()).unwrap();
+        let append_line = body.lines().find(|l| l.contains("\"id\":2")).unwrap();
+        assert!(append_line.contains("\"op\":\"append\""), "{append_line}");
+        assert!(append_line.contains("\"appended\":2"), "{append_line}");
+        assert!(append_line.contains("\"total_rows\":402"), "{append_line}");
+
+        // A resumed run keeps the explain lines but always re-executes the
+        // append (the grown dataset lives in memory only), converging on the
+        // same output without re-spending the kept explains' ε.
+        let ledger = dir.join("grown-ledger");
+        let resp = dir.join("grown-resp-durable.jsonl");
+        let durable = |resume: bool| {
+            let mut args = vec![
+                "serve-batch",
+                "--data",
+                &csv,
+                "--schema",
+                &schema,
+                "--requests",
+                reqs.to_str().unwrap(),
+                "--out",
+                resp.to_str().unwrap(),
+                "--workers",
+                "2",
+                "--ledger-dir",
+                ledger.to_str().unwrap(),
+            ];
+            if resume {
+                args.push("--resume");
+            }
+            run_cli(&args).unwrap()
+        };
+        durable(false);
+        let first = std::fs::read(&resp).unwrap();
+        let text = durable(true);
+        assert!(
+            text.contains("resumed: kept 2 previously written responses, re-ran 1"),
+            "{text}"
+        );
+        assert!(text.contains("3 ok, 0 failed"), "{text}");
+        assert_eq!(
+            std::fs::read(&resp).unwrap(),
+            first,
+            "resume converged on the uninterrupted output"
         );
     }
 

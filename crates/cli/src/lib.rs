@@ -137,7 +137,13 @@ USAGE:
       checkpoint age) alongside the ε accounting. --deadline-ms bounds each
       request's wall clock (per-request 'deadline_ms' overrides it); a timed
       -out request answers ok:false with reason deadline_exceeded, its
-      reserved ε deliberately left spent.
+      reserved ε deliberately left spent. A request line with 'op':'append'
+      and 'rows':[[..],..] appends coded rows to the named dataset instead
+      of explaining: it spends no ε, refreshes every served clustering's
+      cached count tables incrementally (O(delta), never a rebuild), and is
+      an ordering barrier — explains after it in the input observe the grown
+      dataset. On --resume, append requests are always re-executed (they
+      rebuild in-memory dataset state deterministically and for free).
 
   dpclustx-cli rank     ... --cluster C
       Prints the exact (non-private!) ranked candidate attributes of one

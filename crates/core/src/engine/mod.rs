@@ -141,6 +141,22 @@ impl SharedCountsCache {
         let winner = Arc::clone(self.lock().entry(key).or_insert(built));
         (winner, false)
     }
+
+    /// Memoizes already-built tables under `key`, returning the tables that
+    /// ended up cached. Used by the serve layer's append path, which derives
+    /// a successor entry from a cached one via
+    /// [`ClusteredCounts::apply_delta`] instead of rebuilding. First insert
+    /// wins, like [`Self::get_or_build`] — a racing full build of the same
+    /// key is bit-identical by construction.
+    pub fn insert(&self, key: CountsKey, tables: CountedTables) -> Arc<CountedTables> {
+        Arc::clone(self.lock().entry(key).or_insert_with(|| Arc::new(tables)))
+    }
+
+    /// Every memoized key (unordered). The serve layer's append refresh uses
+    /// this to find which cached clusterings are worth carrying forward.
+    pub fn keys(&self) -> Vec<CountsKey> {
+        self.lock().keys().copied().collect()
+    }
 }
 
 /// Shared state threaded through engine runs: the dataset (behind an `Arc`),
@@ -177,6 +193,26 @@ impl ExplainContext {
     /// configuration, where concurrent sessions reuse one another's builds.
     pub fn with_shared_cache(data: Arc<Dataset>, seed: u64, cache: Arc<SharedCountsCache>) -> Self {
         let fingerprint = data.fingerprint();
+        Self::with_fingerprint(data, fingerprint, seed, cache)
+    }
+
+    /// [`Self::with_shared_cache`] with a caller-supplied fingerprint,
+    /// skipping the full-scan [`Dataset::fingerprint`] at construction. The
+    /// serving layer computes the fingerprint once at dataset registration
+    /// (chaining it on appends — see [`dpx_data::fingerprint::chain_fingerprint`])
+    /// and reuses it for every request, so per-request context construction
+    /// is O(1) in the dataset size.
+    ///
+    /// The caller owns the coherence contract: `fingerprint` must uniquely
+    /// identify `data`'s content (or content lineage) among all keys ever
+    /// used with `cache`, else cached tables from a different dataset could
+    /// be served.
+    pub fn with_fingerprint(
+        data: Arc<Dataset>,
+        fingerprint: u64,
+        seed: u64,
+        cache: Arc<SharedCountsCache>,
+    ) -> Self {
         ExplainContext {
             data,
             fingerprint,

@@ -17,48 +17,105 @@
 //! the per-cluster sizes, and the grand total are derived once at build time
 //! (they are exact column/row sums of the flat table) and stored.
 //!
-//! ## Chunked parallel build
+//! ## Two kernels, one result
 //!
-//! [`ClusteredCounts::build_parallel`] splits the rows into contiguous
-//! per-thread chunks, counts **all attributes** into a thread-local flat
-//! table in one pass over each chunk, and merges the per-chunk tables by
-//! element-wise `u64` addition (see [`dpx_runtime::chunked_reduce`]).
-//! Integer addition is associative and order-insensitive, and the merge runs
-//! in ascending chunk order, so the parallel build is **bit-identical** to
-//! the serial [`ClusteredCounts::build`] for every thread count — asserted
-//! by unit tests here and property tests in `tests/properties.rs`.
+//! [`ClusteredCounts::build`] is the **frozen serial reference**: labels
+//! narrowed to `u32` once, four attributes counted per row pass into `u32`
+//! sub-tables, widened to `u64` at the end. It is deliberately simple — the
+//! bit-identity oracle every other path is tested against, and the `serial`
+//! row of the counts ablation.
 //!
-//! Chunking has a fixed per-chunk cost (table allocation, label narrowing,
-//! merge), so `build_parallel` treats its `threads` argument as an upper
-//! bound and falls back toward serial when chunks would drop below
-//! [`PARALLEL_MIN_ROWS_PER_THREAD`] rows — the crossover the counts ablation
-//! measures. [`ClusteredCounts::build_parallel_forced`] bypasses the fallback
-//! for that ablation.
+//! [`ClusteredCounts::build_parallel`] is the **optimized kernel**, built
+//! from what the counts ablation actually measured on this workload
+//! (counting is memory-bound; the tables are L1-resident, so wins come from
+//! fewer increments per row and less streamed traffic, not cache blocking):
 //!
-//! Labels are validated once up front ([`validate_labels`]), shared by the
-//! serial and parallel builds, instead of a branch per row inside the
-//! counting loop. The `counts` ablation in the bench crate quantifies the
-//! speedup of the flat kernel over the historical nested layout.
+//! * **Label narrowing once per build** — labels are narrowed to the
+//!   smallest width `n_clusters` fits in (`u8`/`u16`/`u32`) in a single
+//!   upfront pass shared by every chunk, replacing the old per-chunk
+//!   `Vec<u32>` copy; the kernel is monomorphized per width.
+//! * **Pair-fused joint counting** — where `n_clusters · |dom(A_i)| ·
+//!   |dom(A_j)|` stays under [`JOINT_FUSION_MAX_CELLS`], adjacent attribute
+//!   pairs are counted into a small *joint* table with one increment per
+//!   pair (`joint[base[c] + v_i · |dom(A_j)| + v_j] += 1`, a branch-free
+//!   indexed add off a per-cluster base lookup), then marginalized exactly
+//!   into both per-attribute sub-tables. Two fused pairs share each row
+//!   pass, halving table increments per row versus the reference kernel.
+//!   Attributes whose joint table would blow the threshold fall back to
+//!   single-attribute counting — still through the per-cluster base lookup,
+//!   which keeps the hot sub-table's base address out of the dependent
+//!   multiply chain.
+//! * **Worker-claimed chunks with per-thread table reuse** — rows are split
+//!   into fixed [`PARALLEL_CHUNK_ROWS`]-row chunks claimed off an atomic
+//!   counter ([`dpx_runtime::chunk_worker_reduce`]); each worker folds every
+//!   chunk it claims into one reusable accumulator (flat table + joint
+//!   scratch), so table allocation is paid per worker, not per chunk, and
+//!   the surviving worker tables merge through a pairwise tree
+//!   ([`dpx_runtime::pairwise_merge`]).
+//!
+//! All counting is exact integer addition — associative and commutative —
+//! so every path (reference, optimized serial, any thread count, any chunk
+//! assignment) produces **bit-identical** tables; asserted by unit tests
+//! here and property tests in `tests/properties.rs`.
+//!
+//! ## Incremental updates
+//!
+//! [`ClusteredCounts::apply_delta`] folds appended and retired rows into an
+//! existing build in `O(|delta| · arity)` — each delta row touches one cell,
+//! one marginal entry, and one cluster size per attribute — instead of the
+//! `O(n · arity)` full rescan. Retiring a row that was never counted panics
+//! on the underflow rather than corrupting the tables. The serve layer uses
+//! this to refresh a warm dataset's cached counts on append
+//! (fingerprint-chained cache keys; see `dpx-serve`), and the bench crate
+//! records the incremental-vs-rebuild ratio in `results/BENCH_fig9.json`.
+//!
+//! Labels are validated once up front ([`validate_labels`]), shared by all
+//! builds, instead of a branch per row inside the counting loop.
 
 use crate::dataset::Dataset;
 use crate::histogram::Histogram;
-use dpx_runtime::chunked_reduce;
+use dpx_runtime::chunk_worker_reduce;
+use std::ops::Range;
 
-/// Minimum rows each chunk must receive before [`ClusteredCounts::build_parallel`]
+/// Minimum rows each worker must receive before [`ClusteredCounts::build_parallel`]
 /// spends a thread on it.
 ///
-/// The counting kernel is memory-bound and each extra chunk costs a
-/// thread-local table allocation, a label-narrowing pass, and a merge. The
-/// committed counts ablation (`results/BENCH_fig9.json`) shows the crossover:
-/// at 250 k rows, `parallel/4` (62.5 k rows per thread) is *slower* than the
-/// serial flat kernel (0.01147 s vs 0.01087 s), while at 500 k rows
-/// (125 k rows per thread) the parallel build wins. 100 k rows per thread
-/// keeps every spawned chunk on the winning side of that crossover.
+/// The counting kernel is memory-bound and each extra worker costs a thread
+/// spawn, an accumulator table, and a merge. The committed counts ablation
+/// (`results/BENCH_fig9.json`, regenerated for the worker-claimed kernel)
+/// keeps showing the same crossover region: below ~100 k rows per worker the
+/// setup and merge outweigh the scan they split. 100 k rows per worker keeps
+/// every spawned worker on the winning side.
 pub const PARALLEL_MIN_ROWS_PER_THREAD: usize = 100_000;
 
-/// The chunk count [`ClusteredCounts::build_parallel`] actually uses for a
-/// requested `threads` on `n_rows` rows: capped so every chunk gets at least
+/// Fixed chunk granule (rows) for the worker-claimed parallel build.
+///
+/// Chunk size is decoupled from the thread count: workers claim
+/// 64 Ki-row chunks off a shared counter, so stragglers self-balance while
+/// the per-chunk cost stays one atomic increment plus one joint-table
+/// marginalization per pass (the accumulators themselves are reused across
+/// chunks). At the 1M-row headline point this yields 16 claims — enough to
+/// balance, far too few for claim overhead to show up in the ablation.
+pub const PARALLEL_CHUNK_ROWS: usize = 65_536;
+
+/// Upper bound on `n_clusters · |dom(A_i)| · |dom(A_j)|` for an adjacent
+/// attribute pair to be counted through a fused joint table.
+///
+/// The fusion trades one table increment per pair for a joint table that
+/// must stay cache-resident and cheap to zero + marginalize per chunk;
+/// 64 Ki cells (256 KiB of `u32`) is comfortably inside L2 and two orders
+/// of magnitude below the per-chunk row work.
+pub const JOINT_FUSION_MAX_CELLS: usize = 1 << 16;
+
+/// The worker count [`ClusteredCounts::build_parallel`] actually uses for a
+/// requested `threads` on `n_rows` rows: capped so every worker gets at least
 /// [`PARALLEL_MIN_ROWS_PER_THREAD`] rows, and never below 1.
+///
+/// This is the pure data-size policy; `build_parallel` additionally clamps
+/// the result to the machine's available parallelism (over-subscribing a
+/// bandwidth-bound kernel only adds context-switch thrash, and the result is
+/// bit-identical at every worker count, so the clamp is unobservable in the
+/// output).
 #[inline]
 pub fn effective_build_threads(n_rows: usize, threads: usize) -> usize {
     let cap = (n_rows / PARALLEL_MIN_ROWS_PER_THREAD).max(1);
@@ -81,7 +138,7 @@ pub fn validate_labels(labels: &[usize], n_rows: usize, n_clusters: usize) {
 /// Per-attribute contingency table: counts of each domain value inside each
 /// cluster (flat, cluster-major) plus the full-data marginal, per-cluster
 /// sizes, and total — all computed once at build time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContingencyTable {
     /// `flat[c * dom + v] = cnt_{A=v}(D_c)` — cluster-major rows.
     flat: Vec<u64>,
@@ -137,6 +194,37 @@ impl ContingencyTable {
             marginal,
             cluster_sizes,
             total,
+        }
+    }
+
+    /// Folds appended rows of this table's attribute into the counts: one
+    /// cell, one marginal entry, and one cluster size per row. Exact `u64`
+    /// addition — identical to having counted the rows at build time.
+    pub(crate) fn add_rows(&mut self, column: &[u32], labels: &[usize]) {
+        for (&v, &c) in column.iter().zip(labels) {
+            self.flat[c * self.dom + v as usize] += 1;
+            self.marginal[v as usize] += 1;
+            self.cluster_sizes[c] += 1;
+        }
+        self.total += column.len() as u64;
+    }
+
+    /// Removes retired rows of this table's attribute from the counts.
+    ///
+    /// # Panics
+    /// Panics if a retired row was never counted (its cell would underflow) —
+    /// the delta is rejected loudly instead of corrupting the table.
+    pub(crate) fn retire_rows(&mut self, column: &[u32], labels: &[usize]) {
+        for (&v, &c) in column.iter().zip(labels) {
+            let cell = &mut self.flat[c * self.dom + v as usize];
+            *cell = cell
+                .checked_sub(1)
+                .expect("retired row not present in counts");
+            // The cell is a lower bound for its marginal / size / total
+            // aggregates, so these cannot underflow once the cell held.
+            self.marginal[v as usize] -= 1;
+            self.cluster_sizes[c] -= 1;
+            self.total -= 1;
         }
     }
 
@@ -223,11 +311,248 @@ impl ContingencyTable {
     }
 }
 
+/// Label storage width for the once-per-build narrowed label buffer. The
+/// counting kernels are monomorphized over this, so the narrow widths pay no
+/// per-row conversion.
+trait LabelCode: Copy + Send + Sync {
+    fn from_label(c: usize) -> Self;
+    fn index(self) -> usize;
+}
+
+macro_rules! impl_label_code {
+    ($($t:ty),*) => {$(
+        impl LabelCode for $t {
+            #[inline(always)]
+            fn from_label(c: usize) -> Self {
+                c as $t
+            }
+            #[inline(always)]
+            fn index(self) -> usize {
+                self as usize
+            }
+        }
+    )*};
+}
+impl_label_code!(u8, u16, u32);
+
+/// Labels narrowed once per build to the smallest width `n_clusters` fits in.
+enum NarrowedLabels {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+}
+
+fn narrow_labels(labels: &[usize], n_clusters: usize) -> NarrowedLabels {
+    // Validated labels satisfy `c < n_clusters`, so `n_clusters <= 256`
+    // guarantees every label fits u8, etc.
+    if n_clusters <= 1 << 8 {
+        NarrowedLabels::U8(labels.iter().map(|&c| LabelCode::from_label(c)).collect())
+    } else if n_clusters <= 1 << 16 {
+        NarrowedLabels::U16(labels.iter().map(|&c| LabelCode::from_label(c)).collect())
+    } else {
+        NarrowedLabels::U32(labels.iter().map(|&c| LabelCode::from_label(c)).collect())
+    }
+}
+
+/// One row pass of the optimized kernel. Passes cover the attributes in
+/// ascending order, each attribute exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pass {
+    /// Attributes `a..a+4`, both adjacent pairs fused into joint tables —
+    /// two increments per row serve four attribute tables.
+    TwoPairs { a: usize },
+    /// Attributes `a..a+2` fused into one joint table.
+    OnePair { a: usize },
+    /// Attribute `a` counted directly (joint table would exceed
+    /// [`JOINT_FUSION_MAX_CELLS`], or no partner attribute is left).
+    Single { a: usize },
+}
+
+/// Plans the pass sequence for a schema: greedily fuse adjacent pairs where
+/// the joint table stays small, fall back to single-attribute passes where
+/// it would not. Pure function of `(doms, n_clusters)`, shared by every
+/// worker.
+fn plan_passes(doms: &[usize], n_clusters: usize) -> Vec<Pass> {
+    let fusable = |a: usize| {
+        n_clusters
+            .saturating_mul(doms[a])
+            .saturating_mul(doms[a + 1])
+            <= JOINT_FUSION_MAX_CELLS
+    };
+    let mut passes = Vec::new();
+    let mut a = 0;
+    while a < doms.len() {
+        if a + 4 <= doms.len() && fusable(a) && fusable(a + 2) {
+            passes.push(Pass::TwoPairs { a });
+            a += 4;
+        } else if a + 2 <= doms.len() && fusable(a) {
+            passes.push(Pass::OnePair { a });
+            a += 2;
+        } else {
+            passes.push(Pass::Single { a });
+            a += 1;
+        }
+    }
+    passes
+}
+
+/// Per-worker scratch for the optimized kernel, reused across every pass and
+/// every chunk the worker claims: two joint tables and two per-cluster base
+/// lookups. Buffers grow to the largest pass once and stay allocated.
+#[derive(Default)]
+struct JointScratch {
+    joint0: Vec<u32>,
+    joint1: Vec<u32>,
+    base0: Vec<u32>,
+    base1: Vec<u32>,
+}
+
+/// Zeroes-and-sizes a scratch buffer for one pass.
+#[inline]
+fn reset(buf: &mut Vec<u32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0);
+}
+
+/// Fills `base[c] = c · stride` — the per-cluster row origin lookup that
+/// keeps the hot index computation a single add off a table instead of a
+/// dependent multiply.
+#[inline]
+fn fill_bases(base: &mut Vec<u32>, n_clusters: usize, stride: usize) {
+    base.clear();
+    base.extend((0..n_clusters).map(|c| (c * stride) as u32));
+}
+
+/// Marginalizes one fused joint table (layout `joint[c·d0·d1 + v0·d1 + v1]`)
+/// exactly into the two per-attribute sub-tables `s0` (stride `d0`) and `s1`
+/// (stride `d1`). Pure `u32` addition, so fusing is unobservable in the
+/// output.
+fn marginalize_pair(
+    joint: &[u32],
+    n_clusters: usize,
+    d0: usize,
+    d1: usize,
+    s0: &mut [u32],
+    s1: &mut [u32],
+) {
+    let dp = d0 * d1;
+    for c in 0..n_clusters {
+        let jrow = &joint[c * dp..(c + 1) * dp];
+        let r0 = &mut s0[c * d0..(c + 1) * d0];
+        let r1 = &mut s1[c * d1..(c + 1) * d1];
+        for (v0, seg) in jrow.chunks_exact(d1.max(1)).enumerate().take(d0) {
+            let mut sum = 0u32;
+            for (t, &x) in r1.iter_mut().zip(seg) {
+                *t += x;
+                sum += x;
+            }
+            r0[v0] += sum;
+        }
+    }
+}
+
+/// Counts one fused pair of columns into `joint` over `range`.
+#[inline]
+fn count_pair_span<L: LabelCode>(
+    lab: &[L],
+    c0: &[u32],
+    c1: &[u32],
+    d1: usize,
+    base: &[u32],
+    joint: &mut [u32],
+) {
+    let d1w = d1 as u32;
+    for ((&c, &v0), &v1) in lab.iter().zip(c0).zip(c1) {
+        joint[(base[c.index()] + v0 * d1w + v1) as usize] += 1;
+    }
+}
+
+/// One chunk of the optimized kernel: runs every planned pass over `range`,
+/// accumulating into the worker's flat table (fused pairs detour through the
+/// reusable joint scratch and are marginalized exactly).
+#[allow(clippy::too_many_arguments)] // the chunk kernel's full working set
+fn count_span<L: LabelCode>(
+    data: &Dataset,
+    lab: &[L],
+    range: Range<usize>,
+    n_clusters: usize,
+    doms: &[usize],
+    passes: &[Pass],
+    flat: &mut [u32],
+    scratch: &mut JointScratch,
+) {
+    let lab = &lab[range.clone()];
+    let mut rest: &mut [u32] = flat;
+    for &pass in passes {
+        match pass {
+            Pass::TwoPairs { a } => {
+                let (d0, d1, d2, d3) = (doms[a], doms[a + 1], doms[a + 2], doms[a + 3]);
+                let (dp0, dp1) = (d0 * d1, d2 * d3);
+                let taken = rest;
+                let (s0, tail) = taken.split_at_mut(n_clusters * d0);
+                let (s1, tail) = tail.split_at_mut(n_clusters * d1);
+                let (s2, tail) = tail.split_at_mut(n_clusters * d2);
+                let (s3, tail) = tail.split_at_mut(n_clusters * d3);
+                rest = tail;
+                reset(&mut scratch.joint0, n_clusters * dp0);
+                reset(&mut scratch.joint1, n_clusters * dp1);
+                fill_bases(&mut scratch.base0, n_clusters, dp0);
+                fill_bases(&mut scratch.base1, n_clusters, dp1);
+                let c0 = &data.column(a)[range.clone()];
+                let c1 = &data.column(a + 1)[range.clone()];
+                let c2 = &data.column(a + 2)[range.clone()];
+                let c3 = &data.column(a + 3)[range.clone()];
+                let (d1w, d3w) = (d1 as u32, d3 as u32);
+                let (joint0, joint1) = (&mut scratch.joint0[..], &mut scratch.joint1[..]);
+                let (base0, base1) = (&scratch.base0[..], &scratch.base1[..]);
+                for ((((&c, &v0), &v1), &v2), &v3) in lab.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+                    let c = c.index();
+                    joint0[(base0[c] + v0 * d1w + v1) as usize] += 1;
+                    joint1[(base1[c] + v2 * d3w + v3) as usize] += 1;
+                }
+                marginalize_pair(joint0, n_clusters, d0, d1, s0, s1);
+                marginalize_pair(joint1, n_clusters, d2, d3, s2, s3);
+            }
+            Pass::OnePair { a } => {
+                let (d0, d1) = (doms[a], doms[a + 1]);
+                let dp = d0 * d1;
+                let taken = rest;
+                let (s0, tail) = taken.split_at_mut(n_clusters * d0);
+                let (s1, tail) = tail.split_at_mut(n_clusters * d1);
+                rest = tail;
+                reset(&mut scratch.joint0, n_clusters * dp);
+                fill_bases(&mut scratch.base0, n_clusters, dp);
+                count_pair_span(
+                    lab,
+                    &data.column(a)[range.clone()],
+                    &data.column(a + 1)[range.clone()],
+                    d1,
+                    &scratch.base0,
+                    &mut scratch.joint0,
+                );
+                marginalize_pair(&scratch.joint0, n_clusters, d0, d1, s0, s1);
+            }
+            Pass::Single { a } => {
+                let dom = doms[a];
+                let taken = rest;
+                let (sub, tail) = taken.split_at_mut(n_clusters * dom);
+                rest = tail;
+                fill_bases(&mut scratch.base0, n_clusters, dom);
+                let base = &scratch.base0[..];
+                for (&v, &c) in data.column(a)[range.clone()].iter().zip(lab) {
+                    sub[(base[c.index()] + v) as usize] += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Contingency tables for every attribute of a dataset — the shared input to
-/// Stage-1, Stage-2, and all baselines. Built serially ([`Self::build`]) or
-/// by the chunked count–merge kernel ([`Self::build_parallel`]), with
-/// bit-identical results.
-#[derive(Debug, Clone)]
+/// Stage-1, Stage-2, and all baselines. Built by the frozen serial reference
+/// ([`Self::build`]) or the optimized worker-claimed kernel
+/// ([`Self::build_parallel`]), with bit-identical results; updated in place
+/// by [`Self::apply_delta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusteredCounts {
     tables: Vec<ContingencyTable>,
     n_clusters: usize,
@@ -236,29 +561,98 @@ pub struct ClusteredCounts {
     cluster_sizes: Vec<u64>,
 }
 
+/// Per-attribute domain sizes and flat sub-table offsets, shared by both
+/// kernels.
+fn table_layout(data: &Dataset, n_clusters: usize) -> (Vec<usize>, Vec<usize>, usize) {
+    let arity = data.schema().arity();
+    let doms: Vec<usize> = (0..arity)
+        .map(|a| data.schema().attribute(a).domain.size())
+        .collect();
+    let mut offsets = Vec::with_capacity(arity + 1);
+    let mut acc = 0usize;
+    for &dom in &doms {
+        offsets.push(acc);
+        acc += n_clusters * dom;
+    }
+    offsets.push(acc);
+    (doms, offsets, acc)
+}
+
 impl ClusteredCounts {
-    /// Builds tables for all attributes with a single-threaded scan.
+    /// Builds tables for all attributes with the **frozen serial reference
+    /// kernel**: one single-threaded scan, labels narrowed to `u32` once,
+    /// four attributes per row pass into `u32` sub-tables.
+    ///
+    /// This kernel is deliberately independent of the optimized path — it is
+    /// the bit-identity oracle the parallel/fused/incremental kernels are
+    /// tested against, and the `serial` row of the counts ablation.
     pub fn build(data: &Dataset, labels: &[usize], n_clusters: usize) -> Self {
-        Self::build_parallel(data, labels, n_clusters, 1)
+        validate_labels(labels, data.n_rows(), n_clusters);
+        let (doms, offsets, flat_len) = table_layout(data, n_clusters);
+        assert!(
+            data.n_rows() < u32::MAX as usize,
+            "dataset too large for u32 count chunks"
+        );
+        let arity = doms.len();
+        let mut flat = vec![0u32; flat_len];
+        let lab: Vec<u32> = labels.iter().map(|&c| c as u32).collect();
+        let mut rest: &mut [u32] = &mut flat;
+        let mut a = 0;
+        while a + 4 <= arity {
+            let (d0, d1, d2, d3) = (doms[a], doms[a + 1], doms[a + 2], doms[a + 3]);
+            let taken = rest;
+            let (s0, tail) = taken.split_at_mut(n_clusters * d0);
+            let (s1, tail) = tail.split_at_mut(n_clusters * d1);
+            let (s2, tail) = tail.split_at_mut(n_clusters * d2);
+            let (s3, tail) = tail.split_at_mut(n_clusters * d3);
+            rest = tail;
+            let c0 = data.column(a);
+            let c1 = data.column(a + 1);
+            let c2 = data.column(a + 2);
+            let c3 = data.column(a + 3);
+            for ((((&c, &v0), &v1), &v2), &v3) in lab.iter().zip(c0).zip(c1).zip(c2).zip(c3) {
+                let c = c as usize;
+                s0[c * d0 + v0 as usize] += 1;
+                s1[c * d1 + v1 as usize] += 1;
+                s2[c * d2 + v2 as usize] += 1;
+                s3[c * d3 + v3 as usize] += 1;
+            }
+            a += 4;
+        }
+        while a < arity {
+            let dom = doms[a];
+            let taken = rest;
+            let (sub, tail) = taken.split_at_mut(n_clusters * dom);
+            rest = tail;
+            for (&v, &c) in data.column(a).iter().zip(&lab) {
+                sub[c as usize * dom + v as usize] += 1;
+            }
+            a += 1;
+        }
+        Self::assemble(flat, &doms, &offsets, n_clusters, data.n_rows())
     }
 
-    /// Builds tables for all attributes with the chunked count–merge kernel:
-    /// rows are split into up to `threads` contiguous chunks, each chunk is
-    /// counted into a thread-local flat table covering **all** attributes in
-    /// one pass, and the per-chunk tables are merged by element-wise `u64`
-    /// addition in ascending chunk order.
+    /// Builds tables for all attributes with the optimized worker-claimed
+    /// kernel: labels narrowed once to the smallest width that fits
+    /// `n_clusters`, adjacent attribute pairs fused into joint tables where
+    /// they stay under [`JOINT_FUSION_MAX_CELLS`], rows claimed in
+    /// [`PARALLEL_CHUNK_ROWS`] chunks by up to `threads` workers that each
+    /// reuse one accumulator, worker tables merged through a pairwise tree.
     ///
     /// The output is **bit-identical** to [`Self::build`] for every
-    /// `threads` value (integer addition is exact and order-insensitive);
-    /// `threads = 1` takes the same kernel with a single chunk.
+    /// `threads` value and every chunk assignment (all counting is exact,
+    /// commutative integer addition); `threads = 1` runs the same kernel on
+    /// the calling thread.
     ///
-    /// `threads` is treated as an upper bound: when the dataset is too small
-    /// for each chunk to receive [`PARALLEL_MIN_ROWS_PER_THREAD`] rows, the
-    /// chunk count falls back toward serial ([`effective_build_threads`]) —
-    /// below the crossover measured in the counts ablation, chunk setup and
-    /// merge cost more than the scan they split. Use
-    /// [`Self::build_parallel_forced`] to bypass the fallback (the ablation
-    /// does, so it keeps measuring the raw kernel at every thread count).
+    /// `threads` is treated as an upper bound twice over: it falls back
+    /// toward serial when workers would drop below
+    /// [`PARALLEL_MIN_ROWS_PER_THREAD`] rows ([`effective_build_threads`] —
+    /// below the crossover measured in the counts ablation, spawn and merge
+    /// cost more than the scan they split), and it is clamped to the
+    /// machine's available parallelism (over-subscribing a memory-bound
+    /// kernel is pure thrash). Use [`Self::build_parallel_forced`] to bypass
+    /// both (the ablation does, so it keeps measuring the raw kernel at
+    /// every worker count).
     ///
     /// # Panics
     /// Panics if `labels.len() != data.n_rows()` or a label is out of range
@@ -269,14 +663,18 @@ impl ClusteredCounts {
         n_clusters: usize,
         threads: usize,
     ) -> Self {
-        let threads = effective_build_threads(data.n_rows(), threads);
+        let hardware = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let threads = effective_build_threads(data.n_rows(), threads).min(hardware.max(1));
         Self::build_parallel_forced(data, labels, n_clusters, threads)
     }
 
-    /// The chunked count–merge kernel with the chunk count taken literally —
-    /// no small-input fallback. Exists for the `counts` ablation, which
-    /// measures the raw kernel on both sides of the serial/parallel
-    /// crossover; production callers want [`Self::build_parallel`].
+    /// The optimized kernel with the worker count taken literally — no
+    /// small-input fallback, no hardware clamp. Exists for the `counts`
+    /// ablation, which measures the raw kernel on both sides of the
+    /// serial/parallel crossover; production callers want
+    /// [`Self::build_parallel`].
     ///
     /// # Panics
     /// Panics if `labels.len() != data.n_rows()` or a label is out of range.
@@ -287,21 +685,8 @@ impl ClusteredCounts {
         threads: usize,
     ) -> Self {
         validate_labels(labels, data.n_rows(), n_clusters);
-        let arity = data.schema().arity();
-        // Per-attribute sub-table offsets into one flat all-attribute buffer.
-        let doms: Vec<usize> = (0..arity)
-            .map(|a| data.schema().attribute(a).domain.size())
-            .collect();
-        let mut offsets = Vec::with_capacity(arity + 1);
-        let mut acc = 0usize;
-        for &dom in &doms {
-            offsets.push(acc);
-            acc += n_clusters * dom;
-        }
-        offsets.push(acc);
-        let flat_len = acc;
-
-        // Chunk counters are u32: no single count can exceed the row count,
+        let (doms, offsets, flat_len) = table_layout(data, n_clusters);
+        // Worker counters are u32: no single count can exceed the row count,
         // which in-memory datasets keep far below `u32::MAX` (asserted), and
         // the halved table footprint keeps the hot counters cache-resident.
         // Counts widen to u64 only once, after the exact u32 merge.
@@ -309,65 +694,70 @@ impl ClusteredCounts {
             data.n_rows() < u32::MAX as usize,
             "dataset too large for u32 count chunks"
         );
-        let merged = chunked_reduce(
+        let passes = plan_passes(&doms, n_clusters);
+        // Labels narrow once for the whole build (not per chunk): one pass,
+        // and the narrow widths quarter/halve the per-pass label traffic.
+        let flat = match narrow_labels(labels, n_clusters) {
+            NarrowedLabels::U8(lab) => {
+                Self::count_all(data, &lab, n_clusters, &doms, &passes, flat_len, threads)
+            }
+            NarrowedLabels::U16(lab) => {
+                Self::count_all(data, &lab, n_clusters, &doms, &passes, flat_len, threads)
+            }
+            NarrowedLabels::U32(lab) => {
+                Self::count_all(data, &lab, n_clusters, &doms, &passes, flat_len, threads)
+            }
+        };
+        Self::assemble(flat, &doms, &offsets, n_clusters, data.n_rows())
+    }
+
+    /// Runs the monomorphized counting kernel over all rows: workers claim
+    /// [`PARALLEL_CHUNK_ROWS`]-row chunks, fold each into a reusable
+    /// `(flat table, joint scratch)` accumulator, and the per-worker tables
+    /// merge through a pairwise tree.
+    fn count_all<L: LabelCode>(
+        data: &Dataset,
+        lab: &[L],
+        n_clusters: usize,
+        doms: &[usize],
+        passes: &[Pass],
+        flat_len: usize,
+        threads: usize,
+    ) -> Vec<u32> {
+        chunk_worker_reduce(
             data.n_rows(),
+            PARALLEL_CHUNK_ROWS,
             threads,
-            |range| {
-                let mut flat = vec![0u32; flat_len];
-                // The kernel is memory-bound on streaming labels and columns,
-                // so (a) labels are narrowed to u32 once per chunk, halving
-                // their per-pass traffic, and (b) four attributes share each
-                // row pass, so one label read serves four table updates.
-                let lab: Vec<u32> = labels[range.clone()].iter().map(|&c| c as u32).collect();
-                let mut rest: &mut [u32] = &mut flat;
-                let mut a = 0;
-                while a + 4 <= arity {
-                    let (d0, d1, d2, d3) = (doms[a], doms[a + 1], doms[a + 2], doms[a + 3]);
-                    let taken = rest;
-                    let (s0, tail) = taken.split_at_mut(n_clusters * d0);
-                    let (s1, tail) = tail.split_at_mut(n_clusters * d1);
-                    let (s2, tail) = tail.split_at_mut(n_clusters * d2);
-                    let (s3, tail) = tail.split_at_mut(n_clusters * d3);
-                    rest = tail;
-                    let c0 = &data.column(a)[range.clone()];
-                    let c1 = &data.column(a + 1)[range.clone()];
-                    let c2 = &data.column(a + 2)[range.clone()];
-                    let c3 = &data.column(a + 3)[range.clone()];
-                    for ((((&c, &v0), &v1), &v2), &v3) in lab.iter().zip(c0).zip(c1).zip(c2).zip(c3)
-                    {
-                        let c = c as usize;
-                        s0[c * d0 + v0 as usize] += 1;
-                        s1[c * d1 + v1 as usize] += 1;
-                        s2[c * d2 + v2 as usize] += 1;
-                        s3[c * d3 + v3 as usize] += 1;
-                    }
-                    a += 4;
-                }
-                while a < arity {
-                    let dom = doms[a];
-                    let taken = rest;
-                    let (sub, tail) = taken.split_at_mut(n_clusters * dom);
-                    rest = tail;
-                    let col = &data.column(a)[range.clone()];
-                    for (&v, &c) in col.iter().zip(&lab) {
-                        sub[c as usize * dom + v as usize] += 1;
-                    }
-                    a += 1;
-                }
-                flat
+            || (vec![0u32; flat_len], JointScratch::default()),
+            |acc: &mut (Vec<u32>, JointScratch), range| {
+                count_span(
+                    data, lab, range, n_clusters, doms, passes, &mut acc.0, &mut acc.1,
+                );
             },
-            |acc_flat: &mut Vec<u32>, part| {
-                for (a, b) in acc_flat.iter_mut().zip(part) {
+            |acc, part| {
+                for (a, b) in acc.0.iter_mut().zip(part.0) {
                     *a += b;
                 }
             },
         )
-        .unwrap_or_else(|| vec![0u32; flat_len]);
+        .map(|(flat, _)| flat)
+        .unwrap_or_else(|| vec![0u32; flat_len])
+    }
 
+    /// Widens a merged flat all-attribute `u32` buffer to `u64` and splits it
+    /// into per-attribute tables (back to front so each split is a cheap
+    /// truncation). Shared by both kernels, so the final table derivation is
+    /// identical by construction.
+    fn assemble(
+        merged: Vec<u32>,
+        doms: &[usize],
+        offsets: &[usize],
+        n_clusters: usize,
+        n_rows: usize,
+    ) -> Self {
         let mut merged: Vec<u64> = merged.into_iter().map(u64::from).collect();
+        let arity = doms.len();
         let mut tables = Vec::with_capacity(arity);
-        // Split the all-attribute buffer back into per-attribute tables,
-        // back to front so each split is a cheap truncation.
         for a in (0..arity).rev() {
             let sub = merged.split_off(offsets[a]);
             tables.push(ContingencyTable::from_flat(sub, n_clusters, doms[a]));
@@ -380,8 +770,66 @@ impl ClusteredCounts {
         ClusteredCounts {
             tables,
             n_clusters,
-            n_rows: data.n_rows() as u64,
+            n_rows: n_rows as u64,
             cluster_sizes,
+        }
+    }
+
+    /// Folds a delta — `added` rows with `added_labels`, then `retired` rows
+    /// with `retired_labels` — into the existing tables in
+    /// `O(|delta| · arity)`: every table, its marginal, its cluster sizes,
+    /// its total, and the shared `cluster_sizes`/`n_rows` are updated
+    /// exactly, with no rescan of the already-counted rows.
+    ///
+    /// Because every update is exact integer addition, the result is
+    /// **bit-identical** to a one-shot [`Self::build`] over the equivalent
+    /// final dataset (original + added − retired), for any split into base
+    /// and delta — property-tested in `tests/properties.rs`, including the
+    /// empty-delta and all-rows-retired edges. Adds are applied before
+    /// retires, so a row may appear in both sides of one delta.
+    ///
+    /// # Panics
+    /// Panics if either delta dataset's schema shape (arity or domain
+    /// sizes) differs from the tables, if a label slice is the wrong length
+    /// or out of range, or if a retired row was never counted (underflow is
+    /// rejected, not wrapped).
+    pub fn apply_delta(
+        &mut self,
+        added: &Dataset,
+        added_labels: &[usize],
+        retired: &Dataset,
+        retired_labels: &[usize],
+    ) {
+        for (name, delta) in [("added", added), ("retired", retired)] {
+            assert_eq!(
+                delta.schema().arity(),
+                self.tables.len(),
+                "{name} delta arity mismatch"
+            );
+            for (a, table) in self.tables.iter().enumerate() {
+                assert_eq!(
+                    delta.schema().attribute(a).domain.size(),
+                    table.domain_size(),
+                    "{name} delta domain mismatch at attribute {a}"
+                );
+            }
+        }
+        validate_labels(added_labels, added.n_rows(), self.n_clusters);
+        validate_labels(retired_labels, retired.n_rows(), self.n_clusters);
+        for (a, table) in self.tables.iter_mut().enumerate() {
+            table.add_rows(added.column(a), added_labels);
+            table.retire_rows(retired.column(a), retired_labels);
+        }
+        self.n_rows = self
+            .n_rows
+            .checked_add(added.n_rows() as u64)
+            .and_then(|n| n.checked_sub(retired.n_rows() as u64))
+            .expect("retired more rows than the counts hold");
+        if let Some(first) = self.tables.first() {
+            // Derived exactly as `assemble` does — from the first table —
+            // so a delta-updated build stays field-for-field identical to a
+            // one-shot build.
+            self.cluster_sizes = first.cluster_sizes().to_vec();
         }
     }
 
@@ -553,10 +1001,10 @@ mod tests {
         assert_eq!(effective_build_threads(5, 1), 1);
         assert_eq!(effective_build_threads(99_999, 64), 1);
         // The bench crossover case: 250 k rows at 4 threads would give each
-        // chunk 62.5 k rows (measured slower than serial); the cap grants
-        // only the 2 chunks that stay above the threshold.
+        // worker 62.5 k rows (measured slower than serial); the cap grants
+        // only the 2 workers that stay above the threshold.
         assert_eq!(effective_build_threads(250_000, 4), 2);
-        // Enough rows per chunk: the request is honored.
+        // Enough rows per worker: the request is honored.
         assert_eq!(effective_build_threads(500_000, 4), 4);
         assert_eq!(effective_build_threads(1_000_000, 8), 8);
         // The cap never *raises* a small request.
@@ -569,7 +1017,7 @@ mod tests {
         let serial = ClusteredCounts::build(&data, &labels, 2);
         // 5 rows << threshold: build_parallel(.., 8) takes the serial path.
         let adaptive = ClusteredCounts::build_parallel(&data, &labels, 2, 8);
-        // The forced path still honors the 8 requested chunks.
+        // The forced path still honors the 8 requested workers.
         let forced = ClusteredCounts::build_parallel_forced(&data, &labels, 2, 8);
         assert_counts_identical(&serial, &adaptive, "adaptive");
         assert_counts_identical(&serial, &forced, "forced");
@@ -593,45 +1041,214 @@ mod tests {
         }
     }
 
+    fn random_case(rng: &mut StdRng, max_clusters: usize) -> (Dataset, Vec<usize>, usize) {
+        let arity = rng.gen_range(1..=5usize);
+        let n_clusters = rng.gen_range(1..=max_clusters);
+        let n_rows = rng.gen_range(0..=40usize);
+        let schema = Schema::new(
+            (0..arity)
+                .map(|a| {
+                    let dom = rng.gen_range(1..=7usize);
+                    Attribute::new(format!("a{a}"), Domain::indexed(dom)).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<u32>> = (0..n_rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|a| {
+                        let dom = schema.attribute(a).domain.size() as u32;
+                        rng.gen_range(0..dom)
+                    })
+                    .collect()
+            })
+            .collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        // Bias labels so some clusters stay empty in some cases.
+        let labels: Vec<usize> = (0..n_rows)
+            .map(|_| rng.gen_range(0..n_clusters.div_ceil(2).max(1)))
+            .collect();
+        (data, labels, n_clusters)
+    }
+
     /// Seeded-random equivalence sweep (the proptest twin lives in
     /// `tests/properties.rs`): random shapes including empty clusters and
-    /// chunks of a single row, across `threads ∈ {1, 2, 7}`.
+    /// single-row datasets, across `threads ∈ {1, 2, 7, 64}`.
     #[test]
     fn parallel_build_is_bit_identical_to_serial() {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         for case in 0..25 {
-            let arity = rng.gen_range(1..=5usize);
-            let n_clusters = rng.gen_range(1..=6usize);
-            let n_rows = rng.gen_range(0..=40usize);
-            let schema = Schema::new(
-                (0..arity)
-                    .map(|a| {
-                        let dom = rng.gen_range(1..=7usize);
-                        Attribute::new(format!("a{a}"), Domain::indexed(dom)).unwrap()
-                    })
-                    .collect(),
-            )
-            .unwrap();
-            let rows: Vec<Vec<u32>> = (0..n_rows)
-                .map(|_| {
-                    (0..arity)
-                        .map(|a| {
-                            let dom = schema.attribute(a).domain.size() as u32;
-                            rng.gen_range(0..dom)
-                        })
-                        .collect()
-                })
-                .collect();
-            let data = Dataset::from_rows(schema, &rows).unwrap();
-            // Bias labels so some clusters stay empty in some cases.
-            let labels: Vec<usize> = (0..n_rows)
-                .map(|_| rng.gen_range(0..n_clusters.div_ceil(2).max(1)))
-                .collect();
+            let (data, labels, n_clusters) = random_case(&mut rng, 6);
             let serial = ClusteredCounts::build(&data, &labels, n_clusters);
             for threads in [1usize, 2, 7, 64] {
                 let par = ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads);
                 assert_counts_identical(&serial, &par, &format!("case {case}, threads {threads}"));
+                let forced =
+                    ClusteredCounts::build_parallel_forced(&data, &labels, n_clusters, threads);
+                assert_counts_identical(
+                    &serial,
+                    &forced,
+                    &format!("case {case}, threads {threads}, forced"),
+                );
             }
         }
+    }
+
+    /// The u16 and u32 label-narrowing paths (n_clusters above 2^8 / 2^16)
+    /// produce the same tables as the reference build.
+    #[test]
+    fn wide_label_narrowing_paths_match_serial() {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed(3)).unwrap(),
+            Attribute::new("y", Domain::indexed(2)).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u32>> = (0..12).map(|i| vec![i % 3, i % 2]).collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        for n_clusters in [300usize, 70_000] {
+            let labels: Vec<usize> = (0..12).map(|i| (i * 97) % n_clusters).collect();
+            let serial = ClusteredCounts::build(&data, &labels, n_clusters);
+            let par = ClusteredCounts::build_parallel_forced(&data, &labels, n_clusters, 3);
+            assert_counts_identical(&serial, &par, &format!("n_clusters {n_clusters}"));
+        }
+    }
+
+    /// Pass planning: fusable schemas fuse (two pairs per pass where
+    /// possible), an oversized joint table forces a single-attribute pass,
+    /// and the plan always covers every attribute exactly once in order.
+    #[test]
+    fn pass_plan_fuses_and_falls_back() {
+        assert_eq!(
+            plan_passes(&[3, 4, 5, 2, 6], 9),
+            vec![Pass::TwoPairs { a: 0 }, Pass::Single { a: 4 }]
+        );
+        assert_eq!(
+            plan_passes(&[3, 4, 5], 9),
+            vec![Pass::OnePair { a: 0 }, Pass::Single { a: 2 }]
+        );
+        // 9 · 100 · 100 > 2^16: the first pair cannot fuse, the rest can.
+        assert_eq!(
+            plan_passes(&[100, 100, 5, 2], 9),
+            vec![
+                Pass::Single { a: 0 },
+                Pass::OnePair { a: 1 },
+                Pass::Single { a: 3 }
+            ]
+        );
+        assert_eq!(plan_passes(&[], 9), vec![]);
+    }
+
+    /// A schema with an unfusably large domain still counts bit-identically
+    /// (exercises the Single fallback next to fused passes).
+    #[test]
+    fn oversized_domains_fall_back_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let schema = Schema::new(vec![
+            Attribute::new("big", Domain::indexed(9_000)).unwrap(),
+            Attribute::new("a", Domain::indexed(4)).unwrap(),
+            Attribute::new("b", Domain::indexed(3)).unwrap(),
+            Attribute::new("huge", Domain::indexed(40_000)).unwrap(),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|_| {
+                vec![
+                    rng.gen_range(0..9_000),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..40_000),
+                ]
+            })
+            .collect();
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let labels: Vec<usize> = (0..200).map(|_| rng.gen_range(0..5)).collect();
+        let serial = ClusteredCounts::build(&data, &labels, 5);
+        for threads in [1usize, 4] {
+            let par = ClusteredCounts::build_parallel_forced(&data, &labels, 5, threads);
+            assert_counts_identical(&serial, &par, &format!("threads {threads}"));
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_one_shot_build() {
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        for case in 0..25 {
+            let (data, labels, n_clusters) = random_case(&mut rng, 6);
+            let n = data.n_rows();
+            let split = if n == 0 { 0 } else { rng.gen_range(0..=n) };
+            let base = data.select_rows(&(0..split).collect::<Vec<_>>());
+            let delta = data.select_rows(&(split..n).collect::<Vec<_>>());
+            let mut counts = ClusteredCounts::build(&base, &labels[..split], n_clusters);
+            let empty = Dataset::empty(data.schema().clone());
+            counts.apply_delta(&delta, &labels[split..], &empty, &[]);
+            let one_shot = ClusteredCounts::build(&data, &labels, n_clusters);
+            assert_counts_identical(&one_shot, &counts, &format!("case {case} split {split}"));
+        }
+    }
+
+    #[test]
+    fn apply_delta_add_then_retire_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0x0DD5);
+        for case in 0..25 {
+            let (data, labels, n_clusters) = random_case(&mut rng, 6);
+            let original = ClusteredCounts::build(&data, &labels, n_clusters);
+            let mut counts = original.clone();
+            let n = data.n_rows();
+            let picks: Vec<usize> = (0..n).filter(|_| rng.gen_range(0..3u8) == 0).collect();
+            let delta = data.select_rows(&picks);
+            let delta_labels: Vec<usize> = picks.iter().map(|&i| labels[i]).collect();
+            let empty = Dataset::empty(data.schema().clone());
+            counts.apply_delta(&delta, &delta_labels, &empty, &[]);
+            counts.apply_delta(&empty, &[], &delta, &delta_labels);
+            assert_counts_identical(&original, &counts, &format!("case {case}"));
+        }
+    }
+
+    #[test]
+    fn apply_delta_retiring_all_rows_empties_the_counts() {
+        let (data, labels) = dataset_and_labels();
+        let mut counts = ClusteredCounts::build(&data, &labels, 2);
+        let empty = Dataset::empty(data.schema().clone());
+        counts.apply_delta(&empty, &[], &data, &labels);
+        assert_eq!(counts.n_rows(), 0);
+        assert_eq!(counts.cluster_sizes(), &[0, 0]);
+        for a in 0..counts.n_attributes() {
+            assert!(counts.table(a).flat().iter().all(|&x| x == 0));
+            assert_eq!(counts.table(a).total(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retired row not present")]
+    fn apply_delta_retiring_absent_row_panics() {
+        let (data, labels) = dataset_and_labels();
+        let mut counts = ClusteredCounts::build(&data, &labels, 2);
+        let empty = Dataset::empty(data.schema().clone());
+        // Row [0,0] exists only in cluster 0; retiring it from cluster 1
+        // must underflow loudly.
+        let ghost = Dataset::from_rows(data.schema().clone(), &[vec![0, 0]]).unwrap();
+        counts.apply_delta(&empty, &[], &ghost, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta arity mismatch")]
+    fn apply_delta_rejects_schema_shape_mismatch() {
+        let (data, labels) = dataset_and_labels();
+        let mut counts = ClusteredCounts::build(&data, &labels, 2);
+        let other = Schema::new(vec![Attribute::new("z", Domain::indexed(2)).unwrap()]).unwrap();
+        let delta = Dataset::from_rows(other, &[vec![0]]).unwrap();
+        let empty = Dataset::empty(data.schema().clone());
+        counts.apply_delta(&delta, &[0], &empty, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_delta_rejects_out_of_range_delta_label() {
+        let (data, labels) = dataset_and_labels();
+        let mut counts = ClusteredCounts::build(&data, &labels, 2);
+        let delta = Dataset::from_rows(data.schema().clone(), &[vec![0, 0]]).unwrap();
+        let empty = Dataset::empty(data.schema().clone());
+        counts.apply_delta(&delta, &[5], &empty, &[]);
     }
 }

@@ -213,6 +213,34 @@ impl Dataset {
         }
     }
 
+    /// Concatenates `delta`'s rows after this dataset's rows, returning a new
+    /// dataset (the registry's append path; the originals are untouched so
+    /// concurrent readers of the old `Arc<Dataset>` keep a consistent
+    /// snapshot). Both datasets must share an identical schema.
+    pub fn concat(&self, delta: &Dataset) -> Result<Dataset, DataError> {
+        if self.schema != delta.schema {
+            return Err(DataError::SchemaMismatch(
+                "appended rows must share the dataset's schema".to_string(),
+            ));
+        }
+        let columns = self
+            .columns
+            .iter()
+            .zip(&delta.columns)
+            .map(|(a, b)| {
+                let mut col = Vec::with_capacity(a.len() + b.len());
+                col.extend_from_slice(a);
+                col.extend_from_slice(b);
+                col
+            })
+            .collect();
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns,
+            n_rows: self.n_rows + delta.n_rows,
+        })
+    }
+
     /// Appends extra columns (e.g. correlated twins), returning a new dataset.
     pub fn with_extra_columns(
         &self,
@@ -369,6 +397,27 @@ mod tests {
         assert_eq!(out.column_by_name("c").unwrap(), &[1, 0]);
         // wrong length rejected
         assert!(ds.with_extra_columns(vec![(attr, vec![1])]).is_err());
+    }
+
+    #[test]
+    fn concat_appends_rows_and_checks_schema() {
+        let a = Dataset::from_rows(small_schema(), &[vec![0, 0], vec![1, 1]]).unwrap();
+        let b = Dataset::from_rows(small_schema(), &[vec![2, 0]]).unwrap();
+        let out = a.concat(&b).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(out.column(0), &[0, 1, 2]);
+        assert_eq!(out.row(2), vec![2, 0]);
+        // Concat equals building from all rows at once — same fingerprint.
+        let whole =
+            Dataset::from_rows(small_schema(), &[vec![0, 0], vec![1, 1], vec![2, 0]]).unwrap();
+        assert_eq!(out.fingerprint(), whole.fingerprint());
+        // Schema mismatch rejected.
+        let other = Schema::new(vec![Attribute::new("z", Domain::indexed(2)).unwrap()]).unwrap();
+        let bad = Dataset::empty(other);
+        assert!(matches!(
+            a.concat(&bad),
+            Err(DataError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]

@@ -73,6 +73,28 @@ impl Fnv1a {
     }
 }
 
+/// Chains a dataset fingerprint through an append: mixes the parent
+/// dataset's fingerprint, the delta's own fingerprint, and the new total row
+/// count into a fresh 64-bit key.
+///
+/// This is a **lineage** key, not a content rescan: appending delta `d` to a
+/// dataset with fingerprint `p` yields the same chained key wherever the
+/// same history is replayed, in O(|delta|) (only the delta is hashed), but a
+/// dataset *built* from the concatenated rows fingerprints differently —
+/// [`Dataset::fingerprint`](crate::Dataset::fingerprint) is column-major
+/// over all cells and cannot be resumed from a prefix. Cache keys need
+/// injectivity (distinct histories → distinct keys, up to FNV collisions),
+/// not canonicality, so the serve layer keys refreshed counts by chained
+/// fingerprint and tags the registry entry with the same value.
+pub fn chain_fingerprint(parent: u64, delta: u64, new_total_rows: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("dpx.chain");
+    h.write_u64(parent);
+    h.write_u64(delta);
+    h.write_u64(new_total_rows);
+    h.finish()
+}
+
 /// Hashes a cluster-label vector together with the declared cluster count —
 /// the second half of the engine's counts-cache key. Two labelings agree iff
 /// they assign every row identically *and* declare the same `n_clusters`
@@ -112,6 +134,17 @@ mod tests {
         b.write_str("a");
         b.write_str("bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn chain_fingerprint_tracks_history() {
+        let base = chain_fingerprint(1, 2, 10);
+        assert_eq!(chain_fingerprint(1, 2, 10), base, "deterministic");
+        assert_ne!(chain_fingerprint(3, 2, 10), base, "parent matters");
+        assert_ne!(chain_fingerprint(1, 4, 10), base, "delta matters");
+        assert_ne!(chain_fingerprint(1, 2, 11), base, "row count matters");
+        // Chaining twice differs from chaining once (histories are ordered).
+        assert_ne!(chain_fingerprint(base, 2, 20), base);
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod synth;
 pub use contingency::{ClusteredCounts, ContingencyTable};
 pub use dataset::Dataset;
 pub use error::DataError;
-pub use fingerprint::{hash_labels, Fnv1a};
+pub use fingerprint::{chain_fingerprint, hash_labels, Fnv1a};
 pub use histogram::Histogram;
 pub use schema::{Attribute, Domain, Schema};

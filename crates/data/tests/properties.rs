@@ -140,17 +140,80 @@ proptest! {
             .map(|i| label_seed.get(i).copied().unwrap_or(0) % n_clusters)
             .collect();
         let serial = ClusteredCounts::build(&data, &labels, n_clusters);
-        // threads > n_rows forces single-row (and empty-range) chunks.
+        // threads > n_rows forces single-row (and empty-range) chunks. The
+        // forced variant takes the thread count literally, exercising the
+        // pairwise merge tree at every width (odd counts leave a carried
+        // tail); `build_parallel` additionally applies the sizing policy.
         for threads in [1usize, 2, 7, data.n_rows() + 3] {
-            let parallel = ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads);
-            prop_assert_eq!(parallel.n_rows(), serial.n_rows());
-            prop_assert_eq!(parallel.cluster_sizes(), serial.cluster_sizes());
-            for a in 0..data.schema().arity() {
-                prop_assert_eq!(parallel.table(a).flat(), serial.table(a).flat());
-                prop_assert_eq!(parallel.table(a).marginal(), serial.table(a).marginal());
-                prop_assert_eq!(parallel.table(a).total(), serial.table(a).total());
+            for parallel in [
+                ClusteredCounts::build_parallel(&data, &labels, n_clusters, threads),
+                ClusteredCounts::build_parallel_forced(&data, &labels, n_clusters, threads),
+            ] {
+                prop_assert_eq!(parallel.n_rows(), serial.n_rows());
+                prop_assert_eq!(parallel.cluster_sizes(), serial.cluster_sizes());
+                for a in 0..data.schema().arity() {
+                    prop_assert_eq!(parallel.table(a).flat(), serial.table(a).flat());
+                    prop_assert_eq!(parallel.table(a).marginal(), serial.table(a).marginal());
+                    prop_assert_eq!(parallel.table(a).total(), serial.table(a).total());
+                }
+                prop_assert_eq!(&parallel, &serial, "threads={}", threads);
             }
         }
+    }
+
+    #[test]
+    fn any_base_delta_split_matches_one_shot_build(
+        (schema, rows) in schema_and_rows(),
+        label_seed in prop::collection::vec(0usize..4, 0..60),
+        n_clusters in 1usize..=4,
+        split_pct in 0usize..101,
+    ) {
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let labels: Vec<usize> = (0..data.n_rows())
+            .map(|i| label_seed.get(i).copied().unwrap_or(0) % n_clusters)
+            .collect();
+        let one_shot = ClusteredCounts::build(&data, &labels, n_clusters);
+        // Split anywhere — split 0 grows an empty base, split n applies an
+        // empty delta — and the incremental path must land bit-exactly on
+        // the one-shot build.
+        let split = (data.n_rows() * split_pct / 100).min(data.n_rows());
+        let base = data.select_rows(&(0..split).collect::<Vec<_>>());
+        let delta = data.select_rows(&(split..data.n_rows()).collect::<Vec<_>>());
+        let empty = Dataset::empty(data.schema().clone());
+        let mut counts = ClusteredCounts::build(&base, &labels[..split], n_clusters);
+        counts.apply_delta(&delta, &labels[split..], &empty, &[]);
+        prop_assert_eq!(&counts, &one_shot);
+    }
+
+    #[test]
+    fn apply_delta_add_then_retire_round_trips(
+        (schema, rows) in schema_and_rows(),
+        label_seed in prop::collection::vec(0usize..4, 0..60),
+        extra_seed in prop::collection::vec(0usize..40, 0..20),
+        n_clusters in 1usize..=4,
+    ) {
+        let data = Dataset::from_rows(schema, &rows).unwrap();
+        let labels: Vec<usize> = (0..data.n_rows())
+            .map(|i| label_seed.get(i).copied().unwrap_or(0) % n_clusters)
+            .collect();
+        let before = ClusteredCounts::build(&data, &labels, n_clusters);
+        let empty = Dataset::empty(data.schema().clone());
+        // Duplicate some existing rows as the delta (valid by construction).
+        prop_assume!(data.n_rows() > 0 || extra_seed.is_empty());
+        let picks: Vec<usize> = extra_seed.iter().map(|&p| p % data.n_rows().max(1)).collect();
+        let extra = data.select_rows(&picks);
+        let extra_labels: Vec<usize> = picks.iter().map(|&p| labels[p]).collect();
+        // Adding then retiring the same rows is a bit-exact no-op.
+        let mut counts = before.clone();
+        counts.apply_delta(&extra, &extra_labels, &empty, &[]);
+        counts.apply_delta(&empty, &[], &extra, &extra_labels);
+        prop_assert_eq!(&counts, &before);
+        // Retiring every row empties the counts down to the freshly built
+        // empty-dataset tables.
+        let mut drained = before.clone();
+        drained.apply_delta(&empty, &[], &data, &labels);
+        prop_assert_eq!(drained.n_rows(), 0);
+        prop_assert_eq!(&drained, &ClusteredCounts::build(&empty, &[], n_clusters));
     }
 
     #[test]

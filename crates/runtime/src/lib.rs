@@ -14,10 +14,14 @@
 //!   threads, results returned in input order (promoted here from
 //!   `dpclustx::parallel`, which re-exports this module).
 //! * [`chunked_reduce`] — split an index range into contiguous chunks, map
-//!   each chunk to a partial result on worker threads, and fold the partials
-//!   back **in chunk order**. With an associative, order-insensitive merge
-//!   (e.g. element-wise `u64` addition) the reduction is exactly the
-//!   sequential result for every thread count.
+//!   each chunk to a partial result on worker threads, and combine the
+//!   partials with a balanced [`pairwise_merge`] tree. With an associative,
+//!   commutative merge (e.g. element-wise `u64` addition) the reduction is
+//!   exactly the sequential result for every thread count.
+//! * [`chunk_worker_reduce`] — the counts-kernel variant: fixed-granule
+//!   chunks claimed by workers off an atomic counter, each worker folding
+//!   into **one reusable accumulator** (per-thread table reuse), partials
+//!   combined with the same pairwise tree.
 //! * [`ordered_parallel_map_catch`] — the serving-pool variant of the map:
 //!   per-item panic isolation (a panicking item becomes its own `Err` slot,
 //!   every other item still runs), same ordered, deterministic output.
@@ -40,5 +44,6 @@ pub mod parallel;
 
 pub use cancel::{CancelToken, REASON_DEADLINE};
 pub use parallel::{
-    chunked_reduce, default_threads, ordered_parallel_map, ordered_parallel_map_catch,
+    chunk_worker_reduce, chunked_reduce, default_threads, ordered_parallel_map,
+    ordered_parallel_map_catch, pairwise_merge,
 };

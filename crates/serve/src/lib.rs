@@ -19,7 +19,13 @@
 //! * [`ExplainService`] — the batch executor on the runtime crate's
 //!   counter-claimed job queue: requests are claimed in input order by up to
 //!   N workers, responses land in input-order slots, and a panicking request
-//!   fails alone while the pool keeps serving.
+//!   fails alone while the pool keeps serving. `{"op": "append"}` requests
+//!   grow a registered dataset in place — they spend no ε, refresh every
+//!   served clustering's cached counts incrementally via
+//!   [`ClusteredCounts::apply_delta`](dpx_data::contingency::ClusteredCounts::apply_delta)
+//!   (O(|delta|), never a rebuild), and act as ordering barriers inside a
+//!   batch so explains before/after an append see exactly the dataset
+//!   version input order dictates.
 //!
 //! Crash safety rides on the DP crate's sharded write-ahead ledgers: a
 //! durable registry ([`DatasetRegistry::with_shards`]) gives every dataset
@@ -49,9 +55,10 @@ pub mod service;
 
 pub use dpx_dp::shards::{AccountantShards, ShardConfig};
 pub use json::Json;
-pub use registry::{DatasetEntry, DatasetRegistry};
-pub use request::{ExplainRequest, ExplainResponse, ServedExplanation, StageSummary};
+pub use registry::{derive_labels, AppendSummary, DatasetEntry, DatasetRegistry};
+pub use request::{
+    ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, ServedOutcome, StageSummary,
+};
 pub use service::{
-    derive_labels, parse_requests, reason, write_responses, BatchOptions, ExplainService,
-    ServeError,
+    parse_requests, reason, write_responses, BatchOptions, ExplainService, ServeError,
 };

@@ -15,22 +15,73 @@
 //! [`DatasetRegistry::with_shards`]) its own WAL file. Datasets therefore
 //! admit, fsync, and recover independently: a corrupt ledger or a hot lock
 //! on one dataset never touches another.
+//!
+//! ## Appends and fingerprint chaining
+//!
+//! [`DatasetRegistry::append_rows`] grows a registered dataset without a
+//! rebuild: the delta rows are validated against the schema, the new dataset
+//! is the old columns plus the delta ([`Dataset::concat`] — the old
+//! `Arc<Dataset>` is untouched, so in-flight requests keep a consistent
+//! snapshot), and the entry is **replaced** by a successor sharing the same
+//! accountant and counts cache. The successor's fingerprint is
+//! [`chain_fingerprint`]`(parent, delta, total_rows)` — a lineage key
+//! computed in O(|delta|) instead of a full rescan. Cached counts for every
+//! clustering the entry has served are carried forward through
+//! [`ClusteredCounts::apply_delta`] and re-keyed under the chained
+//! fingerprint, so the first explain after an append is a cache *hit*, not a
+//! million-row rebuild.
 
-use dpclustx::engine::SharedCountsCache;
-use dpx_data::Dataset;
+use dpclustx::counts::ScoreTable;
+use dpclustx::engine::{CountedTables, CountsKey, SharedCountsCache};
+use dpx_data::contingency::ClusteredCounts;
+use dpx_data::{chain_fingerprint, hash_labels, Dataset};
 use dpx_dp::budget::Epsilon;
 use dpx_dp::shards::{AccountantShards, ShardConfig};
 use dpx_dp::{DpError, SharedAccountant};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Derives the served per-row cluster labeling for a dataset: row `i` joins
+/// cluster `data[cluster_by][i] mod n_clusters`.
+///
+/// Deterministic per row, which gives the append path its **prefix
+/// property**: the labeling of `old ++ delta` is the labeling of `old`
+/// followed by the labeling of `delta`, so cached counts can be carried
+/// forward with [`ClusteredCounts::apply_delta`] instead of a rescan.
+pub fn derive_labels(data: &Dataset, cluster_by: usize, n_clusters: usize) -> Vec<usize> {
+    data.column(cluster_by)
+        .iter()
+        .map(|&v| v as usize % n_clusters)
+        .collect()
+}
+
+/// What one append did: rows added, the dataset's new size, and how many
+/// cached clusterings were delta-refreshed instead of dropped cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendSummary {
+    /// Rows appended by this request.
+    pub appended: u64,
+    /// Total rows in the dataset after the append.
+    pub total_rows: u64,
+    /// Cached clusterings carried forward via `apply_delta`.
+    pub refreshed_clusterings: u64,
+}
 
 /// One registered dataset and its shared serving state.
 #[derive(Debug)]
 pub struct DatasetEntry {
     name: String,
     data: Arc<Dataset>,
+    /// Content (or, after appends, lineage) fingerprint — computed once at
+    /// registration, chained on append, reused by every request instead of a
+    /// per-request full scan.
+    fingerprint: u64,
     cache: Arc<SharedCountsCache>,
     accountant: Arc<SharedAccountant>,
+    /// Every `(cluster_by, n_clusters)` pair this entry has served, in a
+    /// deterministic order — the clusterings worth carrying forward on
+    /// append.
+    clusterings: Mutex<BTreeSet<(usize, usize)>>,
 }
 
 impl DatasetEntry {
@@ -62,17 +113,59 @@ impl DatasetEntry {
         data: Arc<Dataset>,
         accountant: Arc<SharedAccountant>,
     ) -> Self {
+        let fingerprint = data.fingerprint();
         DatasetEntry {
             name: name.into(),
             data,
+            fingerprint,
             cache: Arc::new(SharedCountsCache::new()),
             accountant,
+            clusterings: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// The entry that replaces this one after an append: new data and
+    /// chained fingerprint, same accountant, cache, and served-clustering
+    /// history. Replacement (rather than interior mutation) keeps every
+    /// in-flight holder of the old entry on a consistent snapshot.
+    fn successor(&self, data: Arc<Dataset>, fingerprint: u64) -> Self {
+        DatasetEntry {
+            name: self.name.clone(),
+            data,
+            fingerprint,
+            cache: Arc::clone(&self.cache),
+            accountant: Arc::clone(&self.accountant),
+            clusterings: Mutex::new(self.clusterings()),
         }
     }
 
     /// The registration name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The dataset's fingerprint: [`Dataset::fingerprint`] at registration,
+    /// [`chain_fingerprint`] after appends. This is the first half of every
+    /// counts-cache key for this entry.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Records that a request clustered this dataset by `(cluster_by,
+    /// n_clusters)` — the append path refreshes exactly these.
+    pub fn note_clustering(&self, cluster_by: usize, n_clusters: usize) {
+        self.clusterings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((cluster_by, n_clusters));
+    }
+
+    /// Every clustering this entry has served, deterministically ordered.
+    pub fn clusterings(&self) -> BTreeSet<(usize, usize)> {
+        self.clusterings
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The dataset.
@@ -204,6 +297,71 @@ impl DatasetRegistry {
         self.lock().get(name).cloned()
     }
 
+    /// Appends `rows` to the dataset registered under `name`, in
+    /// O(|delta| · arity + cached clusterings) — never a full rescan:
+    ///
+    /// 1. the rows are validated against the schema (any bad row rejects the
+    ///    whole append, mutating nothing);
+    /// 2. for every `(cluster_by, n_clusters)` the entry has served whose
+    ///    counts are cached, the cached [`ClusteredCounts`] are cloned,
+    ///    delta-updated with [`ClusteredCounts::apply_delta`], given a fresh
+    ///    score table, and re-inserted under the **chained** fingerprint
+    ///    (labels keep their full hash — the label vector is the served
+    ///    derivation over the grown dataset, old labels a prefix of new);
+    /// 3. the entry is replaced by a successor around the concatenated
+    ///    dataset and chained fingerprint, sharing the same accountant and
+    ///    cache (appends spend no ε — the budget they affect is future
+    ///    queries', which the accountant already meters per request).
+    ///
+    /// Errors (unknown dataset, schema violation) are returned as the wire
+    /// error string; the registry is unchanged on any error.
+    pub fn append_rows(&self, name: &str, rows: &[Vec<u32>]) -> Result<AppendSummary, String> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+        let old = entry.data_arc();
+        let delta = Dataset::from_rows(old.schema().clone(), rows).map_err(|e| e.to_string())?;
+        let new_data = old.concat(&delta).map_err(|e| e.to_string())?;
+        let new_fingerprint = chain_fingerprint(
+            entry.fingerprint(),
+            delta.fingerprint(),
+            new_data.n_rows() as u64,
+        );
+        let cache = entry.cache();
+        let empty = Dataset::empty(old.schema().clone());
+        let mut refreshed = 0u64;
+        for (cluster_by, n_clusters) in entry.clusterings() {
+            let old_labels = derive_labels(&old, cluster_by, n_clusters);
+            let old_key = CountsKey {
+                dataset_fingerprint: entry.fingerprint(),
+                labels_hash: hash_labels(&old_labels, n_clusters),
+            };
+            let Some(hit) = cache.get(&old_key) else {
+                continue;
+            };
+            let delta_labels = derive_labels(&delta, cluster_by, n_clusters);
+            let mut counts: ClusteredCounts = hit.counts.clone();
+            counts.apply_delta(&delta, &delta_labels, &empty, &[]);
+            let table = ScoreTable::from_clustered_counts(&counts);
+            let mut new_labels = old_labels;
+            new_labels.extend_from_slice(&delta_labels);
+            let new_key = CountsKey {
+                dataset_fingerprint: new_fingerprint,
+                labels_hash: hash_labels(&new_labels, n_clusters),
+            };
+            cache.insert(new_key, CountedTables { counts, table });
+            refreshed += 1;
+        }
+        let total_rows = new_data.n_rows() as u64;
+        let successor = Arc::new(entry.successor(Arc::new(new_data), new_fingerprint));
+        self.lock().insert(name.to_string(), successor);
+        Ok(AppendSummary {
+            appended: rows.len() as u64,
+            total_rows,
+            refreshed_clusterings: refreshed,
+        })
+    }
+
     /// Removes the entry registered under `name`, returning it. The
     /// dataset's shard is evicted from the shard map too (a durable shard's
     /// WAL file stays on disk — spent ε is history).
@@ -297,6 +455,116 @@ mod tests {
         let again = registry.register_sharded("d", dataset(), config).unwrap();
         assert!((again.accountant().spent() - 0.25).abs() < 1e-12);
         assert_eq!(registry.shards().stats().len(), 1);
+    }
+
+    #[test]
+    fn append_replaces_entry_and_chains_fingerprint() {
+        let registry = DatasetRegistry::new();
+        let data = dataset();
+        let entry = registry.register("d", Arc::clone(&data), None);
+        assert_eq!(entry.fingerprint(), data.fingerprint());
+        let row: Vec<u32> = (0..data.schema().arity()).map(|_| 0).collect();
+        let summary = registry
+            .append_rows("d", &[row.clone(), row.clone()])
+            .unwrap();
+        assert_eq!(summary.appended, 2);
+        assert_eq!(summary.total_rows, data.n_rows() as u64 + 2);
+        assert_eq!(summary.refreshed_clusterings, 0, "nothing cached yet");
+        let grown = registry.get("d").unwrap();
+        assert!(!Arc::ptr_eq(&entry, &grown), "entry replaced");
+        assert_eq!(grown.data().n_rows(), data.n_rows() + 2);
+        let delta = Dataset::from_rows(data.schema().clone(), &[row.clone(), row]).unwrap();
+        assert_eq!(
+            grown.fingerprint(),
+            chain_fingerprint(
+                data.fingerprint(),
+                delta.fingerprint(),
+                data.n_rows() as u64 + 2
+            ),
+            "fingerprint chains parent + delta + total"
+        );
+        // The accountant is shared across the replacement, not reset.
+        assert!(Arc::ptr_eq(&entry.accountant, &grown.accountant));
+        // Old holders still see the old snapshot.
+        assert_eq!(entry.data().n_rows(), data.n_rows());
+    }
+
+    #[test]
+    fn append_refreshes_cached_clusterings_without_rebuild() {
+        use dpclustx::engine::CountsKey;
+        use dpx_data::contingency::ClusteredCounts;
+        use dpx_data::hash_labels;
+
+        let registry = DatasetRegistry::new();
+        let data = dataset();
+        let entry = registry.register("d", Arc::clone(&data), None);
+        let (cluster_by, n_clusters) = (0usize, 3usize);
+        // Simulate a served explain: counts cached under the entry key.
+        let labels = derive_labels(&data, cluster_by, n_clusters);
+        let counts = ClusteredCounts::build(&data, &labels, n_clusters);
+        let table = ScoreTable::from_clustered_counts(&counts);
+        entry.cache().insert(
+            CountsKey {
+                dataset_fingerprint: entry.fingerprint(),
+                labels_hash: hash_labels(&labels, n_clusters),
+            },
+            CountedTables { counts, table },
+        );
+        entry.note_clustering(cluster_by, n_clusters);
+
+        let rows: Vec<Vec<u32>> = (0..5)
+            .map(|i| (0..data.schema().arity()).map(|_| i as u32 % 2).collect())
+            .collect();
+        let summary = registry.append_rows("d", &rows).unwrap();
+        assert_eq!(summary.refreshed_clusterings, 1);
+
+        // The refreshed cache entry must equal a cold one-shot build over
+        // the grown dataset, bit for bit.
+        let grown = registry.get("d").unwrap();
+        let new_labels = derive_labels(grown.data(), cluster_by, n_clusters);
+        let refreshed = grown
+            .cache()
+            .get(&CountsKey {
+                dataset_fingerprint: grown.fingerprint(),
+                labels_hash: hash_labels(&new_labels, n_clusters),
+            })
+            .expect("refreshed entry present under the chained key");
+        let cold = ClusteredCounts::build(grown.data(), &new_labels, n_clusters);
+        assert_eq!(refreshed.counts.n_rows(), cold.n_rows());
+        assert_eq!(refreshed.counts.cluster_sizes(), cold.cluster_sizes());
+        for a in 0..cold.n_attributes() {
+            assert_eq!(refreshed.counts.table(a).flat(), cold.table(a).flat());
+            assert_eq!(
+                refreshed.counts.table(a).marginal(),
+                cold.table(a).marginal()
+            );
+        }
+    }
+
+    #[test]
+    fn append_rejects_unknown_dataset_and_bad_rows() {
+        let registry = DatasetRegistry::new();
+        let data = dataset();
+        registry.register("d", Arc::clone(&data), None);
+        assert!(registry
+            .append_rows("nope", &[])
+            .unwrap_err()
+            .contains("unknown dataset"));
+        // Wrong arity mutates nothing.
+        let err = registry.append_rows("d", &[vec![0]]).unwrap_err();
+        assert!(!err.is_empty());
+        assert_eq!(registry.get("d").unwrap().data().n_rows(), data.n_rows());
+    }
+
+    #[test]
+    fn derive_labels_is_prefix_stable_under_concat() {
+        let data = dataset();
+        let row: Vec<u32> = (0..data.schema().arity()).map(|_| 1).collect();
+        let delta = Dataset::from_rows(data.schema().clone(), &[row]).unwrap();
+        let grown = data.concat(&delta).unwrap();
+        let (old, ext) = (derive_labels(&data, 2, 4), derive_labels(&grown, 2, 4));
+        assert_eq!(&ext[..old.len()], &old[..], "old labels are a prefix");
+        assert_eq!(ext[old.len()..], derive_labels(&delta, 2, 4)[..]);
     }
 
     #[test]

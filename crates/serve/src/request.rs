@@ -10,11 +10,30 @@
 //! batch's sorted response lines are byte-identical for every worker count.
 
 use crate::json::Json;
+use crate::registry::AppendSummary;
 use dpclustx::engine::StageEvent;
 use dpclustx::explanation::GlobalExplanation;
 use dpclustx::framework::DpClustXConfig;
 use dpclustx::stage2::Stage2Kernel;
 use dpclustx::Weights;
+
+/// What a request asks the service to do.
+///
+/// The default op is `Explain`; an `{"op": "append", "rows": [[..], ..]}`
+/// request instead extends the named dataset in place. Appends release
+/// nothing and spend no ε — they re-derive public serving state (the grown
+/// dataset, its chained fingerprint, refreshed count caches) — so they carry
+/// none of the explain fields and always re-execute on `--resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOp {
+    /// Serve a differentially private explanation (the default).
+    Explain,
+    /// Append domain-coded rows to the named dataset.
+    Append {
+        /// Rows to append; each must match the dataset's arity and domains.
+        rows: Vec<Vec<u32>>,
+    },
+}
 
 /// One explanation request, as decoded from a JSONL line.
 ///
@@ -54,6 +73,8 @@ pub struct ExplainRequest {
     /// boundaries; an expired request answers `ok: false` with reason
     /// `deadline_exceeded` while its reserved ε stays spent.
     pub deadline_ms: Option<u64>,
+    /// What the request asks for (explain by default, or a dataset append).
+    pub op: RequestOp,
 }
 
 impl ExplainRequest {
@@ -73,7 +94,14 @@ impl ExplainRequest {
             stage2_kernel: Stage2Kernel::default(),
             consistency: false,
             deadline_ms: None,
+            op: RequestOp::Explain,
         }
+    }
+
+    /// Whether this request is a dataset append (an ordering barrier in a
+    /// batch: later requests must observe the grown dataset).
+    pub fn is_append(&self) -> bool {
+        matches!(self.op, RequestOp::Append { .. })
     }
 
     /// The engine configuration this request asks for.
@@ -152,6 +180,27 @@ impl ExplainRequest {
                 })?),
             };
         }
+        if let Some(op) = v.get("op") {
+            let text = op
+                .as_str()
+                .ok_or_else(|| "'op' must be a string".to_string())?;
+            match text {
+                "explain" => {}
+                "append" => {
+                    let rows = v.get("rows").ok_or_else(|| {
+                        "append requests need a 'rows' array of coded rows".to_string()
+                    })?;
+                    req.op = RequestOp::Append {
+                        rows: parse_rows(rows)?,
+                    };
+                }
+                other => {
+                    return Err(format!(
+                        "unknown op '{other}' (expected 'explain' or 'append')"
+                    ))
+                }
+            }
+        }
         // Validate ε at the wire boundary: a non-finite or negative budget
         // must never reach the accountant (NaN compares false against every
         // cap check, which would silently admit an unbounded spend).
@@ -172,8 +221,22 @@ impl ExplainRequest {
     }
 
     /// Encodes the request as one JSONL line (the inverse of
-    /// [`ExplainRequest::from_json_line`] up to defaulted fields).
+    /// [`ExplainRequest::from_json_line`] up to defaulted fields). Append
+    /// requests render only the fields that matter to an append — id,
+    /// dataset, op, rows — since the explain knobs do not apply.
     pub fn to_json_line(&self) -> String {
+        if let RequestOp::Append { rows } = &self.op {
+            let rows: Vec<Json> = rows
+                .iter()
+                .map(|row| Json::Array(row.iter().map(|&v| Json::Num(f64::from(v))).collect()))
+                .collect();
+            return Json::object()
+                .field("id", self.id)
+                .field("dataset", self.dataset.as_str())
+                .field("op", "append")
+                .field("rows", rows)
+                .render();
+        }
         let mut obj = Json::object()
             .field("id", self.id)
             .field("dataset", self.dataset.as_str())
@@ -222,6 +285,29 @@ fn field_f64(v: &Json, name: &str, default: f64) -> Result<f64, String> {
             .as_f64()
             .ok_or_else(|| format!("'{name}' must be a number")),
     }
+}
+
+fn parse_rows(v: &Json) -> Result<Vec<Vec<u32>>, String> {
+    let rows = v
+        .as_array()
+        .ok_or_else(|| "'rows' must be an array of coded rows".to_string())?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| format!("row {i} must be an array of codes"))?;
+            cells
+                .iter()
+                .map(|cell| {
+                    cell.as_u64()
+                        .filter(|&c| c <= u64::from(u32::MAX))
+                        .map(|c| c as u32)
+                        .ok_or_else(|| format!("row {i} holds a non-code value (want u32)"))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn parse_weights(v: &Json) -> Result<Weights, String> {
@@ -321,14 +407,41 @@ impl ServedExplanation {
     }
 }
 
-/// One response line: the request id plus either the served explanation or a
+/// What a successful response carries: the payload of the request's op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedOutcome {
+    /// An explain request's released explanation.
+    Explain(ServedExplanation),
+    /// An append request's summary of the dataset growth.
+    Append(AppendSummary),
+}
+
+impl ServedOutcome {
+    /// The served explanation, if this outcome is one.
+    pub fn explanation(&self) -> Option<&ServedExplanation> {
+        match self {
+            ServedOutcome::Explain(served) => Some(served),
+            ServedOutcome::Append(_) => None,
+        }
+    }
+
+    /// The append summary, if this outcome is one.
+    pub fn append(&self) -> Option<&AppendSummary> {
+        match self {
+            ServedOutcome::Explain(_) => None,
+            ServedOutcome::Append(summary) => Some(summary),
+        }
+    }
+}
+
+/// One response line: the request id plus either the op's payload or a
 /// human-readable error (budget rejection, bad request, worker panic, …).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExplainResponse {
     /// The request's id.
     pub id: u64,
-    /// The explanation, or why there is none.
-    pub outcome: Result<ServedExplanation, String>,
+    /// The payload, or why there is none.
+    pub outcome: Result<ServedOutcome, String>,
     /// Machine-readable failure class (`deadline_exceeded`,
     /// `budget_exceeded`, …) for error responses that have one.
     pub reason: Option<String>,
@@ -340,11 +453,21 @@ pub struct ExplainResponse {
 }
 
 impl ExplainResponse {
-    /// A success response.
+    /// A successful explain response.
     pub fn success(id: u64, served: ServedExplanation) -> Self {
         ExplainResponse {
             id,
-            outcome: Ok(served),
+            outcome: Ok(ServedOutcome::Explain(served)),
+            reason: None,
+            eps_remaining: None,
+        }
+    }
+
+    /// A successful append response.
+    pub fn appended(id: u64, summary: AppendSummary) -> Self {
+        ExplainResponse {
+            id,
+            outcome: Ok(ServedOutcome::Append(summary)),
             reason: None,
             eps_remaining: None,
         }
@@ -377,6 +500,19 @@ impl ExplainResponse {
         self.outcome.is_ok()
     }
 
+    /// The served explanation, if this is a successful explain response.
+    pub fn explanation(&self) -> Option<&ServedExplanation> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .and_then(ServedOutcome::explanation)
+    }
+
+    /// The append summary, if this is a successful append response.
+    pub fn append(&self) -> Option<&AppendSummary> {
+        self.outcome.as_ref().ok().and_then(ServedOutcome::append)
+    }
+
     /// Encodes the response as one JSONL line. Every rendered field is a
     /// deterministic function of the request and the dataset (see module
     /// docs), so identical batches render identical lines.
@@ -395,7 +531,17 @@ impl ExplainResponse {
                 }
                 obj.render()
             }
-            Ok(served) => {
+            // `refreshed_clusterings` is deliberately NOT serialized: how
+            // many cached clusterings an append refreshes depends on cache
+            // warmth (which explains ran before it, whether the run was
+            // resumed) — like `cache_hit`, it would break the guarantee
+            // that kill-and-rerun converges on byte-identical output.
+            Ok(ServedOutcome::Append(summary)) => obj
+                .field("op", "append")
+                .field("appended", summary.appended)
+                .field("total_rows", summary.total_rows)
+                .render(),
+            Ok(ServedOutcome::Explain(served)) => {
                 let stages: Vec<Json> = served
                     .stages
                     .iter()
@@ -553,6 +699,68 @@ mod tests {
         // parser; a null eps_hist stays legal (selection-only request).
         assert!(ExplainRequest::from_json_line(r#"{"id":1,"eps_hist":null}"#).is_ok());
         assert!(ExplainRequest::from_json_line(r#"{"id":1,"eps_cand":1e999}"#).is_err());
+    }
+
+    #[test]
+    fn append_request_roundtrips_and_defaults_to_explain() {
+        let req = ExplainRequest::from_json_line(r#"{"id":1}"#).unwrap();
+        assert_eq!(req.op, RequestOp::Explain);
+        assert!(!req.is_append());
+        // An explicit explain op parses but is not re-rendered (the default
+        // wire form stays byte-identical to previous releases).
+        let req = ExplainRequest::from_json_line(r#"{"id":1,"op":"explain"}"#).unwrap();
+        assert_eq!(req, ExplainRequest::new(1));
+        assert!(!req.to_json_line().contains("op"));
+
+        let line = r#"{"id":8,"dataset":"census","op":"append","rows":[[0,1,2],[3,4,5]]}"#;
+        let req = ExplainRequest::from_json_line(line).unwrap();
+        assert!(req.is_append());
+        assert_eq!(
+            req.op,
+            RequestOp::Append {
+                rows: vec![vec![0, 1, 2], vec![3, 4, 5]]
+            }
+        );
+        assert_eq!(req.to_json_line(), line);
+        assert_eq!(
+            ExplainRequest::from_json_line(&req.to_json_line()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn bad_append_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            (r#"{"id":1,"op":"append"}"#, "'rows'"),
+            (r#"{"id":1,"op":"append","rows":7}"#, "'rows'"),
+            (r#"{"id":1,"op":"append","rows":[7]}"#, "row 0"),
+            (r#"{"id":1,"op":"append","rows":[[0],[-1]]}"#, "row 1"),
+            (r#"{"id":1,"op":"append","rows":[[5000000000]]}"#, "row 0"),
+            (r#"{"id":1,"op":"retract"}"#, "unknown op 'retract'"),
+            (r#"{"id":1,"op":3}"#, "'op' must be a string"),
+        ] {
+            let err = ExplainRequest::from_json_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn append_response_renders_compactly() {
+        let line = ExplainResponse::appended(
+            6,
+            AppendSummary {
+                appended: 2,
+                total_rows: 602,
+                refreshed_clusterings: 1,
+            },
+        )
+        .to_json_line();
+        // refreshed_clusterings stays off the wire: it reflects cache
+        // warmth, not the request, so it would break resume convergence.
+        assert_eq!(
+            line,
+            r#"{"id":6,"ok":true,"op":"append","appended":2,"total_rows":602}"#
+        );
     }
 
     #[test]

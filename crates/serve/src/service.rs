@@ -17,10 +17,10 @@
 //! later fails — over-counting spend is privacy-safe, refunds after a partial
 //! release are not.
 
+pub use crate::registry::derive_labels;
 use crate::registry::DatasetRegistry;
-use crate::request::{ExplainRequest, ExplainResponse, ServedExplanation};
+use crate::request::{ExplainRequest, ExplainResponse, RequestOp, ServedExplanation};
 use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine};
-use dpx_data::Dataset;
 use dpx_dp::budget::Epsilon;
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
 use dpx_dp::DpError;
@@ -219,6 +219,17 @@ impl ExplainService {
         opts: &BatchOptions,
         mechanism: &M,
     ) -> ExplainResponse {
+        if let RequestOp::Append { rows } = &request.op {
+            // Appends touch no private mechanism: they validate the rows,
+            // grow the dataset, and refresh cached counts incrementally.
+            // No ε is spent and no deadline applies — the work is O(|delta|)
+            // public bookkeeping, so re-running an append (e.g. on resume)
+            // is always free and deterministic.
+            return match self.registry.append_rows(&request.dataset, rows) {
+                Ok(summary) => ExplainResponse::appended(request.id, summary),
+                Err(message) => ExplainResponse::error(request.id, message),
+            };
+        }
         match self.try_execute(request, opts, mechanism) {
             Ok(served) => ExplainResponse::success(request.id, served),
             Err(failure) => {
@@ -297,9 +308,18 @@ impl ExplainService {
                 })?;
             faultpoint::hit(SERVICE_POST_SPEND);
         }
+        // Record the clustering on the entry (appends refresh exactly the
+        // clusterings that have been served) and open the context with the
+        // entry's precomputed fingerprint: requests never re-scan the data
+        // for a cache key, which matters once datasets grow by appends.
+        entry.note_clustering(request.cluster_by, request.n_clusters);
         let labels = derive_labels(entry.data(), request.cluster_by, request.n_clusters);
-        let mut ctx =
-            ExplainContext::with_shared_cache(entry.data_arc(), request.seed, entry.cache());
+        let mut ctx = ExplainContext::with_fingerprint(
+            entry.data_arc(),
+            entry.fingerprint(),
+            request.seed,
+            entry.cache(),
+        );
         let mut engine =
             ExplainEngine::new(request.config()).with_stage2_kernel(request.stage2_kernel);
         if let Some(ms) = request.deadline_ms.or(opts.deadline_ms) {
@@ -360,6 +380,14 @@ impl ExplainService {
     /// Responses for requests that panicked are synthesized afterwards and
     /// passed to the sink too; the returned vector is in request order as
     /// always.
+    ///
+    /// Append requests are **ordering barriers**: an append replaces the
+    /// dataset entry that later requests must observe, so the batch is
+    /// served as explain segments on the worker pool with each append
+    /// executed alone between them, in input order. Explains racing an
+    /// append would make *which dataset version a request sees* depend on
+    /// scheduling, breaking the byte-identical-for-any-worker-count
+    /// guarantee.
     pub fn run_batch_streamed<M: HistogramMechanism + Sync>(
         &self,
         requests: Vec<ExplainRequest>,
@@ -379,6 +407,36 @@ impl ExplainService {
                     }
                 }
             }
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut segment: Vec<ExplainRequest> = Vec::new();
+        for request in requests {
+            if request.is_append() {
+                responses.extend(self.run_segment(
+                    std::mem::take(&mut segment),
+                    opts,
+                    mechanism,
+                    sink,
+                ));
+                responses.extend(self.run_segment(vec![request], opts, mechanism, sink));
+            } else {
+                segment.push(request);
+            }
+        }
+        responses.extend(self.run_segment(segment, opts, mechanism, sink));
+        responses
+    }
+
+    /// Runs one append-free (or single-append) slice of a batch on the pool.
+    fn run_segment<M: HistogramMechanism + Sync>(
+        &self,
+        requests: Vec<ExplainRequest>,
+        opts: &BatchOptions,
+        mechanism: &M,
+        sink: Option<&(dyn Fn(&ExplainResponse) + Sync)>,
+    ) -> Vec<ExplainResponse> {
+        if requests.is_empty() {
+            return Vec::new();
         }
         let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
         ordered_parallel_map_catch(requests, self.workers, |request| {
@@ -405,18 +463,6 @@ impl ExplainService {
     }
 }
 
-/// The served labeling: a *public, data-independent rule* applied per row —
-/// cluster `row[cluster_by] mod n_clusters`. Serving treats the clustering
-/// function as given (the paper's black box `f`); a modulus of a coded value
-/// is the simplest total function that is free to evaluate, deterministic,
-/// and shared between requests so the counts cache actually gets hits.
-pub fn derive_labels(data: &Dataset, cluster_by: usize, n_clusters: usize) -> Vec<usize> {
-    data.column(cluster_by)
-        .iter()
-        .map(|&v| v as usize % n_clusters)
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,7 +482,7 @@ mod tests {
     fn serves_a_minimal_request() {
         let service = ExplainService::new(registry_with("default", None)).with_workers(2);
         let response = service.execute(&ExplainRequest::new(1));
-        let served = response.outcome.expect("request served");
+        let served = response.explanation().expect("request served").clone();
         assert_eq!(served.attributes.len(), 2);
         assert_eq!(served.stages.len(), 4);
         assert!((served.eps_spent - 0.3).abs() < 1e-9);
@@ -645,5 +691,101 @@ mod tests {
         let labels = derive_labels(&data, 1, 3);
         assert_eq!(labels.len(), 100);
         assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    fn append_request(id: u64, rows: Vec<Vec<u32>>) -> ExplainRequest {
+        let mut req = ExplainRequest::new(id);
+        req.op = RequestOp::Append { rows };
+        req
+    }
+
+    fn sample_rows(registry: &DatasetRegistry, n: usize) -> Vec<Vec<u32>> {
+        let entry = registry.get("default").unwrap();
+        let data = entry.data();
+        (0..n)
+            .map(|r| {
+                (0..data.schema().arity())
+                    .map(|a| data.column(a)[r])
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_requests_grow_the_dataset_and_spend_no_epsilon() {
+        let registry = registry_with("default", Some(0.3));
+        let service = ExplainService::new(Arc::clone(&registry)).with_workers(2);
+        let rows = sample_rows(&registry, 3);
+        let response = service.execute(&append_request(1, rows));
+        let summary = *response.append().expect("append served");
+        assert_eq!(summary.appended, 3);
+        assert_eq!(summary.total_rows, 603);
+        assert_eq!(registry.get("default").unwrap().data().n_rows(), 603);
+        assert_eq!(
+            registry.get("default").unwrap().accountant().num_charges(),
+            0,
+            "appends are free"
+        );
+        // Bad rows and unknown datasets come back as error responses.
+        let response = service.execute(&append_request(2, vec![vec![1]]));
+        let err = response.outcome.unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let mut req = append_request(3, vec![]);
+        req.dataset = "elsewhere".to_string();
+        let response = service.execute(&req);
+        assert!(response.outcome.unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn batch_with_appends_is_deterministic_across_worker_counts() {
+        let build_requests = |registry: &DatasetRegistry| {
+            let rows = sample_rows(registry, 5);
+            vec![
+                ExplainRequest::new(0),
+                ExplainRequest::new(1),
+                append_request(2, rows.clone()),
+                ExplainRequest::new(3),
+                append_request(4, rows),
+                ExplainRequest::new(5),
+            ]
+        };
+        let registry = registry_with("default", None);
+        let serial = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+        let expected: Vec<String> = serial
+            .run_batch(build_requests(&registry))
+            .iter()
+            .map(ExplainResponse::to_json_line)
+            .collect();
+        assert!(expected[2].contains("\"op\":\"append\""), "{}", expected[2]);
+        for workers in [2, 3, 8] {
+            let registry = registry_with("default", None);
+            let service = ExplainService::new(Arc::clone(&registry)).with_workers(workers);
+            let got: Vec<String> = service
+                .run_batch(build_requests(&registry))
+                .iter()
+                .map(ExplainResponse::to_json_line)
+                .collect();
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn explains_after_an_append_observe_the_grown_dataset() {
+        let registry = registry_with("default", None);
+        let service = ExplainService::new(Arc::clone(&registry)).with_workers(3);
+        let rows = sample_rows(&registry, 7);
+        let responses = service.run_batch(vec![
+            ExplainRequest::new(0),
+            append_request(1, rows),
+            ExplainRequest::new(2),
+        ]);
+        assert!(responses.iter().all(ExplainResponse::is_ok));
+        assert_eq!(responses[1].append().unwrap().total_rows, 607);
+        // The post-append explain ran against the grown dataset: its count
+        // tables (and so its released stage metrics) cover 607 rows, and a
+        // re-run against the final registry state reproduces it exactly.
+        let replay = service.execute(&ExplainRequest::new(2));
+        assert_eq!(replay.to_json_line(), responses[2].to_json_line());
+        assert_eq!(registry.get("default").unwrap().data().n_rows(), 607);
     }
 }
