@@ -114,7 +114,8 @@ USAGE:
                     --requests <reqs.jsonl> --out <resps.jsonl>
                     [--workers N] [--budget E] [--name NAME]
                     [--ledger-dir <dir>] [--checkpoint-every N] [--resume]
-                    [--deadline-ms MS]
+                    [--deadline-ms MS] [--group-commit-max-wait-us US]
+                    [--group-commit-max-batch N]
       Executes a batch of explanation requests (one JSON object per line;
       'id' required, everything else defaulted: dataset, seed, cluster_by,
       n_clusters, k, eps_cand, eps_comb, eps_hist, weights, stage2_kernel,
@@ -134,10 +135,19 @@ USAGE:
       already-written response lines in --out and skips re-spending for
       request ids that hold a recovered grant. The summary reports each
       shard's ledger stats (records replayed, torn bytes truncated,
-      checkpoint age) alongside the ε accounting. --deadline-ms bounds each
-      request's wall clock (per-request 'deadline_ms' overrides it); a timed
-      -out request answers ok:false with reason deadline_exceeded, its
-      reserved ε deliberately left spent. A request line with 'op':'append'
+      checkpoint age) alongside the ε accounting.
+      --group-commit-max-wait-us US / --group-commit-max-batch N (require
+      --ledger-dir; either flag opts in, the other takes its default of
+      200us/64) batch concurrent grants into one fsync: the first spender to
+      reach the ledger leads, waits up to US microseconds (or until N grants
+      queue), appends the whole batch under a single fsync, and wakes the
+      others — every request still acks only after its own grant is durable.
+      --group-commit-max-batch 0 or 1 keeps the per-grant commit path.
+      --deadline-ms bounds each request's wall clock (per-request
+      'deadline_ms' overrides it), covering admission too: a request whose
+      deadline expires before its grant commits is rejected with reason
+      deadline_exceeded and spends NO ε; once the grant is durable, a later
+      timeout keeps the reserved ε spent. A request line with 'op':'append'
       and 'rows':[[..],..] appends coded rows to the named dataset instead
       of explaining: it spends no ε, refreshes every served clustering's
       cached count tables incrementally (O(delta), never a rebuild), and is

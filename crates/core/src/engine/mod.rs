@@ -42,10 +42,12 @@ use dpx_data::{hash_labels, Dataset, Schema};
 use dpx_dp::budget::{Accountant, Epsilon};
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
 use dpx_dp::DpError;
+use dpx_runtime::singleflight::{Claim, SingleFlight};
 use dpx_runtime::CancelToken;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -79,14 +81,28 @@ pub struct CountedTables {
 /// the serving layer shares one cache per registered dataset across many
 /// concurrent sessions, so the map now lives behind a mutex and contexts
 /// hold it through an `Arc`. Reads and inserts are short critical sections;
-/// the expensive table *build* on a miss runs **outside** the lock, so two
-/// sessions missing the same key concurrently may both build — both builds
-/// are bit-identical by construction ([`ClusteredCounts::build_parallel`] is
-/// thread-count-invariant), the first insert wins, and every caller gets the
-/// winning `Arc`. Correctness never depends on who won.
+/// the expensive table *build* on a miss runs **outside** the lock.
+///
+/// Misses are **single-flight**: the first builder of a key registers an
+/// in-flight claim (a [`SingleFlight`] set beside the map), so N concurrent
+/// misses of one key run the data scan exactly once — followers block on the
+/// builder's flight and read its result out of the map instead of redoing
+/// the scan. A builder that *panics* releases its claim on unwind; a waiting
+/// follower then finds the map still empty and runs the build itself, so a
+/// poisoned request can waste one build but never wedge the key. The map
+/// stays first-insert-wins underneath (builds are bit-identical by
+/// construction — [`ClusteredCounts::build_parallel`] is
+/// thread-count-invariant), so correctness never depends on who won; the
+/// flight set only removes the duplicated work.
 #[derive(Debug, Default)]
 pub struct SharedCountsCache {
     map: Mutex<HashMap<CountsKey, Arc<CountedTables>>>,
+    /// In-flight builds by key: leader election for cache misses.
+    flight: SingleFlight<CountsKey>,
+    /// Times a caller coalesced onto another caller's in-flight build
+    /// instead of scanning (monotone; scheduling-dependent, so it feeds
+    /// summaries and benches, never wire responses).
+    singleflight_hits: AtomicU64,
 }
 
 impl SharedCountsCache {
@@ -126,20 +142,57 @@ impl SharedCountsCache {
     }
 
     /// The tables for `key`: served from the memo when present, built with
-    /// `build` (outside the lock) and memoized otherwise. The second element
-    /// reports whether it was a hit. When two callers race on the same miss,
-    /// the first completed insert wins and both receive the winner's tables.
+    /// `build` (outside the lock, single-flight — see the type docs) and
+    /// memoized otherwise. The second element reports whether the memo
+    /// already held the tables (a follower coalescing onto another caller's
+    /// build counts as a hit: it never scanned).
     pub fn get_or_build(
         &self,
         key: CountsKey,
         build: impl FnOnce() -> CountedTables,
     ) -> (Arc<CountedTables>, bool) {
-        if let Some(hit) = self.get(&key) {
-            return (hit, true);
+        self.get_or_build_cancellable(key, None, build)
+            .expect("no token, wait cannot cancel")
+    }
+
+    /// [`Self::get_or_build`] whose follower wait is bounded by a
+    /// [`CancelToken`]: a follower whose token fires while it is blocked on
+    /// another caller's build returns `Err(reason)` without having spent the
+    /// scan. The build itself is never interrupted — only waits are.
+    pub fn get_or_build_cancellable(
+        &self,
+        key: CountsKey,
+        cancel: Option<&CancelToken>,
+        build: impl FnOnce() -> CountedTables,
+    ) -> Result<(Arc<CountedTables>, bool), String> {
+        let mut build = Some(build);
+        loop {
+            if let Some(hit) = self.get(&key) {
+                return Ok((hit, true));
+            }
+            match self.flight.claim(&key) {
+                Claim::Leader(guard) => {
+                    let build = build.take().expect("a caller leads at most once");
+                    let built = Arc::new(build());
+                    // Publish before releasing the flight: a woken follower
+                    // must find the value (or know the leader died).
+                    let winner = Arc::clone(self.lock().entry(key).or_insert(built));
+                    drop(guard);
+                    return Ok((winner, false));
+                }
+                Claim::Follower => {
+                    self.singleflight_hits.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.flight.wait(&key, cancel)?;
+                    // Re-check the map: populated on success, still empty if
+                    // the leader panicked — in which case we claim next.
+                }
+            }
         }
-        let built = Arc::new(build());
-        let winner = Arc::clone(self.lock().entry(key).or_insert(built));
-        (winner, false)
+    }
+
+    /// Times callers coalesced onto an in-flight build instead of scanning.
+    pub fn singleflight_hits(&self) -> u64 {
+        self.singleflight_hits.load(AtomicOrdering::Relaxed)
     }
 
     /// Memoizes already-built tables under `key`, returning the tables that
@@ -415,6 +468,10 @@ impl ExplainEngine {
             cache: Some(stages::CacheSlot {
                 cache,
                 fingerprint: *fingerprint,
+                // Bound a follower's wait on another request's in-flight
+                // build by this request's deadline, not just the stage
+                // boundaries.
+                cancel: self.cancel.clone(),
             }),
         };
         self.run(source, data.schema(), mechanism, rng, observer)

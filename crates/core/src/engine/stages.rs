@@ -11,6 +11,7 @@ use dpx_data::{hash_labels, Dataset, Schema};
 use dpx_dp::budget::{Accountant, Epsilon};
 use dpx_dp::histogram::HistogramMechanism;
 use dpx_dp::DpError;
+use dpx_runtime::CancelToken;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -49,6 +50,9 @@ pub(super) struct CacheSlot<'a> {
     pub(super) cache: &'a SharedCountsCache,
     /// The dataset fingerprint half of the cache key.
     pub(super) fingerprint: u64,
+    /// The request's cancellation token: bounds a follower's wait on another
+    /// request's in-flight build of the same key.
+    pub(super) cancel: Option<CancelToken>,
 }
 
 /// The tables the later stages read, however `BuildCounts` obtained them.
@@ -134,12 +138,15 @@ impl<M: HistogramMechanism + Sync, R: Rng + ?Sized> Stage<M, R> for BuildCounts 
                         dataset_fingerprint: slot.fingerprint,
                         labels_hash: hash_labels(labels, *n_clusters),
                     };
-                    let (tables, hit) = slot.cache.get_or_build(key, || {
-                        let counts =
-                            ClusteredCounts::build_parallel(data, labels, *n_clusters, threads);
-                        let table = ScoreTable::from_clustered_counts(&counts);
-                        CountedTables { counts, table }
-                    });
+                    let (tables, hit) = slot
+                        .cache
+                        .get_or_build_cancellable(key, slot.cancel.as_ref(), || {
+                            let counts =
+                                ClusteredCounts::build_parallel(data, labels, *n_clusters, threads);
+                            let table = ScoreTable::from_clustered_counts(&counts);
+                            CountedTables { counts, table }
+                        })
+                        .map_err(|reason| DpError::Cancelled { reason })?;
                     metrics.push(("cache_hit", if hit { 1.0 } else { 0.0 }));
                     Tables::Shared(tables)
                 }

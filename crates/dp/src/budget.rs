@@ -14,8 +14,10 @@ use crate::ledger::{
     CheckpointRecord, GrantRecord, GroupSnapshot, LedgerWriter, Recovery, NO_REQUEST,
 };
 use dpx_runtime::faultpoint::{self, SHARD_PRE_APPEND};
+use dpx_runtime::{BatchWindow, Batcher, CancelToken, Submit};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// A validated privacy parameter `ε > 0`.
 ///
@@ -192,7 +194,10 @@ impl Accountant {
     pub fn spent(&self) -> f64 {
         let seq: f64 = self.sequential.iter().map(|c| c.epsilon).sum();
         let par: f64 = self.parallel.iter().map(|(_, max, _)| *max).sum();
-        seq + par
+        // `Sum for f64` folds from an identity of -0.0, so an empty ledger
+        // would render as "-0.000000". Adding +0.0 flips only that sign bit;
+        // every non-zero total is unchanged.
+        seq + par + 0.0
     }
 
     /// The configured cap, if any.
@@ -443,6 +448,14 @@ struct Ledgered {
     appends_since_checkpoint: u64,
     /// Checkpoint after this many appends (`None`: never automatically).
     checkpoint_every: Option<u64>,
+    /// ε admitted to the group-commit queue but not yet charged. Admission
+    /// reserves against the cap under this same lock, so concurrent
+    /// enqueuers cannot jointly breach it; the batch leader converts the
+    /// reservation into real charges at commit (or releases it on failure
+    /// or cancellation-withdrawal).
+    pending_eps: f64,
+    /// Group-commit window for grant spends (`None`: per-grant commits).
+    group_commit: Option<GroupCommitPolicy>,
     stats: LedgerStats,
 }
 
@@ -464,15 +477,65 @@ impl Ledgered {
         }
     }
 
-    /// Applies the auto-checkpoint policy after a successful durable append.
-    fn note_append(&mut self) {
-        self.appends_since_checkpoint += 1;
+    /// Records `grants` grant records made durable by **one** fsync: bumps
+    /// the per-fsync observability counters and applies the auto-checkpoint
+    /// policy — at most one compaction per batch, however large the batch.
+    fn note_batch(&mut self, grants: u64) {
+        self.stats.grants_appended += grants;
+        self.stats.append_batches += 1;
+        self.appends_since_checkpoint += grants;
         if let Some(every) = self.checkpoint_every {
             if self.sink.is_some() && self.appends_since_checkpoint >= every {
                 self.checkpoint();
             }
         }
     }
+
+    /// Applies the auto-checkpoint policy after a successful durable append.
+    fn note_append(&mut self) {
+        self.note_batch(1);
+    }
+
+    /// Cap check that also counts ε reserved in the group-commit queue:
+    /// whatever is pending will be charged, so new admissions must fit
+    /// alongside it. Identical to the plain check when nothing is pending.
+    fn check_cap(&self, extra: f64) -> Result<(), DpError> {
+        self.acc.check_cap(self.pending_eps + extra)
+    }
+}
+
+/// Group-commit window for a durable [`SharedAccountant`]'s spend path: how
+/// long the batch leader holds the commit open for followers, and for how
+/// many grants. `max_batch <= 1` disables batching — today's per-grant
+/// append+fsync behavior, selectable at runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Longest time (µs) the leader waits for followers before committing.
+    pub max_wait_us: u64,
+    /// Commit as soon as this many grants are queued (`<= 1`: no batching).
+    pub max_batch: u64,
+}
+
+impl GroupCommitPolicy {
+    /// Whether this policy actually groups commits.
+    fn batches(self) -> bool {
+        self.max_batch > 1
+    }
+
+    fn window(self) -> BatchWindow {
+        BatchWindow {
+            max_wait: Duration::from_micros(self.max_wait_us),
+            max_batch: self.max_batch as usize,
+        }
+    }
+}
+
+/// A grant admitted to the group-commit queue, awaiting its batch.
+#[derive(Debug)]
+struct PendingGrant {
+    request_id: u64,
+    label: String,
+    eps: f64,
 }
 
 /// Observability counters for a [`SharedAccountant`]'s durable ledger: what
@@ -497,12 +560,23 @@ pub struct LedgerStats {
     /// Checkpoint attempts that failed (the WAL keeps its full history; the
     /// failure costs log length, never ε).
     pub checkpoint_failures: u64,
+    /// Grant records made durable by this accountant (any append path).
+    pub grants_appended: u64,
+    /// Fsynced append batches: per-grant spends count one batch per grant,
+    /// group commits one per batch, so `grants_appended / append_batches`
+    /// is the grants-per-fsync amortization factor (checkpoint compactions
+    /// excluded — they are policy, not spend).
+    pub append_batches: u64,
 }
 
 /// See the type-level docs above; this is the shared, lockable shell.
 #[derive(Debug, Default)]
 pub struct SharedAccountant {
     inner: std::sync::Mutex<Ledgered>,
+    /// Leader/follower queue for group-committed grant spends (see
+    /// [`SharedAccountant::try_spend_grant_cancellable`]). Idle unless a
+    /// [`GroupCommitPolicy`] with `max_batch > 1` is installed.
+    batcher: Batcher<PendingGrant, Result<(), DpError>>,
 }
 
 impl SharedAccountant {
@@ -525,6 +599,7 @@ impl SharedAccountant {
                 acc: accountant,
                 ..Ledgered::default()
             }),
+            batcher: Batcher::new(),
         }
     }
 
@@ -578,6 +653,8 @@ impl SharedAccountant {
                 granted,
                 appends_since_checkpoint: recovery.checkpoint_age(),
                 checkpoint_every: None,
+                pending_eps: 0.0,
+                group_commit: None,
                 stats: LedgerStats {
                     records_replayed: recovery.records_replayed(),
                     truncated_bytes: recovery.truncated_bytes,
@@ -586,6 +663,7 @@ impl SharedAccountant {
                     ..LedgerStats::default()
                 },
             }),
+            batcher: Batcher::new(),
         }
     }
 
@@ -637,7 +715,7 @@ impl SharedAccountant {
     ) -> Result<(), DpError> {
         let label = label.into();
         let mut inner = self.lock();
-        inner.acc.check_cap(eps.get())?;
+        inner.check_cap(eps.get())?;
         if inner.sink.is_some() {
             faultpoint::hit(SHARD_PRE_APPEND);
             let grant = GrantRecord {
@@ -659,6 +737,153 @@ impl SharedAccountant {
             inner.note_append();
         }
         Ok(())
+    }
+
+    /// [`try_spend_grant`](Self::try_spend_grant) with cooperative
+    /// cancellation and group commit.
+    ///
+    /// The token is consulted **before any ε is reserved**: an
+    /// already-cancelled token (e.g. an expired deadline) returns
+    /// [`DpError::Cancelled`] having spent nothing. When a
+    /// [`GroupCommitPolicy`] with `max_batch > 1` is installed on a durable
+    /// accountant, the spend is *admitted* (its ε reserved against the cap
+    /// under the accountant lock — concurrent admissions cannot jointly
+    /// breach it) and enqueued; the first enqueuer becomes the batch leader
+    /// and commits the whole queue with **one** append+fsync via
+    /// [`LedgerWriter::append_group`]. Every spend still returns only after
+    /// its own record is durable, so the WAL invariant is unchanged: success
+    /// implies durable, and the batch is charged in memory in exactly the
+    /// order it sits in the file, keeping recovery bit-exact.
+    ///
+    /// A token that cancels while the grant is still **queued** withdraws it
+    /// (reservation released, nothing spent). Once the leader has drained the
+    /// grant the commit is in flight and can no longer be withdrawn; the call
+    /// then reports the commit's outcome — a cancellation observed *after* a
+    /// durable commit is the caller's to handle (the ε is spent; grants are
+    /// never refunded).
+    pub fn try_spend_grant_cancellable(
+        &self,
+        request_id: u64,
+        label: impl Into<String>,
+        eps: Epsilon,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), DpError> {
+        if let Some(reason) = cancel.and_then(CancelToken::cancel_reason) {
+            return Err(DpError::Cancelled { reason });
+        }
+        let label = label.into();
+        // Admission: reserve against the cap and capture the window, all
+        // under the accountant lock, then release it before queueing so the
+        // leader can take it for the commit.
+        let window = {
+            let mut inner = self.lock();
+            match inner.group_commit {
+                Some(policy) if policy.batches() && inner.sink.is_some() => {
+                    inner.check_cap(eps.get())?;
+                    inner.pending_eps += eps.get();
+                    let mut window = policy.window();
+                    // Solo-spender fast path (PostgreSQL's commit_siblings):
+                    // holding the commit window open only pays when another
+                    // spender is already queued behind the ledger. An
+                    // uncontended spend commits immediately, so enabling
+                    // group commit never taxes a quiet shard — batches still
+                    // form under load, from grants that pile up while the
+                    // previous leader's fsync is in flight.
+                    if self.batcher.queued() == 0 {
+                        window.max_wait = Duration::ZERO;
+                    }
+                    window
+                }
+                _ => {
+                    drop(inner);
+                    return self.try_spend_grant(request_id, label, eps);
+                }
+            }
+        };
+        let pending = PendingGrant {
+            request_id,
+            label,
+            eps: eps.get(),
+        };
+        match self
+            .batcher
+            .submit(pending, window, cancel, |batch| self.commit_batch(batch))
+        {
+            Submit::Done(result) => result,
+            Submit::Cancelled { item, reason } => {
+                // Withdrawn before the leader drained it: release the
+                // reservation — nothing was appended, nothing spent.
+                let mut inner = self.lock();
+                inner.pending_eps = (inner.pending_eps - item.eps).max(0.0);
+                drop(inner);
+                Err(DpError::Cancelled { reason })
+            }
+        }
+    }
+
+    /// The batch leader's commit: one append+fsync for the whole batch, then
+    /// in-memory charges in file order. Runs under the accountant lock —
+    /// the same critical section discipline as the per-grant path, so
+    /// checkpoints and concurrent per-grant spends serialize against it.
+    fn commit_batch(&self, batch: Vec<PendingGrant>) -> Vec<Result<(), DpError>> {
+        let mut inner = self.lock();
+        let total: f64 = batch.iter().map(|g| g.eps).sum();
+        let records: Vec<GrantRecord> = batch
+            .iter()
+            .map(|g| GrantRecord {
+                request_id: g.request_id,
+                epsilon: g.eps,
+                label: g.label.clone(),
+                group: None,
+            })
+            .collect();
+        let append = match inner.sink.as_mut() {
+            Some(sink) => {
+                faultpoint::hit(SHARD_PRE_APPEND);
+                sink.append_group(&records).map_err(|e| e.to_string())
+            }
+            // The sink vanished between admission and commit (possible only
+            // through attach_ledger misuse); charge in memory regardless —
+            // admission already reserved the ε.
+            None => Ok(()),
+        };
+        // The reservation resolves either way: into charges on success,
+        // released on failure.
+        inner.pending_eps = (inner.pending_eps - total).max(0.0);
+        match append {
+            Err(message) => batch
+                .iter()
+                .map(|_| {
+                    Err(DpError::LedgerWrite {
+                        message: message.clone(),
+                    })
+                })
+                .collect(),
+            Ok(()) => {
+                let n = records.len() as u64;
+                for grant in batch {
+                    // Cap-bypassing charge: the record is already durable,
+                    // and a durable grant must be counted unconditionally —
+                    // admission did the cap check, and replay would count it.
+                    inner.acc.charge_replayed(grant.label, grant.eps);
+                    if grant.request_id != NO_REQUEST {
+                        inner.granted.push(grant.request_id);
+                    }
+                }
+                if inner.sink.is_some() {
+                    inner.note_batch(n);
+                }
+                (0..n).map(|_| Ok(())).collect()
+            }
+        }
+    }
+
+    /// Installs (or clears) the group-commit window for
+    /// [`try_spend_grant_cancellable`](Self::try_spend_grant_cancellable).
+    /// `None` — or any policy with `max_batch <= 1` — keeps the per-grant
+    /// append+fsync path.
+    pub fn set_group_commit(&self, policy: Option<GroupCommitPolicy>) {
+        self.lock().group_commit = policy;
     }
 
     /// Atomic parallel-composition variant of
@@ -685,7 +910,7 @@ impl SharedAccountant {
                 Some(max) => (eps.get() - max).max(0.0),
                 None => eps.get(),
             };
-            inner.acc.check_cap(extra)?;
+            inner.check_cap(extra)?;
             faultpoint::hit(SHARD_PRE_APPEND);
             let grant = GrantRecord {
                 request_id: NO_REQUEST,
@@ -1207,6 +1432,226 @@ mod tests {
         let mut ids: Vec<u64> = recovery.granted_ids().collect();
         ids.sort_unstable();
         assert_eq!(ids, (1..=7).collect::<Vec<u64>>());
+    }
+
+    fn wal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpx-budget-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn group_commit_batches_grants_under_one_fsync_and_recovers_bit_exact() {
+        const N: u64 = 8;
+        let path = wal_path("group-commit.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 100_000,
+            max_batch: N,
+        }));
+        let barrier = std::sync::Barrier::new(N as usize);
+        std::thread::scope(|scope| {
+            for id in 1..=N {
+                let acc = &acc;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    acc.try_spend_grant_cancellable(
+                        id,
+                        format!("request/{id}"),
+                        Epsilon::new(0.1).unwrap(),
+                        None,
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        let stats = acc.ledger_stats();
+        assert_eq!(stats.grants_appended, N);
+        assert!(
+            stats.append_batches < N,
+            "barrier-aligned spends must share at least one fsync \
+             (got {} batches for {N} grants)",
+            stats.append_batches
+        );
+        let mut ids = acc.granted_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=N).collect::<Vec<u64>>());
+        let live_bits = acc.spent().to_bits();
+        drop(acc);
+
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        assert_eq!(recovery.spent().to_bits(), live_bits, "Recovery::spent");
+        let resumed =
+            SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        assert_eq!(resumed.spent().to_bits(), live_bits, "replayed accountant");
+        let mut ids = resumed.granted_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=N).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn group_commit_admission_holds_cap_under_concurrency() {
+        // 16 racing 0.1-spends against a 0.5 cap through the grouped path:
+        // exactly 5 admitted, and the WAL holds exactly the accepted grants.
+        let path = wal_path("group-cap.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(0.5).unwrap()), writer, &recovery);
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 50_000,
+            max_batch: 16,
+        }));
+        let accepted = std::sync::atomic::AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(16);
+        std::thread::scope(|scope| {
+            for id in 1..=16u64 {
+                let acc = &acc;
+                let accepted = &accepted;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    if acc
+                        .try_spend_grant_cancellable(
+                            id,
+                            format!("request/{id}"),
+                            Epsilon::new(0.1).unwrap(),
+                            None,
+                        )
+                        .is_ok()
+                    {
+                        accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(accepted.load(std::sync::atomic::Ordering::Relaxed), 5);
+        assert!((acc.spent() - 0.5).abs() < 1e-9);
+        assert_eq!(acc.granted_ids().len(), 5);
+        drop(acc);
+        let recovery = crate::ledger::recover(&path).unwrap();
+        assert_eq!(recovery.grants.len(), 5, "rejections append nothing");
+        assert!((recovery.spent() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancellable_spend_pre_checks_token_without_spending() {
+        let path = wal_path("group-cancel.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &recovery);
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 1_000,
+            max_batch: 4,
+        }));
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = acc
+            .try_spend_grant_cancellable(1, "request/1", Epsilon::new(0.3).unwrap(), Some(&token))
+            .unwrap_err();
+        assert!(matches!(err, DpError::Cancelled { ref reason }
+            if reason == dpx_runtime::REASON_DEADLINE));
+        assert_eq!(acc.spent(), 0.0, "nothing reserved, nothing spent");
+        assert_eq!(acc.ledger_stats().grants_appended, 0);
+        assert!(acc.granted_ids().is_empty());
+    }
+
+    #[test]
+    fn disabled_group_commit_policy_keeps_per_grant_commits() {
+        let path = wal_path("group-off.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &recovery);
+        // max_batch <= 1 means "no batching", whatever the wait says.
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 50_000,
+            max_batch: 1,
+        }));
+        for id in 1..=3u64 {
+            acc.try_spend_grant_cancellable(
+                id,
+                format!("request/{id}"),
+                Epsilon::new(0.1).unwrap(),
+                None,
+            )
+            .unwrap();
+        }
+        let stats = acc.ledger_stats();
+        assert_eq!(stats.grants_appended, 3);
+        assert_eq!(stats.append_batches, 3, "one fsync per grant");
+    }
+
+    #[test]
+    fn solo_spender_skips_the_commit_window() {
+        // An uncontended spend must not wait out the window: with a 2-second
+        // window and nobody queued behind the ledger, three sequential spends
+        // complete in well under one window.
+        let path = wal_path("group-solo.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(1.0).unwrap()), writer, &recovery);
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 2_000_000,
+            max_batch: 8,
+        }));
+        let t0 = std::time::Instant::now();
+        for id in 1..=3u64 {
+            acc.try_spend_grant_cancellable(
+                id,
+                format!("request/{id}"),
+                Epsilon::new(0.1).unwrap(),
+                None,
+            )
+            .unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "solo spends waited out the group-commit window ({:?})",
+            t0.elapsed()
+        );
+        let stats = acc.ledger_stats();
+        assert_eq!(stats.grants_appended, 3);
+        assert_eq!(stats.append_batches, 3, "each solo spend is its own batch");
+    }
+
+    #[test]
+    fn group_commit_auto_checkpoints_once_per_batch() {
+        let path = wal_path("group-ckpt.wal");
+        let (writer, recovery) = LedgerWriter::open(&path).unwrap();
+        let acc = SharedAccountant::recovered(Some(Epsilon::new(10.0).unwrap()), writer, &recovery);
+        acc.set_checkpoint_every(Some(2));
+        acc.set_group_commit(Some(GroupCommitPolicy {
+            max_wait_us: 100_000,
+            max_batch: 6,
+        }));
+        let barrier = std::sync::Barrier::new(6);
+        std::thread::scope(|scope| {
+            for id in 1..=6u64 {
+                let acc = &acc;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    acc.try_spend_grant_cancellable(
+                        id,
+                        format!("request/{id}"),
+                        Epsilon::new(0.1).unwrap(),
+                        None,
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        let stats = acc.ledger_stats();
+        // Accounting is per batch: each fsynced batch triggers at most one
+        // compaction, so checkpoints never exceed batches even though six
+        // grants crossed the every-2 threshold three times.
+        assert!(stats.checkpoints_written >= 1);
+        assert!(stats.checkpoints_written <= stats.append_batches);
+        let spent_bits = acc.spent().to_bits();
+        drop(acc);
+        let (_, recovery) = LedgerWriter::open(&path).unwrap();
+        assert_eq!(recovery.spent().to_bits(), spent_bits);
+        let mut ids: Vec<u64> = recovery.granted_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=6).collect::<Vec<u64>>());
     }
 
     #[test]

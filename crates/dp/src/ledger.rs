@@ -60,7 +60,8 @@
 //! deterministic and free).
 
 use dpx_runtime::faultpoint::{
-    LEDGER_CKPT_POST_RENAME, LEDGER_CKPT_PRE_RENAME, LEDGER_POST_FSYNC, LEDGER_PRE_FSYNC,
+    LEDGER_CKPT_POST_RENAME, LEDGER_CKPT_PRE_RENAME, LEDGER_GROUP_POST_FSYNC,
+    LEDGER_GROUP_PRE_FSYNC, LEDGER_POST_FSYNC, LEDGER_PRE_FSYNC,
 };
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -732,6 +733,26 @@ impl LedgerWriter {
         Ok(())
     }
 
+    /// Appends a **group-commit batch** under a single `fsync` — identical
+    /// bytes to [`LedgerWriter::append_all`], but instrumented with the
+    /// group-commit fault points (`ledger.group_pre_fsync` /
+    /// `ledger.group_post_fsync`) so the crash matrix can kill a serving
+    /// process exactly mid-batch. A crash before the fsync may leave any
+    /// prefix of the batch (recovery truncates a torn tail as usual); after
+    /// the fsync the whole batch is durable even though no spender in it has
+    /// been acked yet.
+    pub fn append_group(&mut self, grants: &[GrantRecord]) -> Result<(), LedgerError> {
+        let mut bytes = Vec::new();
+        for grant in grants {
+            bytes.extend_from_slice(&encode_record(grant));
+        }
+        self.file.write_all(&bytes)?;
+        dpx_runtime::faultpoint::hit(LEDGER_GROUP_PRE_FSYNC);
+        self.file.sync_data()?;
+        dpx_runtime::faultpoint::hit(LEDGER_GROUP_POST_FSYNC);
+        Ok(())
+    }
+
     /// Atomically replaces the log with `magic + checkpoint`, truncating the
     /// replayed prefix. The replacement is written to a sibling tmp file and
     /// synced **before** an atomic `rename` over the log, so a kill at any
@@ -933,6 +954,34 @@ mod tests {
         drop(writer);
         let recovered = recover(&path).unwrap();
         assert_eq!(recovered.grants, sample_grants());
+    }
+
+    #[test]
+    fn append_group_is_bytewise_identical_to_append_all() {
+        let grouped = tmp("group.wal");
+        let bulk = tmp("bulk.wal");
+        let (mut gw, _) = LedgerWriter::open(&grouped).unwrap();
+        let (mut bw, _) = LedgerWriter::open(&bulk).unwrap();
+        let pre = dpx_runtime::faultpoint::hits(LEDGER_GROUP_PRE_FSYNC);
+        let post = dpx_runtime::faultpoint::hits(LEDGER_GROUP_POST_FSYNC);
+        gw.append_group(&sample_grants()).unwrap();
+        bw.append_all(&sample_grants()).unwrap();
+        assert_eq!(
+            dpx_runtime::faultpoint::hits(LEDGER_GROUP_PRE_FSYNC),
+            pre + 1
+        );
+        assert_eq!(
+            dpx_runtime::faultpoint::hits(LEDGER_GROUP_POST_FSYNC),
+            post + 1
+        );
+        drop(gw);
+        drop(bw);
+        assert_eq!(
+            std::fs::read(&grouped).unwrap(),
+            std::fs::read(&bulk).unwrap(),
+            "group commit changes instrumentation, never bytes"
+        );
+        assert_eq!(recover(&grouped).unwrap().grants, sample_grants());
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub mod shards;
 pub mod sparse_vector;
 pub mod topk;
 
-pub use budget::{Accountant, Epsilon, LedgerStats, Sensitivity, SharedAccountant};
+pub use budget::{
+    Accountant, Epsilon, GroupCommitPolicy, LedgerStats, Sensitivity, SharedAccountant,
+};
 pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;
 pub use exponential::exponential_mechanism;

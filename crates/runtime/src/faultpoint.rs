@@ -43,6 +43,14 @@ pub const SERVICE_POST_RESPOND: &str = "service.post_respond";
 /// appended the grant to its WAL. A kill here must lose the request, never
 /// the budget invariant.
 pub const SHARD_PRE_APPEND: &str = "shard.pre_append";
+/// Fault point: a group-commit batch of ledger records has been written but
+/// not yet fsynced. A kill here may tear the batch mid-record; recovery must
+/// truncate the tail and count only the durable prefix.
+pub const LEDGER_GROUP_PRE_FSYNC: &str = "ledger.group_pre_fsync";
+/// Fault point: a group-commit batch is durable but no spender in the batch
+/// has been acked or charged in memory. Recovery must count every grant in
+/// the batch; none of their responses may have been flushed.
+pub const LEDGER_GROUP_POST_FSYNC: &str = "ledger.group_post_fsync";
 /// Fault point: a checkpoint's compacted replacement file is written and
 /// synced, but the atomic rename over the live WAL has not happened. A kill
 /// here must leave the full-history WAL intact (plus a stale tmp to sweep).

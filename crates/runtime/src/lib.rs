@@ -34,16 +34,31 @@
 //! * [`faultpoint`] — named, environment-armed crash points
 //!   (`ledger.pre_fsync`, `service.pre_spend`, …) that let a test harness
 //!   kill a serving process at one exact state and assert recovery.
+//!
+//! The serving hot path amortizes its per-request costs with two more
+//! coordination primitives, value-agnostic so the DP and engine crates can
+//! apply them to grants and count tables respectively:
+//!
+//! * [`batch`] — a leader/follower [`Batcher`]: the first submitter commits
+//!   the whole queue in one `process` call (group commit), every submitter
+//!   still acks only after its own item is committed.
+//! * [`singleflight`] — a [`SingleFlight`] key set: one builder per key,
+//!   followers block on the flight instead of duplicating the build, and a
+//!   panicking builder releases the key instead of wedging them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cancel;
 pub mod faultpoint;
 pub mod parallel;
+pub mod singleflight;
 
+pub use batch::{BatchWindow, Batcher, Submit};
 pub use cancel::{CancelToken, REASON_DEADLINE};
 pub use parallel::{
     chunk_worker_reduce, chunked_reduce, default_threads, ordered_parallel_map,
     ordered_parallel_map_catch, pairwise_merge,
 };
+pub use singleflight::{Claim, FlightGuard, SingleFlight};

@@ -1,0 +1,281 @@
+//! Single-flight coordination: at most one builder per key, followers wait.
+//!
+//! A first-insert-wins cache dedupes *storage* but not *work*: N racing
+//! requests for the same key each run the expensive build and N−1 results
+//! are thrown away. [`SingleFlight`] dedupes the work itself — the first
+//! claimant of a key becomes its **leader** (and runs the build); every
+//! later claimant is a **follower** that blocks until the leader's flight
+//! lands, then reads the leader's result out of whatever map the caller
+//! keeps.
+//!
+//! This type deliberately stores *no values*. It is pure coordination over a
+//! key set, composed with an existing map like so:
+//!
+//! ```text
+//! loop {
+//!     if let Some(v) = map.get(key) { return v; }        // fast path
+//!     match flight.claim(key) {
+//!         Leader(guard) => {
+//!             let v = build();                            // outside locks
+//!             map.insert(key, v);                         // before drop!
+//!             drop(guard);                                // wakes followers
+//!             return map.get(key);
+//!         }
+//!         Follower => {
+//!             flight.wait(key, cancel)?;                  // leader landed
+//!             // loop: re-check the map. If the leader panicked the map is
+//!             // still empty and claim() will elect a new leader — us.
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! The [`FlightGuard`] releases its key on `Drop`, so a **panicking leader
+//! cannot wedge followers**: its guard unwinds, followers wake, find the map
+//! still empty, and the next claimant re-runs the build. The leader must
+//! insert into the value map *before* dropping the guard — that ordering is
+//! what lets followers equate "flight landed" with "value visible or leader
+//! died".
+
+use crate::cancel::CancelToken;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Poll granularity for cancellable waits (the token's deadline is not
+/// exposed as an `Instant`, so the wait wakes briefly to re-poll it).
+const CANCEL_POLL: Duration = Duration::from_millis(1);
+
+/// The outcome of [`SingleFlight::claim`].
+#[derive(Debug)]
+pub enum Claim<'a, K: Eq + Hash + Clone> {
+    /// No flight was in progress for the key: the caller is now the leader
+    /// and must build, publish, then drop the guard.
+    Leader(FlightGuard<'a, K>),
+    /// Another claimant is already building this key; call
+    /// [`SingleFlight::wait`] and re-check the value map.
+    Follower,
+}
+
+/// Marks a key in flight until dropped (panic-safe: unwinding releases it).
+#[derive(Debug)]
+pub struct FlightGuard<'a, K: Eq + Hash + Clone> {
+    flight: &'a SingleFlight<K>,
+    key: K,
+}
+
+impl<K: Eq + Hash + Clone> Drop for FlightGuard<'_, K> {
+    fn drop(&mut self) {
+        let mut inflight = self.flight.lock();
+        inflight.remove(&self.key);
+        drop(inflight);
+        self.flight.cv.notify_all();
+    }
+}
+
+/// A set of in-flight keys with leader election and follower wakeup. See the
+/// module docs for the composition pattern with a value map.
+#[derive(Debug)]
+pub struct SingleFlight<K> {
+    inflight: Mutex<HashSet<K>>,
+    cv: Condvar,
+}
+
+// Manual impl: the derive would demand `K: Default`, which an empty set of
+// keys does not actually need.
+impl<K> Default for SingleFlight<K> {
+    fn default() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// An empty flight set.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The set is only ever observed whole; recovering a poisoned lock is
+    /// safe (and a poisoning panic already released its guard's key).
+    fn lock(&self) -> MutexGuard<'_, HashSet<K>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Claims `key`: [`Claim::Leader`] if no flight is in progress (the key
+    /// is now marked in flight until the guard drops), else
+    /// [`Claim::Follower`].
+    pub fn claim(&self, key: &K) -> Claim<'_, K> {
+        let mut inflight = self.lock();
+        if inflight.insert(key.clone()) {
+            Claim::Leader(FlightGuard {
+                flight: self,
+                key: key.clone(),
+            })
+        } else {
+            Claim::Follower
+        }
+    }
+
+    /// Blocks until no flight is in progress for `key` (i.e. the leader's
+    /// guard dropped — success or panic). With a token, the wait polls it
+    /// and returns `Err(reason)` if it cancels first.
+    pub fn wait(&self, key: &K, cancel: Option<&CancelToken>) -> Result<(), String> {
+        let mut inflight = self.lock();
+        while inflight.contains(key) {
+            match cancel {
+                Some(token) => {
+                    if let Some(reason) = token.cancel_reason() {
+                        return Err(reason);
+                    }
+                    let (next, _) = self
+                        .cv
+                        .wait_timeout(inflight, CANCEL_POLL)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inflight = next;
+                }
+                None => {
+                    inflight = self
+                        .cv
+                        .wait(inflight)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `key` currently has a flight in progress (test observability).
+    pub fn in_flight(&self, key: &K) -> bool {
+        self.lock().contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::thread;
+
+    /// The canonical composition: a shared map guarded by single-flight.
+    fn get_or_build(
+        map: &Mutex<std::collections::HashMap<u64, u64>>,
+        flight: &SingleFlight<u64>,
+        key: u64,
+        builds: &AtomicUsize,
+        build: impl Fn() -> u64,
+    ) -> u64 {
+        loop {
+            if let Some(v) = map.lock().unwrap().get(&key) {
+                return *v;
+            }
+            match flight.claim(&key) {
+                Claim::Leader(guard) => {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    let v = build();
+                    map.lock().unwrap().insert(key, v);
+                    drop(guard);
+                    return v;
+                }
+                Claim::Follower => {
+                    flight.wait(&key, None).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leader_claim_marks_key_until_guard_drops() {
+        let flight: SingleFlight<u64> = SingleFlight::new();
+        let guard = match flight.claim(&1) {
+            Claim::Leader(g) => g,
+            Claim::Follower => panic!("first claim must lead"),
+        };
+        assert!(flight.in_flight(&1));
+        assert!(matches!(flight.claim(&1), Claim::Follower));
+        assert!(
+            matches!(flight.claim(&2), Claim::Leader(_)),
+            "other keys fly free"
+        );
+        drop(guard);
+        assert!(!flight.in_flight(&1));
+        assert!(matches!(flight.claim(&1), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn racing_claimants_build_exactly_once() {
+        const N: usize = 8;
+        let map = Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let flight: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let map = Arc::clone(&map);
+                let flight = Arc::clone(&flight);
+                let builds = Arc::clone(&builds);
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    get_or_build(&map, &flight, 42, &builds, || {
+                        // Slow build: every other thread must arrive while
+                        // the flight is still up.
+                        thread::sleep(Duration::from_millis(30));
+                        4242
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 4242);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one build for N racers");
+    }
+
+    #[test]
+    fn panicking_leader_releases_key_and_follower_retries() {
+        let map = Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let flight: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let doomed = {
+            let flight = Arc::clone(&flight);
+            thread::spawn(move || {
+                let _guard = match flight.claim(&7) {
+                    Claim::Leader(g) => g,
+                    Claim::Follower => panic!("must lead"),
+                };
+                thread::sleep(Duration::from_millis(20));
+                panic!("builder died");
+            })
+        };
+        thread::sleep(Duration::from_millis(5));
+        // Follower arrives while the doomed flight is up, then must retry
+        // and complete the build itself instead of wedging.
+        let v = get_or_build(&map, &flight, 7, &builds, || 77);
+        assert_eq!(v, 77);
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "follower's retry built");
+        assert!(doomed.join().is_err());
+        assert!(!flight.in_flight(&7));
+    }
+
+    #[test]
+    fn cancellable_wait_returns_reason_without_wedging() {
+        let flight: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let guard = match flight.claim(&9) {
+            Claim::Leader(g) => g,
+            Claim::Follower => panic!("must lead"),
+        };
+        let token = CancelToken::with_deadline(Duration::from_millis(5));
+        let err = flight.wait(&9, Some(&token)).unwrap_err();
+        assert_eq!(err, crate::cancel::REASON_DEADLINE);
+        drop(guard);
+        assert_eq!(flight.wait(&9, Some(&CancelToken::new())), Ok(()));
+    }
+}

@@ -121,7 +121,12 @@ impl Json {
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Renders the value **appending** into `out` — the allocation-conscious
+    /// core of [`Json::render`]. The serving response writer calls this with
+    /// one long-lived buffer per worker, so steady-state rendering performs
+    /// no `String` allocation at all (the buffer amortizes to the largest
+    /// response it has ever held). Identical bytes to [`Json::render`].
+    pub fn render_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),

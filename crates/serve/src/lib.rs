@@ -36,11 +36,17 @@
 //! [`BatchOptions::checkpoint_every`] bounds replay by compacting each
 //! shard's WAL to a checkpoint record, and
 //! [`ExplainService::run_batch_streamed`] streams each response to a sink as
-//! it is produced so a crash loses at most the in-flight lines. Requests are
-//! deadline-bounded cooperatively: the engine polls a
-//! [`CancelToken`](dpx_runtime::CancelToken) at stage boundaries and an
-//! expired request answers `ok: false` with reason `deadline_exceeded`, its
-//! reserved ε deliberately left spent.
+//! it is produced so a crash loses at most the in-flight lines. Under
+//! contention the ledger **group-commits**: concurrent spenders' grants are
+//! appended and fsynced as one batch by a leader thread (see
+//! [`GroupCommitPolicy`](dpx_dp::GroupCommitPolicy)), every spend still
+//! acking only after *its own* record is durable. Requests are
+//! deadline-bounded cooperatively: a [`CancelToken`](dpx_runtime::CancelToken)
+//! minted before the spend bounds time queued in the commit window, time
+//! blocked on another request's in-flight counts build, and the engine's
+//! stage boundaries. A request that expires *before* its grant commits
+//! answers `ok: false` with reason `deadline_exceeded` and spends no ε; one
+//! that expires later keeps its reserved ε spent.
 //!
 //! The `dpclustx-cli serve-batch` subcommand wires this crate to files:
 //! JSONL requests in, JSONL responses (sorted by id) out.

@@ -340,17 +340,25 @@ impl DatasetRegistry {
                 continue;
             };
             let delta_labels = derive_labels(&delta, cluster_by, n_clusters);
-            let mut counts: ClusteredCounts = hit.counts.clone();
-            counts.apply_delta(&delta, &delta_labels, &empty, &[]);
-            let table = ScoreTable::from_clustered_counts(&counts);
             let mut new_labels = old_labels;
             new_labels.extend_from_slice(&delta_labels);
             let new_key = CountsKey {
                 dataset_fingerprint: new_fingerprint,
                 labels_hash: hash_labels(&new_labels, n_clusters),
             };
-            cache.insert(new_key, CountedTables { counts, table });
-            refreshed += 1;
+            // The re-key goes through the cache's single-flight discipline
+            // like any other build: if a racing request is already building
+            // (or has built) the chained key, its tables win and the
+            // O(|delta|) refresh is skipped instead of overwriting them.
+            let (_, was_cached) = cache.get_or_build(new_key, || {
+                let mut counts: ClusteredCounts = hit.counts.clone();
+                counts.apply_delta(&delta, &delta_labels, &empty, &[]);
+                let table = ScoreTable::from_clustered_counts(&counts);
+                CountedTables { counts, table }
+            });
+            if !was_cached {
+                refreshed += 1;
+            }
         }
         let total_rows = new_data.n_rows() as u64;
         let successor = Arc::new(entry.successor(Arc::new(new_data), new_fingerprint));

@@ -69,9 +69,12 @@ pub struct ExplainRequest {
     /// Apply the partition-consistency projection to released histograms.
     pub consistency: bool,
     /// Per-request wall-clock budget in milliseconds (`None`: the batch
-    /// default, or unbounded). The engine polls the deadline at stage
-    /// boundaries; an expired request answers `ok: false` with reason
-    /// `deadline_exceeded` while its reserved ε stays spent.
+    /// default, or unbounded). The deadline bounds the whole serving path —
+    /// admission (including time queued in the ledger's group-commit window
+    /// or blocked on another request's in-flight counts build) and the
+    /// engine's stage boundaries. A request that expires *before* its ε
+    /// grant commits answers `ok: false` with reason `deadline_exceeded`
+    /// and spends nothing; one that expires after commits keeps its ε spent.
     pub deadline_ms: Option<u64>,
     /// What the request asks for (explain by default, or a dataset append).
     pub op: RequestOp,
@@ -517,6 +520,21 @@ impl ExplainResponse {
     /// deterministic function of the request and the dataset (see module
     /// docs), so identical batches render identical lines.
     pub fn to_json_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Renders the response line into `buf`, clearing it first — the
+    /// buffer-reuse form of [`ExplainResponse::to_json_line`]. The batch
+    /// response writers keep one buffer per worker/stream, so steady-state
+    /// serialization stops allocating a fresh `String` per response (the
+    /// buffer amortizes to the largest line it has held). Identical bytes.
+    pub fn render_json_line_into(&self, buf: &mut String) {
+        buf.clear();
+        self.to_json().render_into(buf);
+    }
+
+    /// The response's JSON tree (shared by both render paths).
+    fn to_json(&self) -> Json {
         let obj = Json::object()
             .field("id", self.id)
             .field("ok", self.is_ok());
@@ -529,7 +547,7 @@ impl ExplainResponse {
                 if let Some(remaining) = self.eps_remaining {
                     obj = obj.field("eps_remaining", remaining);
                 }
-                obj.render()
+                obj
             }
             // `refreshed_clusterings` is deliberately NOT serialized: how
             // many cached clusterings an append refreshes depends on cache
@@ -539,8 +557,7 @@ impl ExplainResponse {
             Ok(ServedOutcome::Append(summary)) => obj
                 .field("op", "append")
                 .field("appended", summary.appended)
-                .field("total_rows", summary.total_rows)
-                .render(),
+                .field("total_rows", summary.total_rows),
             Ok(ServedOutcome::Explain(served)) => {
                 let stages: Vec<Json> = served
                     .stages
@@ -599,7 +616,6 @@ impl ExplainResponse {
                 .field("eps_spent", served.eps_spent)
                 .field("stages", stages)
                 .field("clusters", clusters)
-                .render()
             }
         }
     }

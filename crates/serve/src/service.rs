@@ -104,14 +104,20 @@ pub fn parse_requests<R: BufRead>(reader: R) -> Result<Vec<ExplainRequest>, Serv
 }
 
 /// Writes responses as JSONL, sorted by request id (ties keep batch order).
+/// One serialization buffer is reused across the whole stream — after the
+/// first line it amortizes to the largest response and rendering allocates
+/// nothing per line.
 pub fn write_responses<W: Write>(
     responses: &[ExplainResponse],
     writer: &mut W,
 ) -> Result<(), ServeError> {
     let mut sorted: Vec<&ExplainResponse> = responses.iter().collect();
     sorted.sort_by_key(|r| r.id);
+    let mut line = String::new();
     for response in sorted {
-        writeln!(writer, "{}", response.to_json_line())?;
+        response.render_json_line_into(&mut line);
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
     }
     Ok(())
 }
@@ -281,6 +287,16 @@ impl ExplainService {
         }
         let total = Epsilon::new(request.total_epsilon())
             .map_err(|e| ServeFailure::plain(e.to_string()))?;
+        // The deadline token is minted BEFORE the spend so that it bounds the
+        // whole serving path: time queued behind a group-commit batch, time
+        // blocked on another request's in-flight counts build, and the
+        // pipeline's stage boundaries. A request whose deadline expires
+        // before its grant commits answers `deadline_exceeded` with NO ε
+        // spent; once the grant is durable the ε stays spent, refund-free.
+        let cancel = request
+            .deadline_ms
+            .or(opts.deadline_ms)
+            .map(|ms| CancelToken::with_deadline(Duration::from_millis(ms)));
         if opts.granted.contains(&request.id) {
             // This id already holds a durable grant from a crashed run: its ε
             // is reserved, so spending again would double-charge the cap.
@@ -294,7 +310,12 @@ impl ExplainService {
             // absorb it, the request is rejected with nothing recorded.
             entry
                 .accountant()
-                .try_spend_grant(request.id, format!("request/{}", request.id), total)
+                .try_spend_grant_cancellable(
+                    request.id,
+                    format!("request/{}", request.id),
+                    total,
+                    cancel.as_ref(),
+                )
                 .map_err(|e| match e {
                     DpError::BudgetExceeded { .. } => ServeFailure {
                         message: format!("budget rejected: {e}"),
@@ -303,6 +324,13 @@ impl ExplainService {
                     DpError::LedgerWrite { .. } => ServeFailure {
                         message: e.to_string(),
                         reason: Some(reason::LEDGER_WRITE.to_string()),
+                    },
+                    // Cancelled pre-spend (or withdrawn from the commit
+                    // queue): nothing was appended and nothing charged, so
+                    // this failure costs the caller no ε.
+                    DpError::Cancelled { ref reason } => ServeFailure {
+                        reason: Some(reason.clone()),
+                        message: e.to_string(),
                     },
                     other => ServeFailure::plain(format!("budget rejected: {other}")),
                 })?;
@@ -322,8 +350,8 @@ impl ExplainService {
         );
         let mut engine =
             ExplainEngine::new(request.config()).with_stage2_kernel(request.stage2_kernel);
-        if let Some(ms) = request.deadline_ms.or(opts.deadline_ms) {
-            engine = engine.with_cancel(CancelToken::with_deadline(Duration::from_millis(ms)));
+        if let Some(token) = cancel {
+            engine = engine.with_cancel(token);
         }
         let mut observer = CollectingObserver::new();
         let outcome = engine
@@ -594,7 +622,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_times_out_with_reason_and_spent_budget() {
+    fn zero_deadline_times_out_before_spending_any_epsilon() {
         let registry = registry_with("default", Some(1.0));
         let service = ExplainService::new(Arc::clone(&registry)).with_workers(1);
         let mut req = ExplainRequest::new(1);
@@ -603,11 +631,13 @@ mod tests {
         assert_eq!(response.reason.as_deref(), Some("deadline_exceeded"));
         let err = response.outcome.unwrap_err();
         assert!(err.contains("deadline_exceeded"), "{err}");
-        // Reservation-before-work: the ε stays spent even though no
-        // explanation was released.
+        // The token is checked before the grant commits: a request that is
+        // already over its deadline is turned away with NO ε spent — the cap
+        // keeps its full headroom for requests that can still be served.
         let entry = registry.get("default").unwrap();
-        assert!((entry.accountant().spent() - 0.3).abs() < 1e-12);
-        assert!((response.eps_remaining.unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(entry.accountant().spent(), 0.0);
+        assert_eq!(entry.accountant().num_charges(), 0);
+        assert!((response.eps_remaining.unwrap() - 1.0).abs() < 1e-12);
 
         // The batch-level default applies to requests without their own.
         let opts = BatchOptions {
@@ -616,6 +646,7 @@ mod tests {
         };
         let response = service.execute_opts(&ExplainRequest::new(2), &opts, &GeometricHistogram);
         assert_eq!(response.reason.as_deref(), Some("deadline_exceeded"));
+        assert_eq!(entry.accountant().spent(), 0.0, "still nothing spent");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Proves the response writer's buffer-reuse contract with a counting
+//! allocator: rendering into a warm, long-lived buffer is (amortized)
+//! allocation-free, and the buffered response path allocates strictly less
+//! than materializing a fresh `String` per line.
+//!
+//! Everything is asserted from ONE test function: the counter is global to
+//! the process, so concurrently running tests in this binary would pollute
+//! each other's windows.
+
+use dpx_serve::{ExplainResponse, Json};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts every heap acquisition (alloc + realloc); frees are not counted.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn reused_buffer_amortizes_response_rendering_to_zero_allocations() {
+    const ITERS: usize = 1000;
+    let response = ExplainResponse::error(42, "budget rejected: cap exceeded")
+        .with_reason("budget_exceeded")
+        .with_eps_remaining(0.125);
+
+    // (1) The render core: once the buffer holds its final capacity,
+    // `Json::render_into` touches the heap zero times per render. A handful
+    // of stray allocations are tolerated (the process is not hermetic); one
+    // per render is not.
+    let tree = Json::parse(&response.to_json_line()).unwrap();
+    let mut buf = String::new();
+    tree.render_into(&mut buf); // warm the buffer
+    let before = allocations();
+    for _ in 0..ITERS {
+        buf.clear();
+        tree.render_into(&mut buf);
+    }
+    let spent = allocations() - before;
+    assert!(
+        spent < ITERS / 100,
+        "render_into allocated {spent} times over {ITERS} warm renders"
+    );
+
+    // (2) The response path: the buffered form renders identical bytes and
+    // saves at least the per-line `String` allocation that `to_json_line`
+    // pays (both still build the JSON tree).
+    let mut line = String::new();
+    response.render_json_line_into(&mut line); // warm
+    assert_eq!(line, response.to_json_line(), "identical bytes");
+
+    let before = allocations();
+    for _ in 0..ITERS {
+        response.render_json_line_into(&mut line);
+    }
+    let with_reuse = allocations() - before;
+
+    let before = allocations();
+    let mut total_len = 0usize;
+    for _ in 0..ITERS {
+        total_len += response.to_json_line().len(); // keep the call observable
+    }
+    let with_fresh = allocations() - before;
+    assert!(total_len > 0);
+    assert!(
+        with_reuse + ITERS <= with_fresh,
+        "reuse={with_reuse} fresh={with_fresh}: expected ≥1 saved allocation per line"
+    );
+}
