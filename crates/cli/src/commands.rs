@@ -254,8 +254,8 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
 fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
     use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
     use dpx_serve::{
-        parse_requests, AccountantShards, BatchOptions, DatasetRegistry, ExplainService,
-        ShardConfig,
+        parse_requests_lenient, reject_response, AccountantShards, BatchOptions, DatasetRegistry,
+        ExplainService, ShardConfig,
     };
     use std::collections::HashSet;
     use std::io::Write as _;
@@ -340,9 +340,26 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         None => registry.register(name, Arc::new(data), cap),
     };
     let granted: HashSet<u64> = entry.accountant().granted_ids().into_iter().collect();
-    let requests = parse_requests(BufReader::new(File::open(&requests_path)?))
+    // Lenient wire parsing: a hostile line that declares an id is answered
+    // with a per-request error response echoing that id (shaped like a
+    // budget rejection, eps_remaining included on capped datasets). A line
+    // with no parseable id cannot be answered on the id-keyed response
+    // stream, so it fails the batch like it always did.
+    let (requests, rejects) = parse_requests_lenient(BufReader::new(File::open(&requests_path)?))
         .map_err(|e| CliError::Usage(e.to_string()))?;
-    let n_requests = requests.len();
+    if let Some(bad) = rejects.iter().find(|r| r.id.is_none()) {
+        return Err(CliError::Usage(format!(
+            "bad request on line {}: {}",
+            bad.line, bad.message
+        )));
+    }
+    let n_requests = requests.len() + rejects.len();
+    // Synthesized now — before any request runs — so the headroom a reject
+    // echoes is the recovered pre-batch reading, not a mid-storm race.
+    let reject_responses: Vec<dpx_serve::ExplainResponse> = rejects
+        .iter()
+        .filter_map(|reject| reject_response(reject, &registry))
+        .collect();
 
     // --resume keeps whatever response lines the interrupted run already
     // flushed (a torn final line is dropped) and only re-runs the rest.
@@ -355,10 +372,15 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         .filter(|r| r.is_append())
         .map(|r| r.id)
         .collect();
+    // Wire-reject answers are likewise dropped from the kept set: the
+    // request file is their only source of truth and they are re-synthesized
+    // on every run (a reject's id may collide with the request that
+    // legitimately owns it, so resuming them by id would be ambiguous).
     let kept: Vec<(u64, String)> = if resume {
         read_kept_responses(&out_path)?
             .into_iter()
             .filter(|(id, _)| !append_ids.contains(id))
+            .filter(|(_, line)| !is_wire_reject_line(line))
             .collect()
     } else {
         Vec::new()
@@ -383,6 +405,11 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
     for (_, line) in &kept {
         writeln!(stream, "{line}")?;
     }
+    // Reject answers are durable before the batch starts: they depend only
+    // on the request file and the recovered budget, not on the run.
+    for response in &reject_responses {
+        writeln!(stream, "{}", response.to_json_line())?;
+    }
     stream.flush()?;
     let stream = Mutex::new(stream);
     let responses = service.run_batch_streamed(
@@ -406,6 +433,10 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
 
     let mut lines: Vec<(u64, String)> = kept;
     lines.extend(responses.iter().map(|r| (r.id, r.to_json_line())));
+    // Rejects sort after the executed response when an id collides (a
+    // duplicate-id reject shares its id with the request that owns it);
+    // the sort is stable, so the order is deterministic.
+    lines.extend(reject_responses.iter().map(|r| (r.id, r.to_json_line())));
     lines.sort_by_key(|&(id, _)| id);
     let mut writer = BufWriter::new(File::create(&out_path)?);
     for (_, line) in &lines {
@@ -419,6 +450,13 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
             "resumed: kept {} previously written responses, re-ran {}",
             kept_ids.len(),
             lines.len() - kept_ids.len()
+        )?;
+    }
+    if !reject_responses.is_empty() {
+        writeln!(
+            out,
+            "rejected {} hostile request lines at the wire (answered on the response stream)",
+            reject_responses.len()
         )?;
     }
     writeln!(
@@ -478,6 +516,22 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         }
     }
     Ok(())
+}
+
+/// Whether a kept response line is a synthesized wire-reject answer
+/// (duplicate id, invalid ε, undecodable line). Those are never resumed:
+/// the request file is their only source of truth, they cost no ε to
+/// re-synthesize, and a duplicate-id reject shares its id with the request
+/// that legitimately owns it — resuming by id would swallow the real one.
+fn is_wire_reject_line(line: &str) -> bool {
+    use dpx_serve::reject_reason;
+    [
+        reject_reason::DUPLICATE_ID,
+        reject_reason::INVALID_EPSILON,
+        reject_reason::BAD_LINE,
+    ]
+    .iter()
+    .any(|class| line.contains(&format!("\"reason\":\"{class}\"")))
 }
 
 /// Reads the response lines an interrupted `serve-batch` already wrote to
@@ -859,6 +913,99 @@ mod tests {
             2,
             "rejections surface in responses:\n{body}"
         );
+    }
+
+    #[test]
+    fn serve_batch_answers_duplicate_id_and_invalid_epsilon_lines() {
+        let dir = tmpdir();
+        let prefix = dir.join("hostile");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "400",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let reqs = dir.join("hostile-reqs.jsonl");
+        // id 1 is claimed, replayed (must reject, original still served),
+        // and id 9 asks for a negative ε (must reject at the wire).
+        std::fs::write(
+            &reqs,
+            concat!(
+                "{\"id\": 1, \"seed\": 3}\n",
+                "{\"id\": 2}\n",
+                "{\"id\": 1, \"seed\": 99}\n",
+                "{\"id\": 9, \"eps_cand\": -0.5}\n",
+            ),
+        )
+        .unwrap();
+        let resp = dir.join("hostile-resp.jsonl");
+        let mut outputs = Vec::new();
+        for workers in ["1", "3"] {
+            let text = run_cli(&[
+                "serve-batch",
+                "--data",
+                &format!("{prefix_s}.csv"),
+                "--schema",
+                &format!("{prefix_s}.schema"),
+                "--requests",
+                reqs.to_str().unwrap(),
+                "--out",
+                resp.to_str().unwrap(),
+                "--workers",
+                workers,
+                "--budget",
+                "2.0",
+            ])
+            .unwrap();
+            assert!(text.contains("rejected 2 hostile request lines"), "{text}");
+            assert!(text.contains("served 4 requests"), "{text}");
+            assert!(text.contains("2 ok, 2 failed"), "{text}");
+            outputs.push(std::fs::read(&resp).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "rejects broke worker determinism");
+        let body = String::from_utf8(outputs[0].clone()).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 4, "one answer per request line:\n{body}");
+        // id 1: the original execution first, then the replay's reject —
+        // echoing the id, the typed reason, and the capped headroom.
+        assert!(
+            lines[0].starts_with("{\"id\":1,\"ok\":true"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("{\"id\":1,\"ok\":false"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[1].contains("\"reason\":\"duplicate_id\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"eps_remaining\":"), "{}", lines[1]);
+        assert!(lines[1].contains("duplicate request id 1"), "{}", lines[1]);
+        assert!(
+            lines[2].starts_with("{\"id\":2,\"ok\":true"),
+            "{}",
+            lines[2]
+        );
+        assert!(
+            lines[3].starts_with("{\"id\":9,\"ok\":false"),
+            "{}",
+            lines[3]
+        );
+        assert!(
+            lines[3].contains("\"reason\":\"invalid_epsilon\""),
+            "{}",
+            lines[3]
+        );
+        assert!(lines[3].contains("\"eps_remaining\":2"), "{}", lines[3]);
     }
 
     #[test]

@@ -418,3 +418,203 @@ fn group_commit_kill_mid_batch_recovers_all_or_none() {
         "only {crashed}/{scenarios} group-commit kills actually fired"
     );
 }
+
+/// Kills at the group-commit fault points while an **abuse storm** — not a
+/// quiet batch — is in flight: honest small requests racing a budget whale
+/// (a 1.2-ε request), already-expired zero-deadline straddlers, and a
+/// duplicate-id replay line. The recovery invariants are unchanged from the
+/// quiet matrix, but now over hostile traffic:
+///
+/// 1. every grant the ledger recovers belongs to a request that is allowed
+///    to spend (straddlers and the replay can never hold one), and the
+///    recovered spend equals the per-id ε sum over exactly those grants —
+///    computed from the request file, since mixed ε breaks whole-multiple
+///    checks;
+/// 2. every flushed ok response has a durable grant;
+/// 3. `--resume` converges on the uninterrupted bytes, including the
+///    deterministic straddler rejections and the replay's wire reject line.
+///
+/// The run is deliberately uncapped: a cap would attach admission-order-
+/// dependent `eps_remaining` values to the straddler error lines and break
+/// the byte-identity assertion.
+#[test]
+fn group_commit_kill_during_abuse_storm_recovers_cleanly() {
+    let dir = tmpdir();
+    let prefix = dir.join("stormmatrix");
+    let prefix_s = prefix.to_str().unwrap().to_string();
+    run_ok(&[
+        "generate",
+        "--dataset",
+        "diabetes",
+        "--rows",
+        "400",
+        "--out",
+        &prefix_s,
+    ]);
+    let csv = format!("{prefix_s}.csv");
+    let schema = format!("{prefix_s}.schema");
+    let reqs = dir.join("stormmatrix-reqs.jsonl");
+    let mut traffic = String::new();
+    for id in 1..=6u64 {
+        traffic.push_str(&format!("{{\"id\": {id}, \"seed\": {id}}}\n"));
+    }
+    // The whale: one request asking for 4x the default budget.
+    traffic.push_str(
+        "{\"id\": 100, \"seed\": 100, \"eps_cand\": 0.4, \"eps_comb\": 0.4, \"eps_hist\": 0.4}\n",
+    );
+    // Straddlers: already expired on arrival, must never reach the ledger.
+    traffic.push_str("{\"id\": 200, \"deadline_ms\": 0}\n");
+    traffic.push_str("{\"id\": 201, \"deadline_ms\": 0}\n");
+    // A replay of id 1: rejected at the wire, answered on the stream.
+    traffic.push_str("{\"id\": 1, \"seed\": 77}\n");
+    std::fs::write(&reqs, traffic).unwrap();
+
+    // ε per id that may legally hold a grant; straddlers and the replay
+    // line must never appear in the ledger at all.
+    let eps_of = |id: u64| -> Option<f64> {
+        match id {
+            1..=6 => Some(EPS_PER_REQUEST),
+            100 => Some(1.2),
+            _ => None,
+        }
+    };
+    let settled_expected: HashSet<u64> = (1..=6u64).chain([100]).collect();
+    let settled_eps = 6.0 * EPS_PER_REQUEST + 1.2;
+
+    let storm_args = |out: &Path, workers: usize, ledger: Option<&Path>| -> Vec<String> {
+        let mut args = vec![
+            "serve-batch".to_string(),
+            "--data".into(),
+            csv.clone(),
+            "--schema".into(),
+            schema.clone(),
+            "--requests".into(),
+            reqs.to_str().unwrap().to_string(),
+            "--out".into(),
+            out.to_str().unwrap().to_string(),
+            "--workers".into(),
+            workers.to_string(),
+        ];
+        if let Some(ledger) = ledger {
+            for flag in [
+                "--ledger-dir",
+                ledger.to_str().unwrap(),
+                "--checkpoint-every",
+                "2",
+                "--group-commit-max-wait-us",
+                "50000",
+                "--resume",
+            ] {
+                args.push(flag.to_string());
+            }
+        }
+        args
+    };
+
+    // Uninterrupted reference: the storm's answer stream is byte-identical
+    // at 1 and 4 workers, hostile lines included.
+    let reference = {
+        let mut outs = Vec::new();
+        for workers in [1usize, 4] {
+            let out = dir.join(format!("storm-reference-w{workers}.jsonl"));
+            let args = storm_args(&out, workers, None);
+            let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+            run_ok(&argv);
+            outs.push(std::fs::read(&out).unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "storm reference diverged across workers");
+        outs.remove(0)
+    };
+    let reference_text = String::from_utf8(reference.clone()).unwrap();
+    assert!(
+        reference_text.contains("\"reason\":\"duplicate_id\""),
+        "the storm's replay line never surfaced:\n{reference_text}"
+    );
+    assert!(
+        reference_text.contains("\"reason\":\"deadline_exceeded\""),
+        "the storm's straddlers never surfaced:\n{reference_text}"
+    );
+
+    let mut crashed = 0usize;
+    let mut scenarios = 0usize;
+    for point in GROUP_POINTS {
+        for nth in [1u64, 2] {
+            scenarios += 1;
+            let tag = format!("storm-{}-{nth}", point.replace('.', "_"));
+            let out = dir.join(format!("{tag}.jsonl"));
+            let ledger_dir = dir.join(format!("{tag}-ledger"));
+            let wal = ledger_dir.join("default.wal");
+            let args = storm_args(&out, 4, Some(&ledger_dir));
+            let killed = Command::new(BIN)
+                .args(&args)
+                .env("DPX_CRASH_AT", format!("{point}:{nth}"))
+                .output()
+                .expect("spawn armed cli");
+            if killed.status.success() {
+                assert_eq!(
+                    std::fs::read(&out).unwrap(),
+                    reference,
+                    "[{tag}] un-triggered run diverged"
+                );
+            } else {
+                crashed += 1;
+                let stderr = String::from_utf8_lossy(&killed.stderr);
+                assert!(
+                    stderr.contains("injected crash at"),
+                    "[{tag}] died without the injection marker:\n{stderr}"
+                );
+            }
+
+            // Invariant 1: only spend-eligible ids hold grants, and the
+            // recovered spend is exactly the per-id ε sum over them.
+            let recovery = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+            let grant_ids: HashSet<u64> = recovery.granted_ids().collect();
+            let mut expected_spend = 0.0;
+            for id in &grant_ids {
+                match eps_of(*id) {
+                    Some(eps) => expected_spend += eps,
+                    None => panic!("[{tag}] id {id} must never hold a grant"),
+                }
+            }
+            let spent = recovery.spent();
+            assert!(
+                (spent - expected_spend).abs() < 1e-9,
+                "[{tag}] recovered spend {spent} != per-id sum {expected_spend}"
+            );
+
+            // Invariant 2: no flushed ok response without a durable grant.
+            let ok_ids = flushed_ok_ids(&out);
+            for id in &ok_ids {
+                assert!(
+                    grant_ids.contains(id),
+                    "[{tag}] response {id} was flushed without a durable grant"
+                );
+            }
+
+            // Invariant 3: resume converges on the uninterrupted bytes and
+            // settles on exactly one grant per spend-eligible request.
+            let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+            run_ok(&argv);
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                reference,
+                "[{tag}] resumed storm output diverged"
+            );
+            let settled = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+            assert!(
+                (settled.spent() - settled_eps).abs() < 1e-9,
+                "[{tag}] settled spend {} != {settled_eps} (double-spend?)",
+                settled.spent()
+            );
+            let settled_ids: HashSet<u64> = settled.granted_ids().collect();
+            assert_eq!(
+                settled_ids, settled_expected,
+                "[{tag}] settled grants must cover exactly the spenders"
+            );
+        }
+    }
+    assert!(
+        crashed >= scenarios / 2,
+        "only {crashed}/{scenarios} storm kills actually fired"
+    );
+}

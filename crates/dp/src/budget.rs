@@ -1003,6 +1003,90 @@ impl SharedAccountant {
     pub fn audit(&self) -> String {
         self.lock().acc.audit()
     }
+
+    /// A consistency probe of the accountant, read under **one** critical
+    /// section — the adversarial harness's view. Reading `spent()` and
+    /// `granted_ids()` as two calls can pair a spend total with the grant
+    /// list of a different instant and report a phantom violation; the probe
+    /// can't.
+    pub fn probe(&self) -> AccountantProbe {
+        let inner = self.lock();
+        let mut sorted = inner.granted.clone();
+        sorted.sort_unstable();
+        let mut duplicate_grant_ids: Vec<u64> = sorted
+            .windows(2)
+            .filter(|w| w[0] == w[1])
+            .map(|w| w[0])
+            .collect();
+        duplicate_grant_ids.dedup();
+        AccountantProbe {
+            spent: inner.acc.spent(),
+            cap: inner.acc.cap(),
+            pending_eps: inner.pending_eps,
+            num_charges: inner.acc.num_charges(),
+            grants: inner.granted.len(),
+            duplicate_grant_ids,
+        }
+    }
+}
+
+/// A point-in-time invariant snapshot of one [`SharedAccountant`], captured
+/// atomically by [`SharedAccountant::probe`]. The abuse batteries call
+/// [`AccountantProbe::violations`] mid-storm and after settling; any
+/// non-empty result is a privacy-accounting bug, not load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccountantProbe {
+    /// Total ε charged.
+    pub spent: f64,
+    /// The configured cap, if any.
+    pub cap: Option<f64>,
+    /// ε reserved in the group-commit queue but not yet charged.
+    pub pending_eps: f64,
+    /// Individual charges recorded.
+    pub num_charges: usize,
+    /// Request-id grants recorded (recovered + this run).
+    pub grants: usize,
+    /// Request ids holding more than one grant — always a violation: a
+    /// request's ε is reserved exactly once, and replays must ride the
+    /// original grant.
+    pub duplicate_grant_ids: Vec<u64>,
+}
+
+impl AccountantProbe {
+    /// Whether the recorded spend (plus queued reservations) breaches the
+    /// cap, beyond the accountant's own float tolerance.
+    pub fn cap_exceeded(&self) -> bool {
+        match self.cap {
+            Some(cap) => self.spent + self.pending_eps > cap * (1.0 + 1e-9),
+            None => false,
+        }
+    }
+
+    /// Every invariant this snapshot violates, rendered for a failure
+    /// report. Empty means the accountant looked consistent at the probed
+    /// instant.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.cap_exceeded() {
+            out.push(format!(
+                "cap exceeded: spent {} + pending {} > cap {:?}",
+                self.spent, self.pending_eps, self.cap
+            ));
+        }
+        if !self.duplicate_grant_ids.is_empty() {
+            out.push(format!(
+                "duplicate WAL grants for request ids {:?}",
+                self.duplicate_grant_ids
+            ));
+        }
+        if self.spent < 0.0 || self.pending_eps < 0.0 {
+            out.push(format!(
+                "negative accounting: spent {} pending {}",
+                self.spent, self.pending_eps
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -61,7 +61,8 @@ pub mod sparse_vector;
 pub mod topk;
 
 pub use budget::{
-    Accountant, Epsilon, GroupCommitPolicy, LedgerStats, Sensitivity, SharedAccountant,
+    Accountant, AccountantProbe, Epsilon, GroupCommitPolicy, LedgerStats, Sensitivity,
+    SharedAccountant,
 };
 pub use counter::{gumbel_at, CounterRng};
 pub use error::DpError;

@@ -19,7 +19,7 @@
 //! shard that already has a WAL *recovers* it — the spent ε survives the
 //! process, which is the whole point — rather than resetting it.
 
-use crate::budget::{Epsilon, GroupCommitPolicy, LedgerStats, SharedAccountant};
+use crate::budget::{AccountantProbe, Epsilon, GroupCommitPolicy, LedgerStats, SharedAccountant};
 use crate::error::DpError;
 use crate::ledger::LedgerWriter;
 use std::collections::BTreeMap;
@@ -172,6 +172,32 @@ impl AccountantShards {
     /// Whether this map writes WALs at all.
     pub fn is_durable(&self) -> bool {
         matches!(self.backing, Backing::Dir(_))
+    }
+
+    /// Per-shard `(dataset, invariant probe)`, sorted by dataset — each
+    /// probe atomic within its shard (see [`SharedAccountant::probe`]). The
+    /// abuse batteries sweep this across every tenant mid-storm: one
+    /// tenant's hostile traffic must never surface as another shard's
+    /// violation.
+    pub fn probes(&self) -> Vec<(String, AccountantProbe)> {
+        self.lock()
+            .iter()
+            .map(|(name, shard)| (name.clone(), shard.probe()))
+            .collect()
+    }
+
+    /// Every invariant violation across all opened shards, tagged with the
+    /// shard name. Empty means every tenant's accounting looked consistent.
+    pub fn probe_violations(&self) -> Vec<String> {
+        self.probes()
+            .into_iter()
+            .flat_map(|(name, probe)| {
+                probe
+                    .violations()
+                    .into_iter()
+                    .map(move |v| format!("shard '{name}': {v}"))
+            })
+            .collect()
     }
 }
 

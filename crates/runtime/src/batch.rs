@@ -354,7 +354,10 @@ mod tests {
             h.join().unwrap();
         }
         let sizes = sizes.lock().unwrap();
-        assert!(sizes.iter().all(|&n| (1..=2).contains(&n)), "sizes: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&n| (1..=2).contains(&n)),
+            "sizes: {sizes:?}"
+        );
         assert_eq!(sizes.iter().sum::<usize>(), 4, "every item exactly once");
     }
 

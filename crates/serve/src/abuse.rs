@@ -1,0 +1,996 @@
+//! Adversarial serving batteries: deterministic hostile-traffic harnesses
+//! for the concurrent explanation service.
+//!
+//! The serving layer's privacy story rests on a handful of invariants that
+//! only matter under *hostile* load — a cooperative benchmark never probes
+//! them. This module drives [`ExplainService`] with adversarial traffic
+//! shapes and checks the invariants with the DP crate's
+//! [`AccountantProbe`](dpx_dp::AccountantProbe) (an atomic, one-lock
+//! snapshot of a shard's accounting):
+//!
+//! * [`budget_storm`] — many small requests race whale requests into a
+//!   near-empty shard. The cap must hold under every interleaving, every
+//!   served request must hold exactly one WAL grant, and the spent total
+//!   must equal the sum of served requests' ε.
+//! * [`replay_flood`] — already-granted ids are re-sent concurrently (the
+//!   crash-resume path abused as a replay attack) while fresh requests race
+//!   them. Replays must be byte-identical to the original responses and
+//!   spend **zero** additional ε; only the fresh requests may move the
+//!   accountant.
+//! * [`deadline_storm`] — already-expired requests (`deadline_ms: 0`) and
+//!   deadline-straddling requests race live ones. An expiry before the
+//!   grant commits must cost nothing; one after stays spent — so the spent
+//!   total must equal the sum of ε over *granted* ids exactly, whichever
+//!   way each straddler fell.
+//! * [`interference`] — a noisy tenant hammers its own (tiny) budget while
+//!   a victim tenant serves normal traffic on a different dataset. The
+//!   victim's tail latency must stay within a configured factor of its solo
+//!   baseline, and the noisy tenant's storm must never touch the victim's
+//!   budget.
+//!
+//! Every battery is **seeded**: the traffic shape (request ordering, seeds,
+//! thread jitter) is a pure function of `config.seed`, every violation
+//! message embeds that seed, and re-running the battery with the printed
+//! seed reproduces the failing traffic. [`shrink_gate_storm`] shrinks a
+//! failing gate storm to its smallest still-failing spender count.
+//!
+//! The harness needs teeth: a checker that cannot fail is not a check. The
+//! [`SpendGate`] trait abstracts the admission primitive under test, and
+//! [`NaiveGate`] implements the classic check-then-spend TOCTOU bug —
+//! [`gate_storm`] must *fail* on it (and does, which the abuse suite
+//! asserts) while [`SharedAccountant`]'s atomic check-and-spend passes.
+//!
+//! One battery deliberately lives elsewhere: **chaos under storm** (killing
+//! the process at ledger fault points mid-storm) cannot run in-process —
+//! the fault points abort the whole process, test runner included — so it
+//! drives `dpclustx-cli serve-batch` as a child process from the CLI
+//! crate's crash matrix (`crates/cli/tests/crash_matrix.rs`).
+
+use crate::registry::DatasetRegistry;
+use crate::request::ExplainRequest;
+use crate::service::{reason, BatchOptions, ExplainService};
+use dpx_data::synth::diabetes;
+use dpx_dp::budget::Epsilon;
+use dpx_dp::histogram::GeometricHistogram;
+use dpx_dp::shards::ShardConfig;
+use dpx_dp::SharedAccountant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// SplitMix64: the batteries' own tiny deterministic generator. Traffic
+/// shapes must be a pure function of the battery seed, with no dependence
+/// on a global RNG's state.
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates shuffle (the admission order under test).
+fn shuffle<T>(items: &mut [T], state: &mut u64) {
+    for i in (1..items.len()).rev() {
+        let j = (split_mix(state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Nearest-rank percentile (q in [0, 100]) of a latency sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A registry with one sharded, capped dataset per `(name, cap)` pair —
+/// sharded (not plain `register`) so the shard map's
+/// [`probes`](dpx_dp::AccountantShards::probes) see every accountant the
+/// battery drives.
+fn battery_registry(tenants: &[(&str, f64)], rows: usize, seed: u64) -> Arc<DatasetRegistry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = Arc::new(DatasetRegistry::new());
+    for (name, cap) in tenants {
+        let data = Arc::new(diabetes::spec(2).generate(rows, &mut rng).data);
+        registry
+            .register_sharded(
+                *name,
+                data,
+                ShardConfig::capped(Epsilon::new(*cap).expect("battery cap")),
+            )
+            .expect("in-memory shard open cannot fail");
+    }
+    registry
+}
+
+/// An explain request against `dataset` whose total ε is `total_eps`
+/// (split evenly over the three stages).
+fn sized_request(id: u64, dataset: &str, total_eps: f64, seed: u64) -> ExplainRequest {
+    let mut req = ExplainRequest::new(id);
+    req.dataset = dataset.to_string();
+    req.seed = seed;
+    let third = total_eps / 3.0;
+    req.eps_cand = third;
+    req.eps_comb = third;
+    req.eps_hist = Some(third);
+    req
+}
+
+/// What one battery run observed: admission counts plus every invariant
+/// violation (empty = the battery passed). Violation messages embed the
+/// battery seed, so a red run is reproducible from its own report.
+#[derive(Debug, Clone)]
+pub struct BatteryOutcome {
+    /// Which battery ran.
+    pub battery: &'static str,
+    /// The seed the whole traffic shape derives from.
+    pub seed: u64,
+    /// Requests the battery sent.
+    pub total: usize,
+    /// Requests answered `ok: true`.
+    pub admitted: usize,
+    /// Requests answered `ok: false`.
+    pub rejected: usize,
+    /// The honest (non-adversarial) slice of the traffic.
+    pub honest_total: usize,
+    /// Honest requests answered `ok: true`.
+    pub honest_admitted: usize,
+    /// Every invariant violation observed; empty means the battery passed.
+    pub violations: Vec<String>,
+}
+
+impl BatteryOutcome {
+    fn new(battery: &'static str, seed: u64) -> Self {
+        BatteryOutcome {
+            battery,
+            seed,
+            total: 0,
+            admitted: 0,
+            rejected: 0,
+            honest_total: 0,
+            honest_admitted: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fraction of honest requests that were served (1.0 when the battery
+    /// has no honest slice).
+    pub fn honest_success_rate(&self) -> f64 {
+        if self.honest_total == 0 {
+            1.0
+        } else {
+            self.honest_admitted as f64 / self.honest_total as f64
+        }
+    }
+
+    fn violation(&mut self, message: impl Into<String>) {
+        self.violations.push(format!(
+            "[{} seed={}] {}",
+            self.battery,
+            self.seed,
+            message.into()
+        ));
+    }
+}
+
+/// The outcomes of one full battery sweep (see [`run_all`]).
+#[derive(Debug, Clone)]
+pub struct AbuseReport {
+    /// The seed every battery in the sweep derived its traffic from.
+    pub seed: u64,
+    /// Per-battery outcomes, in run order.
+    pub outcomes: Vec<BatteryOutcome>,
+}
+
+impl AbuseReport {
+    /// Whether every battery passed.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(BatteryOutcome::passed)
+    }
+
+    /// Every violation across the sweep, in battery order.
+    pub fn violations(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| o.violations.iter().cloned())
+            .collect()
+    }
+}
+
+/// Budget-exhaustion storm shape: `small` honest requests race `whales`
+/// budget-draining requests into one capped shard.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Seed of the whole traffic shape.
+    pub seed: u64,
+    /// Honest small requests.
+    pub small: usize,
+    /// Adversarial whale requests.
+    pub whales: usize,
+    /// Per-request ε of a small request.
+    pub eps_small: f64,
+    /// Per-request ε of a whale.
+    pub eps_whale: f64,
+    /// The shard's ε cap.
+    pub cap: f64,
+    /// Worker-pool width the storm runs on.
+    pub workers: usize,
+    /// Rows in the stormed dataset.
+    pub rows: usize,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 0xD5C1_05F0,
+            small: 24,
+            whales: 2,
+            eps_small: 0.03,
+            eps_whale: 0.72,
+            cap: 1.2,
+            workers: 8,
+            rows: 240,
+        }
+    }
+}
+
+/// Runs a budget-exhaustion storm and checks the cap invariants.
+///
+/// Invariants: the shard probe reports no violation (cap never exceeded,
+/// no duplicate WAL grant, no negative accounting); the granted-id set
+/// equals the served-id set exactly; the spent total equals the sum of
+/// served requests' ε; every rejected line carries reason
+/// `budget_exceeded` plus an `eps_remaining` reading.
+pub fn budget_storm(config: &StormConfig) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("budget_storm", config.seed);
+    let registry = battery_registry(&[("storm", config.cap)], config.rows, config.seed);
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(config.workers);
+
+    let mut state = config.seed;
+    let mut requests: Vec<ExplainRequest> = Vec::with_capacity(config.small + config.whales);
+    for i in 0..config.small {
+        requests.push(sized_request(
+            i as u64 + 1,
+            "storm",
+            config.eps_small,
+            split_mix(&mut state),
+        ));
+    }
+    for w in 0..config.whales {
+        requests.push(sized_request(
+            1_000_000 + w as u64,
+            "storm",
+            config.eps_whale,
+            split_mix(&mut state),
+        ));
+    }
+    shuffle(&mut requests, &mut state);
+    let eps_of: BTreeMap<u64, f64> = requests.iter().map(|r| (r.id, r.total_epsilon())).collect();
+
+    let responses = service.run_batch(requests);
+    outcome.total = responses.len();
+    outcome.honest_total = config.small;
+    let mut served_ids: Vec<u64> = Vec::new();
+    for response in &responses {
+        if response.is_ok() {
+            outcome.admitted += 1;
+            if response.id < 1_000_000 {
+                outcome.honest_admitted += 1;
+            }
+            served_ids.push(response.id);
+        } else {
+            outcome.rejected += 1;
+            if response.reason.as_deref() != Some(reason::BUDGET_EXCEEDED) {
+                outcome.violation(format!(
+                    "rejected id {} carries reason {:?}, want budget_exceeded",
+                    response.id, response.reason
+                ));
+            }
+            if response.eps_remaining.is_none() {
+                outcome.violation(format!(
+                    "rejected id {} carries no eps_remaining on a capped shard",
+                    response.id
+                ));
+            }
+        }
+    }
+    if outcome.admitted == 0 {
+        outcome.violation("storm served nothing — the shard admitted no request at all");
+    }
+
+    let entry = registry.get("storm").expect("registered");
+    check_accounting(
+        &mut outcome,
+        &registry,
+        entry.accountant(),
+        &served_ids,
+        &eps_of,
+    );
+    outcome
+}
+
+/// Checks the structural accounting invariants shared by the batteries:
+/// probe violations, granted-set equality, and the spent-ε sum.
+fn check_accounting(
+    outcome: &mut BatteryOutcome,
+    registry: &DatasetRegistry,
+    accountant: &SharedAccountant,
+    expected_granted: &[u64],
+    eps_of: &BTreeMap<u64, f64>,
+) {
+    for violation in registry.shards().probe_violations() {
+        outcome.violation(violation);
+    }
+    let mut granted = accountant.granted_ids();
+    granted.sort_unstable();
+    let mut expected: Vec<u64> = expected_granted.to_vec();
+    expected.sort_unstable();
+    if granted != expected {
+        outcome.violation(format!(
+            "granted ids {granted:?} do not match served ids {expected:?}"
+        ));
+    }
+    let want_spent: f64 = expected.iter().map(|id| eps_of[id]).sum();
+    let spent = accountant.spent();
+    if (spent - want_spent).abs() > 1e-9 {
+        outcome.violation(format!(
+            "spent {spent} does not equal the sum of granted requests' eps {want_spent}"
+        ));
+    }
+}
+
+/// Replay-flood shape: `victims` granted requests are each re-sent
+/// `replays` times concurrently, racing `fresh` first-time requests.
+#[derive(Debug, Clone)]
+pub struct ReplayFloodConfig {
+    /// Seed of the whole traffic shape.
+    pub seed: u64,
+    /// Requests granted before the flood (the replay targets).
+    pub victims: usize,
+    /// Concurrent re-sends per victim.
+    pub replays: usize,
+    /// First-time requests racing the replays.
+    pub fresh: usize,
+    /// The shard's ε cap (generous: the flood must not be masked by
+    /// budget rejections).
+    pub cap: f64,
+    /// Worker-pool width.
+    pub workers: usize,
+    /// Rows in the dataset.
+    pub rows: usize,
+}
+
+impl Default for ReplayFloodConfig {
+    fn default() -> Self {
+        ReplayFloodConfig {
+            seed: 0x5EED_F100,
+            victims: 6,
+            replays: 3,
+            fresh: 4,
+            cap: 8.0,
+            workers: 8,
+            rows: 240,
+        }
+    }
+}
+
+/// Runs a duplicate-id replay flood and checks the zero-ε replay
+/// invariants.
+///
+/// Invariants: every replayed response is byte-identical to the original
+/// grant's response; the flood adds **zero** ε and zero charges beyond the
+/// fresh requests' own; the WAL holds exactly one grant per distinct id
+/// (the probe's duplicate-grant check); the shard probe reports no
+/// violation.
+pub fn replay_flood(config: &ReplayFloodConfig) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("replay_flood", config.seed);
+    let registry = battery_registry(&[("replay", config.cap)], config.rows, config.seed);
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(config.workers);
+
+    let mut state = config.seed;
+    let victims: Vec<ExplainRequest> = (0..config.victims)
+        .map(|i| sized_request(i as u64 + 1, "replay", 0.3, split_mix(&mut state)))
+        .collect();
+    let mut eps_of: BTreeMap<u64, f64> =
+        victims.iter().map(|r| (r.id, r.total_epsilon())).collect();
+
+    // Phase 1: grant the victims normally and remember their exact bytes.
+    let baseline: BTreeMap<u64, String> = service
+        .run_batch(victims.clone())
+        .iter()
+        .map(|r| (r.id, r.to_json_line()))
+        .collect();
+    let entry = registry.get("replay").expect("registered");
+    let accountant = entry.accountant();
+    let spent_before = accountant.spent();
+    let charges_before = accountant.num_charges();
+    let granted_ids: HashSet<u64> = accountant.granted_ids().into_iter().collect();
+    if granted_ids.len() != config.victims {
+        outcome.violation(format!(
+            "baseline granted {} victims, want {}",
+            granted_ids.len(),
+            config.victims
+        ));
+    }
+
+    // Phase 2: the flood — every victim re-sent `replays` times, shuffled
+    // in with fresh requests, all racing on the worker pool.
+    let mut flood: Vec<ExplainRequest> = Vec::new();
+    for _ in 0..config.replays {
+        flood.extend(victims.iter().cloned());
+    }
+    for i in 0..config.fresh {
+        let req = sized_request(10_000 + i as u64, "replay", 0.3, split_mix(&mut state));
+        eps_of.insert(req.id, req.total_epsilon());
+        flood.push(req);
+    }
+    shuffle(&mut flood, &mut state);
+    outcome.total = flood.len();
+    outcome.honest_total = config.fresh;
+    let opts = BatchOptions {
+        granted: granted_ids.clone(),
+        ..Default::default()
+    };
+    let responses = service.run_batch_streamed(flood, &opts, &GeometricHistogram, None);
+
+    let mut fresh_served: Vec<u64> = Vec::new();
+    for response in &responses {
+        if response.is_ok() {
+            outcome.admitted += 1;
+        } else {
+            outcome.rejected += 1;
+        }
+        if granted_ids.contains(&response.id) {
+            match baseline.get(&response.id) {
+                Some(expected) if *expected == response.to_json_line() => {}
+                Some(_) => outcome.violation(format!(
+                    "replayed id {} diverged from its original response bytes",
+                    response.id
+                )),
+                None => unreachable!("granted ids come from the baseline"),
+            }
+        } else {
+            if response.is_ok() {
+                outcome.honest_admitted += 1;
+                fresh_served.push(response.id);
+            } else {
+                outcome.violation(format!(
+                    "fresh id {} was rejected under a generous cap: {:?}",
+                    response.id,
+                    response.outcome.as_ref().err()
+                ));
+            }
+        }
+    }
+
+    // Zero additional ε for the whole flood beyond the fresh requests' own.
+    let fresh_eps: f64 = fresh_served.iter().map(|id| eps_of[id]).sum();
+    let spent = accountant.spent();
+    if (spent - (spent_before + fresh_eps)).abs() > 1e-9 {
+        outcome.violation(format!(
+            "flood moved spent from {spent_before} to {spent}; only {fresh_eps} of fresh eps was legitimate"
+        ));
+    }
+    if accountant.num_charges() != charges_before + fresh_served.len() {
+        outcome.violation(format!(
+            "flood moved charges from {charges_before} to {} with only {} fresh grants",
+            accountant.num_charges(),
+            fresh_served.len()
+        ));
+    }
+    let mut expected: Vec<u64> = granted_ids.iter().copied().chain(fresh_served).collect();
+    expected.sort_unstable();
+    check_accounting(&mut outcome, &registry, accountant, &expected, &eps_of);
+    outcome
+}
+
+/// Deadline-storm shape: already-expired and deadline-straddling requests
+/// race live ones.
+#[derive(Debug, Clone)]
+pub struct DeadlineStormConfig {
+    /// Seed of the whole traffic shape.
+    pub seed: u64,
+    /// Requests with no deadline (must all be served).
+    pub live: usize,
+    /// Requests with `deadline_ms: 0` — already expired at admission, so
+    /// they must be turned away before the grant commits, at zero ε.
+    pub straddlers: usize,
+    /// Requests with a 1 ms deadline — they may expire before or after
+    /// their grant commits, and either way the accounting must balance.
+    pub racers: usize,
+    /// The shard's ε cap (generous enough for every request).
+    pub cap: f64,
+    /// Worker-pool width.
+    pub workers: usize,
+    /// Rows in the dataset.
+    pub rows: usize,
+}
+
+impl Default for DeadlineStormConfig {
+    fn default() -> Self {
+        DeadlineStormConfig {
+            seed: 0xDEAD_11FE,
+            live: 6,
+            straddlers: 10,
+            racers: 6,
+            cap: 16.0,
+            workers: 8,
+            rows: 240,
+        }
+    }
+}
+
+/// Runs a deadline storm and checks the expiry-accounting invariants.
+///
+/// Invariants: every live request is served; every already-expired request
+/// answers `deadline_exceeded` with **no** grant recorded; a racer's grant
+/// is kept iff its ε is counted — whichever side of durability its expiry
+/// landed on, the spent total equals the sum of ε over granted ids; the
+/// shard probe reports no violation.
+pub fn deadline_storm(config: &DeadlineStormConfig) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("deadline_storm", config.seed);
+    let registry = battery_registry(&[("deadline", config.cap)], config.rows, config.seed);
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(config.workers);
+
+    let mut state = config.seed;
+    let mut requests: Vec<ExplainRequest> = Vec::new();
+    for i in 0..config.live {
+        requests.push(sized_request(
+            i as u64 + 1,
+            "deadline",
+            0.3,
+            split_mix(&mut state),
+        ));
+    }
+    for i in 0..config.straddlers {
+        let mut req = sized_request(1_000 + i as u64, "deadline", 0.3, split_mix(&mut state));
+        req.deadline_ms = Some(0);
+        requests.push(req);
+    }
+    for i in 0..config.racers {
+        let mut req = sized_request(2_000 + i as u64, "deadline", 0.15, split_mix(&mut state));
+        req.deadline_ms = Some(1);
+        requests.push(req);
+    }
+    shuffle(&mut requests, &mut state);
+    let eps_of: BTreeMap<u64, f64> = requests.iter().map(|r| (r.id, r.total_epsilon())).collect();
+
+    let responses = service.run_batch(requests);
+    outcome.total = responses.len();
+    outcome.honest_total = config.live;
+    let entry = registry.get("deadline").expect("registered");
+    let accountant = entry.accountant();
+    let granted: HashSet<u64> = accountant.granted_ids().into_iter().collect();
+
+    for response in &responses {
+        let is_live = response.id < 1_000;
+        let is_straddler = (1_000..2_000).contains(&response.id);
+        if response.is_ok() {
+            outcome.admitted += 1;
+            if is_live {
+                outcome.honest_admitted += 1;
+            }
+            if !granted.contains(&response.id) {
+                outcome.violation(format!(
+                    "served id {} holds no grant in the ledger",
+                    response.id
+                ));
+            }
+        } else {
+            outcome.rejected += 1;
+            if response.reason.as_deref() != Some(reason::DEADLINE_EXCEEDED) {
+                outcome.violation(format!(
+                    "id {} failed with reason {:?}, want deadline_exceeded (cap is generous)",
+                    response.id, response.reason
+                ));
+            }
+            if is_live {
+                outcome.violation(format!("live id {} was not served", response.id));
+            }
+            if is_straddler && granted.contains(&response.id) {
+                outcome.violation(format!(
+                    "already-expired id {} still recorded a grant — pre-commit expiry must cost nothing",
+                    response.id
+                ));
+            }
+        }
+    }
+
+    // The one invariant that holds whichever way each racer fell: ε is
+    // spent exactly for the granted ids.
+    let expected: Vec<u64> = granted.iter().copied().collect();
+    check_accounting(&mut outcome, &registry, accountant, &expected, &eps_of);
+    outcome
+}
+
+/// Mixed-tenant interference shape: a noisy tenant storms its own tiny
+/// budget while a victim tenant serves sequential traffic.
+#[derive(Debug, Clone)]
+pub struct InterferenceConfig {
+    /// Seed of the whole traffic shape.
+    pub seed: u64,
+    /// The victim tenant's sequential requests (latency-measured).
+    pub victims: usize,
+    /// The noisy tenant's spam requests.
+    pub adversaries: usize,
+    /// Threads the noisy tenant spams from.
+    pub adversary_workers: usize,
+    /// The noisy tenant's ε cap — tiny, so its storm degenerates into a
+    /// stream of budget rejections hammering the shard path.
+    pub noisy_cap: f64,
+    /// The victim's storm p99 may be at most this factor over its solo
+    /// baseline p99 (after the measurement floor).
+    pub fairness_factor: f64,
+    /// Latencies below this floor are treated as the floor — sub-floor
+    /// baselines would make the factor a coin flip on scheduler noise.
+    pub floor_ms: u64,
+    /// Rows in each tenant's dataset.
+    pub rows: usize,
+}
+
+impl Default for InterferenceConfig {
+    fn default() -> Self {
+        InterferenceConfig {
+            seed: 0xFA12_0E55,
+            victims: 16,
+            adversaries: 48,
+            adversary_workers: 4,
+            noisy_cap: 0.5,
+            fairness_factor: 50.0,
+            floor_ms: 40,
+            rows: 240,
+        }
+    }
+}
+
+/// Runs a mixed-tenant interference sweep and checks the fairness bound.
+///
+/// Invariants: every victim request is served in both the solo and the
+/// stormed run; the victim's stormed p99 latency stays within
+/// `fairness_factor` of its solo baseline (both floored at `floor_ms`);
+/// the noisy tenant's storm never touches the victim's budget, and neither
+/// shard's probe reports a violation.
+pub fn interference(config: &InterferenceConfig) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("interference", config.seed);
+    let victim_cap = config.victims as f64 * 0.3 + 1.0;
+
+    let mut state = config.seed;
+    let victim_requests: Vec<ExplainRequest> = (0..config.victims)
+        .map(|i| sized_request(i as u64 + 1, "victim", 0.3, split_mix(&mut state)))
+        .collect();
+    let spam_requests: Vec<ExplainRequest> = (0..config.adversaries)
+        .map(|i| sized_request(50_000 + i as u64, "noisy", 0.3, split_mix(&mut state)))
+        .collect();
+
+    let run_victims = |service: &ExplainService| -> (Vec<Duration>, usize) {
+        let mut latencies = Vec::with_capacity(victim_requests.len());
+        let mut served = 0;
+        for request in &victim_requests {
+            let start = Instant::now();
+            if service.execute(request).is_ok() {
+                served += 1;
+            }
+            latencies.push(start.elapsed());
+        }
+        latencies.sort_unstable();
+        (latencies, served)
+    };
+
+    // Solo baseline: the victim alone on a fresh registry.
+    let solo_registry = battery_registry(&[("victim", victim_cap)], config.rows, config.seed);
+    let solo_service = ExplainService::new(Arc::clone(&solo_registry)).with_workers(1);
+    let (solo_latencies, solo_served) = run_victims(&solo_service);
+    if solo_served != config.victims {
+        outcome.violation(format!(
+            "solo baseline served {solo_served}/{} victims",
+            config.victims
+        ));
+    }
+
+    // The stormed run: same victim traffic, with the noisy tenant spamming
+    // its own shard from `adversary_workers` threads the whole time.
+    let registry = battery_registry(
+        &[("victim", victim_cap), ("noisy", config.noisy_cap)],
+        config.rows,
+        config.seed,
+    );
+    let service = ExplainService::new(Arc::clone(&registry)).with_workers(1);
+    let spam_served = Mutex::new(0usize);
+    let (storm_latencies, storm_served) = std::thread::scope(|scope| {
+        for worker in 0..config.adversary_workers {
+            let service = &service;
+            let spam_requests = &spam_requests;
+            let spam_served = &spam_served;
+            scope.spawn(move || {
+                let mut served = 0;
+                for request in spam_requests
+                    .iter()
+                    .skip(worker)
+                    .step_by(config.adversary_workers.max(1))
+                {
+                    if service.execute(request).is_ok() {
+                        served += 1;
+                    }
+                }
+                *spam_served.lock().unwrap_or_else(PoisonError::into_inner) += served;
+            });
+        }
+        run_victims(&service)
+    });
+    let spam_served = spam_served
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+
+    outcome.total = config.victims + config.adversaries;
+    outcome.honest_total = config.victims;
+    outcome.honest_admitted = storm_served;
+    outcome.admitted = storm_served + spam_served;
+    outcome.rejected = outcome.total - outcome.admitted;
+    if storm_served != config.victims {
+        outcome.violation(format!(
+            "victim tenant served {storm_served}/{} under the storm — the noisy tenant broke a victim request",
+            config.victims
+        ));
+    }
+
+    // Fairness: the victim's tail may not degrade beyond the bound.
+    let floor = Duration::from_millis(config.floor_ms);
+    let solo_p99 = percentile(&solo_latencies, 99.0).max(floor);
+    let storm_p99 = percentile(&storm_latencies, 99.0).max(floor);
+    if storm_p99.as_secs_f64() > solo_p99.as_secs_f64() * config.fairness_factor {
+        outcome.violation(format!(
+            "victim p99 degraded beyond the fairness bound: solo {solo_p99:?}, stormed {storm_p99:?}, factor {}",
+            config.fairness_factor
+        ));
+    }
+
+    // Isolation: the storm spent nothing from the victim's budget, and
+    // both shards' accounting held.
+    let victim_entry = registry.get("victim").expect("registered");
+    let victim_acc = victim_entry.accountant();
+    let want_victim: f64 = victim_requests
+        .iter()
+        .map(ExplainRequest::total_epsilon)
+        .sum();
+    if (victim_acc.spent() - want_victim).abs() > 1e-9 {
+        outcome.violation(format!(
+            "victim shard spent {} but its own traffic only accounts for {want_victim}",
+            victim_acc.spent()
+        ));
+    }
+    for violation in registry.shards().probe_violations() {
+        outcome.violation(violation);
+    }
+    outcome
+}
+
+/// Runs every in-process battery on `seed`-derived traffic.
+pub fn run_all(seed: u64) -> AbuseReport {
+    let outcomes = vec![
+        budget_storm(&StormConfig {
+            seed,
+            ..Default::default()
+        }),
+        replay_flood(&ReplayFloodConfig {
+            seed,
+            ..Default::default()
+        }),
+        deadline_storm(&DeadlineStormConfig {
+            seed,
+            ..Default::default()
+        }),
+        interference(&InterferenceConfig {
+            seed,
+            ..Default::default()
+        }),
+    ];
+    AbuseReport { seed, outcomes }
+}
+
+/// The admission primitive a gate storm hammers: can this spend of ε be
+/// admitted against the cap?
+///
+/// [`SharedAccountant`] implements it with its atomic check-and-spend;
+/// [`NaiveGate`] implements the TOCTOU bug the atomic form exists to
+/// prevent. The abuse suite runs [`gate_storm`] against both: the harness
+/// only counts as a check because it *fails* on the broken gate.
+pub trait SpendGate: Sync {
+    /// Attempts to admit a spend of `eps` for request `id`.
+    fn try_admit(&self, id: u64, eps: Epsilon) -> bool;
+    /// Total ε admitted so far.
+    fn admitted_eps(&self) -> f64;
+    /// The gate's ε cap, if any.
+    fn gate_cap(&self) -> Option<f64>;
+}
+
+impl SpendGate for SharedAccountant {
+    fn try_admit(&self, id: u64, eps: Epsilon) -> bool {
+        self.try_spend_grant(id, format!("abuse/{id}"), eps).is_ok()
+    }
+
+    fn admitted_eps(&self) -> f64 {
+        self.spent()
+    }
+
+    fn gate_cap(&self) -> Option<f64> {
+        self.cap()
+    }
+}
+
+/// The classic check-then-spend gate: the cap check and the spend are two
+/// separate critical sections with a deliberate window between them, so
+/// racing spenders can all pass the check against the same headroom and
+/// jointly breach the cap. Exists purely to prove [`gate_storm`] has teeth.
+#[derive(Debug)]
+pub struct NaiveGate {
+    cap: f64,
+    spent: Mutex<f64>,
+    window: Duration,
+}
+
+impl NaiveGate {
+    /// A naive gate with `cap` and a 2 ms check-to-spend window.
+    pub fn new(cap: f64) -> Self {
+        NaiveGate {
+            cap,
+            spent: Mutex::new(0.0),
+            window: Duration::from_millis(2),
+        }
+    }
+}
+
+impl SpendGate for NaiveGate {
+    fn try_admit(&self, _id: u64, eps: Epsilon) -> bool {
+        let fits = {
+            let spent = self.spent.lock().unwrap_or_else(PoisonError::into_inner);
+            *spent + eps.get() <= self.cap + 1e-12
+        };
+        if !fits {
+            return false;
+        }
+        // The TOCTOU window: every racer has already passed the check.
+        std::thread::sleep(self.window);
+        *self.spent.lock().unwrap_or_else(PoisonError::into_inner) += eps.get();
+        true
+    }
+
+    fn admitted_eps(&self) -> f64 {
+        *self.spent.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn gate_cap(&self) -> Option<f64> {
+        Some(self.cap)
+    }
+}
+
+/// Slams `spenders` barrier-aligned threads into `gate`, each trying to
+/// admit one spend of `eps`, with seeded per-thread jitter. The invariant:
+/// whatever the interleaving, the gate's admitted total never exceeds its
+/// cap (within the accountant's own 1e-9 relative tolerance).
+pub fn gate_storm<G: SpendGate>(gate: &G, spenders: usize, eps: f64, seed: u64) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("gate_storm", seed);
+    outcome.total = spenders;
+    outcome.honest_total = spenders;
+    let eps = Epsilon::new(eps).expect("storm eps");
+    let barrier = Barrier::new(spenders);
+    let admitted = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for i in 0..spenders {
+            let barrier = &barrier;
+            let admitted = &admitted;
+            let gate = &gate;
+            let mut state = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            scope.spawn(move || {
+                barrier.wait();
+                // Seeded jitter: a few hundred spins of deterministic work
+                // so the racers hit the gate in a seed-dependent order.
+                let spins = split_mix(&mut state) % 512;
+                let mut sink = state;
+                for _ in 0..spins {
+                    sink = split_mix(&mut sink) | 1;
+                }
+                if sink != 0 && gate.try_admit(i as u64 + 1, eps) {
+                    *admitted.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                }
+            });
+        }
+    });
+    outcome.admitted = admitted
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    outcome.honest_admitted = outcome.admitted;
+    outcome.rejected = spenders - outcome.admitted;
+    if let Some(cap) = gate.gate_cap() {
+        let spent = gate.admitted_eps();
+        if spent > cap * (1.0 + 1e-9) {
+            outcome.violation(format!(
+                "{spenders} spenders x {} eps breached the cap: admitted {spent} > cap {cap}",
+                eps.get()
+            ));
+        }
+    }
+    outcome
+}
+
+/// Shrinks a failing gate storm: halves the spender count while the storm
+/// still fails, returning the smallest failing outcome found (or the
+/// original outcome when the storm passes at full size). The returned
+/// outcome's seed reproduces its run through [`gate_storm`].
+pub fn shrink_gate_storm<G: SpendGate>(
+    make_gate: impl Fn() -> G,
+    spenders: usize,
+    eps: f64,
+    seed: u64,
+) -> BatteryOutcome {
+    let mut smallest = gate_storm(&make_gate(), spenders, eps, seed);
+    if smallest.passed() {
+        return smallest;
+    }
+    let mut n = spenders;
+    while n > 2 {
+        let candidate = gate_storm(&make_gate(), n / 2, eps, seed);
+        if candidate.passed() {
+            break;
+        }
+        n /= 2;
+        smallest = candidate;
+    }
+    smallest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_mix_is_deterministic_and_shuffle_permutes() {
+        let mut a = 7;
+        let mut b = 7;
+        let xs: Vec<u64> = (0..8).map(|_| split_mix(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| split_mix(&mut b)).collect();
+        assert_eq!(xs, ys);
+
+        let mut items: Vec<u32> = (0..32).collect();
+        let mut state = 3;
+        shuffle(&mut items, &mut state);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+        assert_ne!(items, sorted, "a 32-element shuffle virtually never fixes");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sample: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sample, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&sample, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn naive_gate_fails_the_gate_storm_and_atomic_gate_passes() {
+        // Cap fits exactly one spend: any second admission is a breach.
+        let naive = gate_storm(&NaiveGate::new(0.3), 8, 0.3, 42);
+        assert!(!naive.passed(), "the naive gate must be caught");
+        assert!(
+            naive.violations[0].contains("seed=42"),
+            "{:?}",
+            naive.violations
+        );
+
+        let atomic = SharedAccountant::with_cap(Epsilon::new(0.3).unwrap());
+        let outcome = gate_storm(&atomic, 8, 0.3, 42);
+        assert!(outcome.passed(), "{:?}", outcome.violations);
+        assert_eq!(outcome.admitted, 1, "exactly one spend fits the cap");
+    }
+}

@@ -54,17 +54,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abuse;
 pub mod json;
 pub mod registry;
 pub mod request;
 pub mod service;
 
+pub use abuse::{
+    AbuseReport, BatteryOutcome, DeadlineStormConfig, InterferenceConfig, ReplayFloodConfig,
+    StormConfig,
+};
 pub use dpx_dp::shards::{AccountantShards, ShardConfig};
 pub use json::Json;
 pub use registry::{derive_labels, AppendSummary, DatasetEntry, DatasetRegistry};
 pub use request::{
-    ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, ServedOutcome, StageSummary,
+    reject_reason, ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, ServedOutcome,
+    StageSummary, WireReject,
 };
 pub use service::{
-    parse_requests, reason, write_responses, BatchOptions, ExplainService, ServeError,
+    parse_requests, parse_requests_lenient, reason, reject_response, write_responses, BatchOptions,
+    ExplainService, ServeError,
 };

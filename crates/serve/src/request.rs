@@ -126,10 +126,65 @@ impl ExplainRequest {
 
     /// Decodes a request from one JSONL line.
     pub fn from_json_line(line: &str) -> Result<Self, String> {
-        let v = Json::parse(line)?;
+        Self::classify_json_line(line).map_err(|reject| reject.message)
+    }
+
+    /// [`Self::from_json_line`] with a **typed** failure: a line that cannot
+    /// become a request comes back as a [`WireReject`] carrying whatever
+    /// identifying fields were parseable (the offending `id`, the named
+    /// dataset) plus a machine-readable reject class — so the serving layer
+    /// can answer a hostile line with a per-request error response that
+    /// echoes the id, instead of failing the whole batch or silently
+    /// dropping the line.
+    pub fn classify_json_line(line: &str) -> Result<Self, WireReject> {
+        let v = Json::parse(line).map_err(WireReject::unparseable)?;
         if !matches!(v, Json::Object(_)) {
-            return Err("request must be a JSON object".to_string());
+            return Err(WireReject::unparseable(
+                "request must be a JSON object".to_string(),
+            ));
         }
+        // Capture the identifying fields first, independently of strict
+        // validation: even a line that fails validation can still echo them.
+        let id = v.get("id").and_then(Json::as_u64);
+        let dataset = match v.get("dataset") {
+            Some(d) => d.as_str().map(str::to_string),
+            None => Some("default".to_string()),
+        };
+        let req = Self::parse_fields(&v).map_err(|message| WireReject {
+            line: 0,
+            id,
+            dataset: dataset.clone(),
+            message,
+            reason: reject_reason::BAD_LINE,
+        })?;
+        // Validate ε at the wire boundary: a non-finite or negative budget
+        // must never reach the accountant (NaN compares false against every
+        // cap check, which would silently admit an unbounded spend).
+        for (name, value) in [
+            ("eps_cand", Some(req.eps_cand)),
+            ("eps_comb", Some(req.eps_comb)),
+            ("eps_hist", req.eps_hist),
+        ] {
+            if let Some(value) = value {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(WireReject {
+                        line: 0,
+                        id,
+                        dataset,
+                        message: format!(
+                            "'{name}' must be a finite non-negative number, got {value}"
+                        ),
+                        reason: reject_reason::INVALID_EPSILON,
+                    });
+                }
+            }
+        }
+        Ok(req)
+    }
+
+    /// The strict field-by-field decode (everything but the ε range check,
+    /// which [`Self::classify_json_line`] types separately).
+    fn parse_fields(v: &Json) -> Result<Self, String> {
         let id = v
             .get("id")
             .ok_or_else(|| "missing required field 'id'".to_string())?
@@ -147,11 +202,11 @@ impl ExplainRequest {
                 .as_u64()
                 .ok_or_else(|| "'seed' must be a non-negative integer".to_string())?;
         }
-        req.cluster_by = field_usize(&v, "cluster_by", req.cluster_by)?;
-        req.n_clusters = field_usize(&v, "n_clusters", req.n_clusters)?;
-        req.k = field_usize(&v, "k", req.k)?;
-        req.eps_cand = field_f64(&v, "eps_cand", req.eps_cand)?;
-        req.eps_comb = field_f64(&v, "eps_comb", req.eps_comb)?;
+        req.cluster_by = field_usize(v, "cluster_by", req.cluster_by)?;
+        req.n_clusters = field_usize(v, "n_clusters", req.n_clusters)?;
+        req.k = field_usize(v, "k", req.k)?;
+        req.eps_cand = field_f64(v, "eps_cand", req.eps_cand)?;
+        req.eps_comb = field_f64(v, "eps_comb", req.eps_comb)?;
         if let Some(h) = v.get("eps_hist") {
             req.eps_hist = match h {
                 Json::Null => None,
@@ -204,22 +259,6 @@ impl ExplainRequest {
                 }
             }
         }
-        // Validate ε at the wire boundary: a non-finite or negative budget
-        // must never reach the accountant (NaN compares false against every
-        // cap check, which would silently admit an unbounded spend).
-        for (name, value) in [
-            ("eps_cand", Some(req.eps_cand)),
-            ("eps_comb", Some(req.eps_comb)),
-            ("eps_hist", req.eps_hist),
-        ] {
-            if let Some(value) = value {
-                if !value.is_finite() || value < 0.0 {
-                    return Err(format!(
-                        "'{name}' must be a finite non-negative number, got {value}"
-                    ));
-                }
-            }
-        }
         Ok(req)
     }
 
@@ -268,6 +307,55 @@ impl ExplainRequest {
             obj = obj.field("deadline_ms", d);
         }
         obj.render()
+    }
+}
+
+/// Machine-readable classes for wire-level rejects (the request never became
+/// an [`ExplainRequest`]); execution-level classes live in
+/// [`crate::service::reason`].
+pub mod reject_reason {
+    /// The line decoded but its ε split is non-finite or negative.
+    pub const INVALID_EPSILON: &str = "invalid_epsilon";
+    /// The line re-used a request id already claimed earlier in the batch.
+    pub const DUPLICATE_ID: &str = "duplicate_id";
+    /// The line is not a decodable request at all (bad JSON, bad UTF-8,
+    /// missing/ill-typed fields).
+    pub const BAD_LINE: &str = "bad_line";
+}
+
+/// A typed wire-level rejection: one request line that will never execute,
+/// with whatever identity it managed to declare. A reject with a parseable
+/// `id` becomes an `"ok": false` response line echoing that id (shaped like
+/// a `budget_exceeded` rejection, `eps_remaining` included for capped
+/// datasets); a reject with no id cannot be answered on the response stream
+/// and must surface to the batch caller — never be silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReject {
+    /// 1-based line number in the request stream (0 when the reject was
+    /// classified outside a stream).
+    pub line: usize,
+    /// The offending request id, when the line got far enough to declare
+    /// one.
+    pub id: Option<u64>,
+    /// The dataset the line named (defaulted to `"default"` like a request
+    /// would), when parseable — the key for an `eps_remaining` lookup.
+    pub dataset: Option<String>,
+    /// What was wrong with the line.
+    pub message: String,
+    /// Machine-readable reject class (see [`reject_reason`]).
+    pub reason: &'static str,
+}
+
+impl WireReject {
+    /// A reject for a line with no recoverable identity at all.
+    pub fn unparseable(message: impl Into<String>) -> Self {
+        WireReject {
+            line: 0,
+            id: None,
+            dataset: None,
+            message: message.into(),
+            reason: reject_reason::BAD_LINE,
+        }
     }
 }
 

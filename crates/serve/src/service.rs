@@ -19,7 +19,9 @@
 
 pub use crate::registry::derive_labels;
 use crate::registry::DatasetRegistry;
-use crate::request::{ExplainRequest, ExplainResponse, RequestOp, ServedExplanation};
+use crate::request::{
+    reject_reason, ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, WireReject,
+};
 use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine};
 use dpx_dp::budget::Epsilon;
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
@@ -101,6 +103,107 @@ pub fn parse_requests<R: BufRead>(reader: R) -> Result<Vec<ExplainRequest>, Serv
         requests.push(req);
     }
     Ok(requests)
+}
+
+/// Reads a JSONL request stream **leniently**: hostile lines reject
+/// individually instead of failing the batch, and the read is byte-level so
+/// even a line that is not valid UTF-8 becomes a typed [`WireReject`]
+/// (`reader.lines()` would abort the whole stream with an `io::Error`
+/// there). Blank lines and `#` comments are skipped as in
+/// [`parse_requests`]; real I/O failures still abort.
+///
+/// Classification per line, in order:
+/// * invalid UTF-8, malformed JSON, or ill-typed fields → reject with class
+///   `bad_line` (id echoed when one was parseable);
+/// * a decodable request whose ε split is non-finite or negative → reject
+///   with class `invalid_epsilon`, id and dataset echoed;
+/// * a decodable request re-using an id claimed earlier in the stream → the
+///   **later** line rejects with class `duplicate_id` (the first claim
+///   executes; a replayed id must never execute twice);
+/// * everything else → an [`ExplainRequest`].
+///
+/// Every input line is accounted for in exactly one of the two returned
+/// vectors — a hostile line is never silently dropped.
+pub fn parse_requests_lenient<R: BufRead>(
+    mut reader: R,
+) -> Result<(Vec<ExplainRequest>, Vec<WireReject>), ServeError> {
+    let mut requests = Vec::new();
+    let mut rejects = Vec::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut raw = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        line_no += 1;
+        if raw.last() == Some(&b'\n') {
+            raw.pop();
+            if raw.last() == Some(&b'\r') {
+                raw.pop();
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&raw) else {
+            rejects.push(WireReject {
+                line: line_no,
+                ..WireReject::unparseable("request line is not valid UTF-8")
+            });
+            continue;
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match ExplainRequest::classify_json_line(trimmed) {
+            Ok(req) => {
+                if let Some(first) = seen.insert(req.id, line_no) {
+                    seen.insert(req.id, first); // the first claim keeps the id
+                    rejects.push(WireReject {
+                        line: line_no,
+                        id: Some(req.id),
+                        dataset: Some(req.dataset),
+                        message: format!(
+                            "duplicate request id {} (first used on line {first})",
+                            req.id
+                        ),
+                        reason: reject_reason::DUPLICATE_ID,
+                    });
+                } else {
+                    requests.push(req);
+                }
+            }
+            Err(mut reject) => {
+                reject.line = line_no;
+                rejects.push(reject);
+            }
+        }
+    }
+    Ok((requests, rejects))
+}
+
+/// Renders a [`WireReject`] as the error response line answering it — `None`
+/// when the line declared no id (there is nothing to key the response on;
+/// the caller must surface it another way). The response matches the
+/// `budget_exceeded` shape: the offending id echoed, the machine-readable
+/// class in `reason`, and — for rejects naming a capped dataset — the
+/// dataset's `eps_remaining` at synthesis time. Like every
+/// accounting-failure line, the headroom reading depends on what was spent
+/// before synthesis (recovered spend on a resume), so hostile lines are
+/// answered deterministically only up to that documented caveat.
+pub fn reject_response(reject: &WireReject, registry: &DatasetRegistry) -> Option<ExplainResponse> {
+    let id = reject.id?;
+    let mut response =
+        ExplainResponse::error(id, reject.message.clone()).with_reason(reject.reason);
+    if let Some(remaining) = reject
+        .dataset
+        .as_deref()
+        .and_then(|dataset| registry.get(dataset))
+        .and_then(|entry| entry.accountant().remaining())
+    {
+        response = response.with_eps_remaining(remaining);
+    }
+    Some(response)
 }
 
 /// Writes responses as JSONL, sorted by request id (ties keep batch order).

@@ -310,3 +310,133 @@ fn remaining_is_monotone_and_untorn_while_spenders_race_across_shards() {
     // The shard map saw independent budgets: names and stats line up.
     assert_eq!(shards.names(), vec!["alpha", "beta", "gamma"]);
 }
+
+#[test]
+fn remaining_stays_monotone_while_replay_floods_race_fresh_spends_across_shards() {
+    // The replay contract under contention: a duplicate-id request rides its
+    // original grant and spends NOTHING, so while replay floods hammer the
+    // read side (granted-set lookups, probes, `remaining()`) and fresh
+    // spenders drain the cap on several shards at once, every `remaining()`
+    // observation must stay monotone non-increasing and un-torn (an exact
+    // multiple of the grant size — ε = 1/128 keeps every reachable value
+    // exactly representable), the victims' grants must never disappear or
+    // double, and the settled spend must count the fresh traffic only once
+    // and the replays not at all.
+    use dpx_dp::{AccountantShards, ShardConfig};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    const EPS: f64 = 1.0 / 128.0;
+    const VICTIMS: u64 = 8;
+    const FRESH_PER_THREAD: usize = 60; // 2 threads x 60 + 8 victims = the cap
+    let cap = Epsilon::new(1.0).unwrap();
+    let shards = AccountantShards::in_memory();
+    let names = ["east", "west"];
+    let accountants: Vec<_> = names
+        .iter()
+        .map(|n| shards.open(n, ShardConfig::capped(cap)).unwrap())
+        .collect();
+
+    // Phase 1: the victims claim their grants before the flood starts.
+    for accountant in &accountants {
+        for id in 1..=VICTIMS {
+            accountant
+                .try_spend_grant(id, "victim", Epsilon::new(EPS).unwrap())
+                .expect("within cap");
+        }
+    }
+
+    let done = AtomicBool::new(false);
+    // Per shard: 2 fresh spenders + 2 replay-flood readers, plus this thread.
+    let barrier = Barrier::new(names.len() * 4 + 1);
+    std::thread::scope(|scope| {
+        for (s, accountant) in accountants.iter().enumerate() {
+            // Fresh spenders: together they offer exactly the remaining cap.
+            for t in 0..2 {
+                let accountant = Arc::clone(accountant);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..FRESH_PER_THREAD {
+                        let id = 10_000 + (s * 2 + t) as u64 * 1000 + i as u64;
+                        accountant
+                            .try_spend_grant(id, "fresh", Epsilon::new(EPS).unwrap())
+                            .expect("within cap");
+                        if i % 8 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Replay floods: hammer the paths a duplicate-id request takes —
+            // the granted-set lookup that routes it to the skip-spend branch,
+            // the probe, and the headroom read — and assert every observation.
+            for _ in 0..2 {
+                let accountant = Arc::clone(accountant);
+                let done = &done;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut last = f64::INFINITY;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let granted = accountant.granted_ids();
+                        for id in 1..=VICTIMS {
+                            assert!(
+                                granted.contains(&id),
+                                "victim grant {id} vanished mid-flood"
+                            );
+                        }
+                        let probe = accountant.probe();
+                        assert_eq!(
+                            probe.violations(),
+                            Vec::<String>::new(),
+                            "probe violations mid-flood"
+                        );
+                        let rem = accountant.remaining().expect("capped accountant");
+                        assert!(
+                            rem <= last,
+                            "remaining went up: {last} -> {rem} (a replay was charged?)"
+                        );
+                        let steps = (rem * 128.0).round();
+                        assert_eq!(
+                            rem,
+                            steps / 128.0,
+                            "remaining {rem} is not a whole number of ε-steps: torn read"
+                        );
+                        last = rem;
+                        if finished {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    assert_eq!(last, 0.0, "final read must see the exhausted cap");
+                });
+            }
+        }
+        barrier.wait();
+        let full = VICTIMS as usize + 2 * FRESH_PER_THREAD;
+        while accountants.iter().any(|a| a.num_charges() < full) {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    for accountant in &accountants {
+        // Replays were free: the spend is the victims' ε plus each fresh
+        // grant exactly once, which fills the cap bit-exactly.
+        assert_eq!(accountant.spent(), 1.0, "replays must not be charged");
+        assert_eq!(
+            accountant.num_charges(),
+            VICTIMS as usize + 2 * FRESH_PER_THREAD
+        );
+        let probe = accountant.probe();
+        assert_eq!(probe.violations(), Vec::<String>::new());
+        assert_eq!(
+            probe.grants,
+            VICTIMS as usize + 2 * FRESH_PER_THREAD,
+            "one WAL grant per distinct id, replays ride the original"
+        );
+    }
+    assert_eq!(shards.names(), vec!["east", "west"]);
+}
