@@ -12,6 +12,15 @@
 //! factor), and `singleflight_hits` (requests that joined another request's
 //! in-flight counts build instead of scanning).
 //!
+//! A final `daemon` cell pushes the same mix through the resident
+//! `serve-daemon` pipeline — bounded tenant queue, admission control,
+//! worker pool — with more submitters than queue slots, reporting what the
+//! daemon *sustains* under backpressure: `sustained_rps`, client-perceived
+//! `p50_ms`/`p99_ms` (overload retries included), `shed`/`shed_rate`. The
+//! cell is guarded the same way the sweep is: every request must be served
+//! exactly once, ε spent must equal the served total exactly, and the
+//! accounting probes must stay silent before the numbers are written.
+//!
 //! ```text
 //! cargo run -p dpx-bench --release --bin serve_throughput -- \
 //!     --rows 4000 --requests 64 --threads 1,2,4,8
@@ -22,11 +31,12 @@ use dpx_data::synth;
 use dpx_dp::budget::Epsilon;
 use dpx_dp::shards::{AccountantShards, ShardConfig};
 use dpx_dp::GroupCommitPolicy;
+use dpx_serve::daemon::{Daemon, DaemonConfig, DaemonReply, ReplySink};
 use dpx_serve::{DatasetRegistry, ExplainRequest, ExplainResponse, ExplainService};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The request mix: clusterings cycled in blocks of 8, so the shared counts
 /// cache sees cold misses, a high warm-hit rate, and — because workers claim
@@ -102,6 +112,81 @@ fn drive(
         latencies.push(ms);
     }
     (wall, latencies, responses)
+}
+
+/// What one daemon request-reply submitter observed for one request:
+/// client-perceived latency (first submit to ok reply, overload retries and
+/// backoff included) and how many times the daemon shed it first.
+struct DaemonSample {
+    latency_ms: f64,
+    sheds: u64,
+}
+
+/// Drives the resident daemon with `submitters` backpressure-respecting
+/// clients over one shared tenant lane: each client submits its stride
+/// request-reply, and on an `overloaded` reject honors the daemon's
+/// `retry_after_ms` hint (capped) before resubmitting the *same id* — the
+/// contract the admission layer documents. Returns (wall seconds, samples).
+fn drive_daemon(
+    daemon: &Daemon,
+    requests: &[ExplainRequest],
+    submitters: usize,
+) -> (f64, Vec<DaemonSample>) {
+    // One reply slot per in-flight request; the sink fills it, the
+    // submitter waits on it. (ok, retry_after_ms) is all the client reads.
+    type Slot = Arc<(Mutex<Option<(bool, Option<u64>)>>, Condvar)>;
+    let submit_wait = |request: &ExplainRequest| -> (bool, Option<u64>) {
+        let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+        let sink: ReplySink = {
+            let slot = Arc::clone(&slot);
+            Arc::new(move |reply: DaemonReply<'_>| {
+                if let DaemonReply::Response(response) = reply {
+                    *slot.0.lock().unwrap() = Some((response.is_ok(), response.retry_after_ms));
+                    slot.1.notify_all();
+                }
+            })
+        };
+        daemon.handle_request(request.clone(), &sink);
+        let mut guard = slot.0.lock().unwrap();
+        while guard.is_none() {
+            guard = slot.1.wait(guard).unwrap();
+        }
+        guard.take().expect("reply recorded before wake")
+    };
+
+    let t0 = Instant::now();
+    let per_thread: Vec<Vec<DaemonSample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                let submit_wait = &submit_wait;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for request in requests.iter().skip(s).step_by(submitters) {
+                        let t = Instant::now();
+                        let mut sheds = 0u64;
+                        loop {
+                            let (ok, retry_after_ms) = submit_wait(request);
+                            if ok {
+                                break;
+                            }
+                            sheds += 1;
+                            assert!(sheds < 10_000, "request {} never admitted", request.id);
+                            let backoff = retry_after_ms.unwrap_or(1).min(50);
+                            std::thread::sleep(Duration::from_millis(backoff));
+                        }
+                        out.push(DaemonSample {
+                            latency_ms: t.elapsed().as_secs_f64() * 1e3,
+                            sheds,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, per_thread.into_iter().flatten().collect())
 }
 
 fn main() {
@@ -210,6 +295,84 @@ fn main() {
             );
         }
     }
+    // Daemon mode: the same request mix through `serve-daemon`'s resident
+    // pipeline — bounded tenant queue, admission control, worker pool —
+    // driven by backpressure-respecting clients at well past the queue
+    // bound, so the cell reports what the daemon *sustains* while shedding
+    // (client-perceived latency, retries included) rather than what an
+    // unbounded batch absorbs.
+    let daemon_workers = args.usize("daemon-workers", 4);
+    let daemon_queue = args.usize("daemon-queue", 4);
+    let daemon_submitters = args.usize("daemon-submitters", 16);
+    let daemon_cell = {
+        let dir = base.join("daemon");
+        let _ = std::fs::remove_dir_all(&dir);
+        let shards = Arc::new(AccountantShards::in_dir(&dir).expect("ledger dir"));
+        let registry = Arc::new(DatasetRegistry::with_shards(Arc::clone(&shards)));
+        let config = ShardConfig {
+            cap: Some(Epsilon::new(1e6).unwrap()),
+            checkpoint_every: None,
+            group_commit: None,
+        };
+        let entry = registry
+            .register_sharded("default", Arc::clone(&data), config)
+            .expect("register dataset shard");
+        let daemon = Daemon::new(
+            Arc::clone(&registry),
+            DaemonConfig {
+                workers: daemon_workers,
+                queue_capacity: daemon_queue,
+                drain_deadline_ms: 600_000,
+                ..Default::default()
+            },
+        );
+        let handles = daemon.start();
+        let (wall, samples) = drive_daemon(&daemon, &requests, daemon_submitters);
+        let summary = daemon.drain_and_join(handles);
+
+        // Guards before any number is trusted: every request served exactly
+        // once, ε spent exactly per served request, accounting probes clean.
+        assert_eq!(
+            summary.served, n_requests as u64,
+            "daemon served {} of {n_requests} requests",
+            summary.served
+        );
+        assert!(
+            summary.probe_violations.is_empty(),
+            "daemon accounting probes tripped: {:?}",
+            summary.probe_violations
+        );
+        let spent = entry.accountant().spent();
+        let expected = 0.3 * n_requests as f64;
+        assert!(
+            (spent - expected).abs() < 1e-6,
+            "daemon spent {spent}, want exactly {expected} over served requests"
+        );
+
+        let shed: u64 = samples.iter().map(|s| s.sheds).sum();
+        let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sustained_rps = n_requests as f64 / wall;
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let shed_rate = shed as f64 / (shed + n_requests as u64) as f64;
+        eprintln!(
+            "# daemon {daemon_workers}w q{daemon_queue} x{daemon_submitters}: {wall:.3}s  \
+             ({sustained_rps:6.1} req/s sustained, p50 {p50:.2}ms, p99 {p99:.2}ms, \
+             {shed} sheds, shed rate {shed_rate:.3})"
+        );
+        Json::object()
+            .field("workers", daemon_workers)
+            .field("queue_capacity", daemon_queue)
+            .field("submitters", daemon_submitters)
+            .field("requests", n_requests)
+            .field("served", summary.served)
+            .field("shed", shed)
+            .field("shed_rate", shed_rate)
+            .field("sustained_rps", sustained_rps)
+            .field("p50_ms", p50)
+            .field("p99_ms", p99)
+    };
     let _ = std::fs::remove_dir_all(&base);
 
     let doc = Json::object()
@@ -224,7 +387,8 @@ fn main() {
             "digest",
             format!("{:016x}", reference_digest.expect("at least one run")),
         )
-        .field("cells", cells);
+        .field("cells", cells)
+        .field("daemon", daemon_cell);
 
     if let Some(parent) = std::path::Path::new(&out).parent() {
         if !parent.as_os_str().is_empty() {

@@ -31,6 +31,7 @@ pub fn run<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
         "rank" => rank(cli, out),
         "report" => report(cli, out),
         "serve-batch" => serve_batch(cli, out),
+        "serve-daemon" => serve_daemon(cli, out),
         "session" => {
             let stdin = std::io::stdin();
             crate::repl::run_session(cli, stdin.lock(), out)
@@ -251,15 +252,25 @@ fn report<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
 /// interrupted run already flushed to `--out` and skips re-spending for
 /// request ids that hold a recovered grant, so kill-and-rerun converges on
 /// exactly the uninterrupted output without double-charging.
-fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
-    use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
-    use dpx_serve::{
-        parse_requests_lenient, reject_response, AccountantShards, BatchOptions, DatasetRegistry,
-        ExplainService, ShardConfig,
-    };
-    use std::collections::HashSet;
-    use std::io::Write as _;
-    use std::sync::{Arc, Mutex, PoisonError};
+/// What the serving subcommands (`serve-batch`, `serve-daemon`) share:
+/// ledger/durability flag validation, the loaded dataset, and the (possibly
+/// durable) registry with its recovered grant set.
+struct ServingSetup {
+    registry: std::sync::Arc<dpx_serve::DatasetRegistry>,
+    entry: std::sync::Arc<dpx_serve::DatasetEntry>,
+    granted: std::collections::HashSet<u64>,
+    ledger_dir: Option<String>,
+    resume: bool,
+    deadline_ms: Option<u64>,
+    checkpoint_every: Option<u64>,
+}
+
+/// Validates the shared durability flags, loads the dataset, and opens the
+/// registry — recovering each shard's write-ahead ledger when --ledger-dir
+/// is given.
+fn open_serving_setup(cli: &Cli) -> Result<ServingSetup, CliError> {
+    use dpx_serve::{AccountantShards, DatasetRegistry, ShardConfig};
+    use std::sync::Arc;
 
     if cli.opt_string("ledger").is_some() {
         return Err(CliError::Usage(
@@ -313,9 +324,6 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
     };
 
     let data = load(cli)?;
-    let requests_path = cli.required("requests")?.to_string();
-    let out_path = cli.required("out")?.to_string();
-    let workers = cli.usize("workers", default_threads(usize::MAX))?;
     let cap = match cli.f64("budget", f64::INFINITY)? {
         b if b.is_infinite() => None,
         b => Some(dpx_dp::budget::Epsilon::new(b)?),
@@ -339,7 +347,75 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         }
         None => registry.register(name, Arc::new(data), cap),
     };
-    let granted: HashSet<u64> = entry.accountant().granted_ids().into_iter().collect();
+    let granted = entry.accountant().granted_ids().into_iter().collect();
+    Ok(ServingSetup {
+        registry,
+        entry,
+        granted,
+        ledger_dir,
+        resume,
+        deadline_ms,
+        checkpoint_every,
+    })
+}
+
+/// Prints each durable shard's recovery/checkpoint/group-commit statistics
+/// (shared by the serving subcommands' human summaries).
+fn print_ledger_stats<W: std::io::Write>(
+    out: &mut W,
+    registry: &dpx_serve::DatasetRegistry,
+) -> Result<(), CliError> {
+    for (shard, stats) in registry.shards().stats() {
+        let origin = if stats.recovered_from_checkpoint {
+            format!(
+                "from checkpoint (+{} tail records)",
+                stats.checkpoint_age_at_recovery
+            )
+        } else {
+            "full history".to_string()
+        };
+        writeln!(
+            out,
+            "ledger '{shard}': replayed {} records ({origin}), truncated {} torn bytes, \
+             {} checkpoints written ({} failed), {} grants since last checkpoint",
+            stats.records_replayed,
+            stats.truncated_bytes,
+            stats.checkpoints_written,
+            stats.checkpoint_failures,
+            stats.appends_since_checkpoint
+        )?;
+        if stats.append_batches > 0 {
+            writeln!(
+                out,
+                "ledger '{shard}': {} grants over {} fsync batches ({:.2} grants/fsync)",
+                stats.grants_appended,
+                stats.append_batches,
+                stats.grants_appended as f64 / stats.append_batches as f64
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
+    use dpx_serve::{parse_requests_lenient, reject_response, BatchOptions, ExplainService};
+    use std::collections::HashSet;
+    use std::io::Write as _;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    let ServingSetup {
+        registry,
+        entry,
+        granted,
+        ledger_dir,
+        resume,
+        deadline_ms,
+        checkpoint_every,
+    } = open_serving_setup(cli)?;
+    let requests_path = cli.required("requests")?.to_string();
+    let out_path = cli.required("out")?.to_string();
+    let workers = cli.usize("workers", default_threads(usize::MAX))?;
     // Lenient wire parsing: a hostile line that declares an id is answered
     // with a per-request error response echoing that id (shaped like a
     // budget rejection, eps_remaining included on capped datasets). A line
@@ -485,35 +561,208 @@ fn serve_batch<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError
         entry.cache().singleflight_hits()
     )?;
     if ledger_dir.is_some() {
-        for (shard, stats) in registry.shards().stats() {
-            let origin = if stats.recovered_from_checkpoint {
-                format!(
-                    "from checkpoint (+{} tail records)",
-                    stats.checkpoint_age_at_recovery
-                )
-            } else {
-                "full history".to_string()
-            };
+        print_ledger_stats(out, &registry)?;
+    }
+    Ok(())
+}
+
+fn serve_daemon<W: std::io::Write>(cli: &Cli, out: &mut W) -> Result<(), CliError> {
+    use dpx_runtime::faultpoint::{self, SERVICE_POST_RESPOND};
+    use dpx_serve::daemon::{serve_lines, serve_socket, Daemon, DaemonConfig, DaemonReply};
+    use dpx_serve::parse_requests_lenient;
+    use std::collections::HashSet;
+    use std::io::Write as _;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    // Daemon-specific flag validation comes before the (expensive) dataset
+    // load so a bad invocation fails fast.
+    let requests_path = cli.opt_string("requests");
+    let socket_path = cli.opt_string("socket");
+    let workers = cli.usize("workers", 2)?.max(1);
+    let queue_capacity = cli.usize("queue-capacity", 32)?;
+    let drain_deadline_ms = cli.u64("drain-deadline-ms", 10_000)?;
+    let metrics_out = cli.opt_string("metrics-out");
+    let metrics_every = cli.u64("metrics-every", 64)?;
+    if queue_capacity == 0 {
+        return Err(CliError::Usage(
+            "--queue-capacity must be positive (a zero-slot daemon can admit nothing)".into(),
+        ));
+    }
+    if requests_path.is_some() && socket_path.is_some() {
+        return Err(CliError::Usage(
+            "--requests and --socket are mutually exclusive transports (pick one; \
+             with neither, the daemon reads stdin)"
+                .into(),
+        ));
+    }
+    if cli.bool("resume") && requests_path.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires --requests (the request file is replayed with already-served \
+             ids skipped; a socket or stdin stream cannot be replayed)"
+                .into(),
+        ));
+    }
+    let setup = open_serving_setup(cli)?;
+    let out_path = cli.required("out")?.to_string();
+
+    // --resume keeps served (ok) response lines and skips their ids on the
+    // replayed request stream. Error lines are never kept: admission
+    // rejects depend on queue state, so re-running them is the only
+    // deterministic choice (they spend no ε either way). Appends always
+    // re-execute — their effect is in-memory dataset state.
+    let append_ids: HashSet<u64> = match (&requests_path, setup.resume) {
+        (Some(path), true) => {
+            let (requests, _) = parse_requests_lenient(BufReader::new(File::open(path)?))
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            requests
+                .iter()
+                .filter(|r| r.is_append())
+                .map(|r| r.id)
+                .collect()
+        }
+        _ => HashSet::new(),
+    };
+    let kept: Vec<(u64, String)> = if setup.resume {
+        read_kept_responses(&out_path)?
+            .into_iter()
+            .filter(|(id, _)| !append_ids.contains(id))
+            .filter(|(_, line)| line.contains("\"ok\":true"))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let skip_ids: HashSet<u64> = kept.iter().map(|(id, _)| *id).collect();
+
+    let config = DaemonConfig {
+        workers,
+        queue_capacity,
+        drain_deadline_ms,
+        deadline_ms: setup.deadline_ms,
+        granted: setup.granted.clone(),
+        checkpoint_every: setup.checkpoint_every,
+        metrics_out: metrics_out.as_ref().map(std::path::PathBuf::from),
+        metrics_every,
+        ..Default::default()
+    };
+    let daemon = Daemon::new(Arc::clone(&setup.registry), config);
+    let handles = daemon.start();
+
+    // The durable response stream: kept lines are re-written first, then
+    // every response-class reply is appended and flushed as it lands — a
+    // crash loses at most the in-flight lines. Control replies (stats and
+    // shutdown acks) are buffered for the human summary instead; they are
+    // scheduling-dependent snapshots and must never touch this stream.
+    let mut stream = BufWriter::new(File::create(&out_path)?);
+    for (_, line) in &kept {
+        writeln!(stream, "{line}")?;
+    }
+    stream.flush()?;
+    let stream = Arc::new(Mutex::new(stream));
+    let collected: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let controls: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let durable: dpx_serve::ReplySink = {
+        let stream = Arc::clone(&stream);
+        let collected = Arc::clone(&collected);
+        let controls = Arc::clone(&controls);
+        Arc::new(move |reply: DaemonReply<'_>| match reply {
+            DaemonReply::Response(response) => {
+                let line = response.to_json_line();
+                {
+                    let mut w = stream.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ = writeln!(w, "{line}");
+                    let _ = w.flush();
+                }
+                collected
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((response.id, line));
+                faultpoint::hit(SERVICE_POST_RESPOND);
+            }
+            DaemonReply::Control(control) => controls
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(control.render()),
+        })
+    };
+
+    match (&requests_path, &socket_path) {
+        (Some(path), None) => {
+            serve_lines(
+                &daemon,
+                BufReader::new(File::open(path)?),
+                &durable,
+                &skip_ids,
+            )?;
+        }
+        (None, Some(path)) => {
             writeln!(
                 out,
-                "ledger '{shard}': replayed {} records ({origin}), truncated {} torn bytes, \
-                 {} checkpoints written ({} failed), {} grants since last checkpoint",
-                stats.records_replayed,
-                stats.truncated_bytes,
-                stats.checkpoints_written,
-                stats.checkpoint_failures,
-                stats.appends_since_checkpoint
+                "daemon listening on {path} (send {{\"op\":\"shutdown\"}} to drain)"
             )?;
-            if stats.append_batches > 0 {
-                writeln!(
-                    out,
-                    "ledger '{shard}': {} grants over {} fsync batches ({:.2} grants/fsync)",
-                    stats.grants_appended,
-                    stats.append_batches,
-                    stats.grants_appended as f64 / stats.append_batches as f64
-                )?;
-            }
+            serve_socket(&daemon, std::path::Path::new(path), &durable)?;
         }
+        (None, None) => {
+            let stdin = std::io::stdin();
+            serve_lines(&daemon, stdin.lock(), &durable, &skip_ids)?;
+        }
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    }
+    let summary = daemon.drain_and_join(handles);
+
+    // Clean drain: rewrite the durable stream sorted by id — the canonical
+    // form a resumed or batch run produces. (After a crash the appended
+    // unsorted prefix is what survives, and --resume converges it.)
+    let mut lines: Vec<(u64, String)> = kept;
+    lines.extend(
+        collected
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned(),
+    );
+    lines.sort_by_key(|&(id, _)| id);
+    drop(stream);
+    let mut writer = BufWriter::new(File::create(&out_path)?);
+    for (_, line) in &lines {
+        writeln!(writer, "{line}")?;
+    }
+    writer.flush()?;
+
+    if setup.resume {
+        writeln!(
+            out,
+            "resumed: kept {} previously served responses, re-ran {}",
+            skip_ids.len(),
+            lines.len() - skip_ids.len()
+        )?;
+    }
+    for control in controls
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        writeln!(out, "control: {control}")?;
+    }
+    write!(out, "{}", summary.render())?;
+    writeln!(
+        out,
+        "responses -> {out_path} ({} lines, sorted by id)",
+        lines.len()
+    )?;
+    writeln!(
+        out,
+        "counts cache: {} single-flight waits joined an in-flight build",
+        setup.entry.cache().singleflight_hits()
+    )?;
+    if setup.ledger_dir.is_some() {
+        print_ledger_stats(out, &setup.registry)?;
+    }
+    if !summary.clean() {
+        return Err(CliError::Usage(format!(
+            "daemon drain was not clean: {} checkpoint failure(s), {} probe violation(s)",
+            summary.checkpoint_errors.len(),
+            summary.probe_violations.len()
+        )));
     }
     Ok(())
 }
@@ -864,6 +1113,131 @@ mod tests {
             "responses sorted by id"
         );
         assert!(text.lines().next().unwrap().contains("out of range"));
+    }
+
+    #[test]
+    fn serve_daemon_drains_cleanly_and_matches_serve_batch_bytes() {
+        let dir = tmpdir();
+        let prefix = dir.join("daemon");
+        let prefix_s = prefix.to_str().unwrap();
+        run_cli(&[
+            "generate",
+            "--dataset",
+            "diabetes",
+            "--rows",
+            "700",
+            "--out",
+            prefix_s,
+        ])
+        .unwrap();
+        let csv = format!("{prefix_s}.csv");
+        let schema = format!("{prefix_s}.schema");
+        let explains = concat!(
+            "{\"id\": 7, \"seed\": 1, \"n_clusters\": 3}\n",
+            "{\"id\": 2, \"seed\": 2, \"n_clusters\": 3}\n",
+            "{\"id\": 5, \"seed\": 3, \"n_clusters\": 2}\n",
+        );
+        let daemon_reqs = dir.join("daemon-reqs.jsonl");
+        std::fs::write(
+            &daemon_reqs,
+            format!(
+                "{explains}{}\n{}\n",
+                "{\"id\": 90, \"op\": \"stats\"}", "{\"id\": 91, \"op\": \"shutdown\"}"
+            ),
+        )
+        .unwrap();
+        let batch_reqs = dir.join("batch-reqs.jsonl");
+        std::fs::write(&batch_reqs, explains).unwrap();
+
+        let daemon_resp = dir.join("daemon-resp.jsonl");
+        let metrics = dir.join("daemon-stats.json");
+        let text = run_cli(&[
+            "serve-daemon",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--requests",
+            daemon_reqs.to_str().unwrap(),
+            "--out",
+            daemon_resp.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("daemon drained (shutdown op)"), "{text}");
+        assert!(text.contains("served 3, rejected 0, shed 0"), "{text}");
+        assert!(text.contains("probe violations: 0"), "{text}");
+        // Control acks surface in the human summary, never the stream.
+        assert!(text.contains("\"op\":\"stats\""), "{text}");
+        assert!(text.contains("\"queue_depth\":"), "{text}");
+
+        // The daemon's durable stream is byte-identical to a serve-batch
+        // run over the same explains: same responses, sorted by id.
+        let batch_resp = dir.join("batch-resp.jsonl");
+        run_cli(&[
+            "serve-batch",
+            "--data",
+            &csv,
+            "--schema",
+            &schema,
+            "--requests",
+            batch_reqs.to_str().unwrap(),
+            "--out",
+            batch_resp.to_str().unwrap(),
+            "--workers",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&daemon_resp).unwrap(),
+            std::fs::read(&batch_resp).unwrap(),
+            "daemon and batch streams diverged"
+        );
+        let body = std::fs::read_to_string(&daemon_resp).unwrap();
+        assert!(
+            !body.contains("\"op\":"),
+            "control lines leaked onto the durable stream:\n{body}"
+        );
+
+        // --metrics-out got the final deterministic snapshot at drain.
+        let stats = std::fs::read_to_string(&metrics).unwrap();
+        for key in [
+            "\"served\":3",
+            "\"queue_depth\":",
+            "\"latency_ms\":",
+            "\"rejects\":",
+        ] {
+            assert!(stats.contains(key), "stats file misses {key}: {stats}");
+        }
+    }
+
+    #[test]
+    fn serve_daemon_validates_its_transport_and_queue_flags() {
+        let err = run_cli(&["serve-daemon", "--queue-capacity", "0"]).unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--queue-capacity"), "{m}"),
+            other => panic!("want usage error, got {other:?}"),
+        }
+        let err = run_cli(&[
+            "serve-daemon",
+            "--requests",
+            "a.jsonl",
+            "--socket",
+            "b.sock",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("mutually exclusive"), "{m}"),
+            other => panic!("want usage error, got {other:?}"),
+        }
+        let err = run_cli(&["serve-daemon", "--resume", "--ledger-dir", "x"]).unwrap_err();
+        match err {
+            CliError::Usage(m) => assert!(m.contains("--resume requires --requests"), "{m}"),
+            other => panic!("want usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -155,6 +155,40 @@ USAGE:
       dataset. On --resume, append requests are always re-executed (they
       rebuild in-memory dataset state deterministically and for free).
 
+  dpclustx-cli serve-daemon --data <file.csv> --schema <file.schema>
+                    --out <resps.jsonl> [--requests <reqs.jsonl> | --socket <path>]
+                    [--workers N] [--queue-capacity N] [--drain-deadline-ms MS]
+                    [--metrics-out <stats.json>] [--metrics-every N]
+                    [--budget E] [--name NAME] [--ledger-dir <dir>]
+                    [--checkpoint-every N] [--resume] [--deadline-ms MS]
+                    [--group-commit-max-wait-us US] [--group-commit-max-batch N]
+      Runs the explanation service as a resident daemon: requests stream in
+      over stdin (default), a JSONL file (--requests), or a Unix socket
+      (--socket, one handler per connection, replies echoed per line), are
+      admitted into a bounded per-tenant queue (--queue-capacity slots per
+      dataset, weighted round-robin dequeue), and execute on --workers
+      threads. Admission rejects *before* any ε is touched, each reject
+      typed on the response stream: budget_exceeded (+eps_remaining) when
+      the request's ε exceeds the shard's live headroom, deadline_exceeded
+      when the deadline is infeasible behind the current queue at the
+      rolling latency estimate, overloaded (+retry_after_ms backpressure
+      hint) when the tenant's lane is full, draining once shutdown began.
+      A shed id is NOT consumed — retrying the identical request after the
+      hint is the contract. Two control ops answer on the transport only
+      (never the durable stream): {'id':N,'op':'stats'} returns the rolling
+      metrics snapshot (queue depth, p50/p99 latency, per-stage means, per-
+      dataset ε burn, rejects by class; --metrics-out dumps the same JSON
+      every --metrics-every completions), {'id':N,'op':'shutdown'} — or
+      transport EOF, the SIGTERM-equivalent for this no-unsafe binary —
+      closes admission and drains: queued work finishes under
+      --drain-deadline-ms (unstarted work past it is shed at zero ε,
+      in-flight work has its deadline capped), every shard ledger is
+      checkpointed, and the exit summary reports served/shed/rejected, per-
+      dataset ε, and accounting probe violations. Responses append-and-
+      flush as they land and are rewritten sorted by id on a clean drain;
+      a kill anywhere mid-drain recovers with --resume byte-identically
+      (--resume requires --requests and --ledger-dir).
+
   dpclustx-cli rank     ... --cluster C
       Prints the exact (non-private!) ranked candidate attributes of one
       cluster — the paper's Figure 4 view, for debugging and demos.

@@ -618,3 +618,176 @@ fn group_commit_kill_during_abuse_storm_recovers_cleanly() {
         "only {crashed}/{scenarios} storm kills actually fired"
     );
 }
+
+/// Fault points on the daemon's shutdown path, in drain order: after the
+/// workers joined but before any shard checkpoint, inside the drain
+/// checkpoint's compact-and-truncate (before and after the atomic rename),
+/// plus one mid-serve kill (`service.post_respond:2`) for the pre-drain
+/// contrast. No `--checkpoint-every` is passed, so the `ledger.ckpt_*`
+/// points can only fire inside `{"op":"shutdown"}`'s drain checkpoint —
+/// the kill provably lands mid-drain.
+const DAEMON_POINTS: [(&str, u64); 4] = [
+    ("service.post_respond", 2),
+    ("daemon.pre_drain_checkpoint", 1),
+    ("ledger.ckpt_pre_rename", 1),
+    ("ledger.ckpt_post_rename", 1),
+];
+
+/// Kills `serve-daemon` at every point of its drain sequence. The daemon's
+/// promise is that shutdown is just another crash the ledger already
+/// survives: whether the kill lands mid-serve, after the workers drained
+/// but before the checkpoint, or inside the checkpoint's rename, the WAL
+/// recovers every flushed response's grant under the cap, and a `--resume`
+/// run (same request file, shutdown op included) converges byte-identically
+/// on the uninterrupted run's sorted response stream.
+#[test]
+fn daemon_kill_mid_drain_recovers_to_the_uninterrupted_output() {
+    let dir = tmpdir();
+    let prefix = dir.join("daemonmatrix");
+    let prefix_s = prefix.to_str().unwrap().to_string();
+    run_ok(&[
+        "generate",
+        "--dataset",
+        "diabetes",
+        "--rows",
+        "400",
+        "--out",
+        &prefix_s,
+    ]);
+    let csv = format!("{prefix_s}.csv");
+    let schema = format!("{prefix_s}.schema");
+    let reqs = dir.join("daemonmatrix-reqs.jsonl");
+    let mut traffic: String = (1..=N_REQUESTS)
+        .map(|id| format!("{{\"id\": {id}, \"seed\": {id}}}\n"))
+        .collect();
+    // The daemon's SIGTERM equivalent: admission closes, the queue drains,
+    // every shard checkpoints. The kill schedule lands inside that sequence.
+    traffic.push_str("{\"id\": 99, \"op\": \"shutdown\"}\n");
+    std::fs::write(&reqs, traffic).unwrap();
+
+    let daemon_args = |out: &Path, ledger: Option<&Path>, resume: bool| -> Vec<String> {
+        let mut args = vec![
+            "serve-daemon".to_string(),
+            "--data".into(),
+            csv.clone(),
+            "--schema".into(),
+            schema.clone(),
+            "--requests".into(),
+            reqs.to_str().unwrap().to_string(),
+            "--out".into(),
+            out.to_str().unwrap().to_string(),
+            "--workers".into(),
+            "2".into(),
+            "--budget".into(),
+            CAP.to_string(),
+        ];
+        if let Some(ledger) = ledger {
+            args.push("--ledger-dir".into());
+            args.push(ledger.to_str().unwrap().to_string());
+        }
+        if resume {
+            args.push("--resume".into());
+        }
+        args
+    };
+
+    // Uninterrupted reference: the daemon's sorted durable stream.
+    let reference = {
+        let out = dir.join("daemon-reference.jsonl");
+        let args = daemon_args(&out, None, false);
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let output = run_ok(&argv);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("daemon drained (shutdown op)"),
+            "reference run never drained:\n{stdout}"
+        );
+        assert!(stdout.contains("probe violations: 0"), "{stdout}");
+        std::fs::read(&out).unwrap()
+    };
+
+    let mut crashed = 0usize;
+    for (point, nth) in DAEMON_POINTS {
+        let tag = format!("daemon-{}-{nth}", point.replace('.', "_"));
+        let out = dir.join(format!("{tag}.jsonl"));
+        let ledger_dir = dir.join(format!("{tag}-ledger"));
+        let wal = ledger_dir.join("default.wal");
+
+        let args = daemon_args(&out, Some(&ledger_dir), false);
+        let killed = Command::new(BIN)
+            .args(&args)
+            .env("DPX_CRASH_AT", format!("{point}:{nth}"))
+            .output()
+            .expect("spawn armed daemon");
+        if killed.status.success() {
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                reference,
+                "[{tag}] un-triggered run diverged"
+            );
+        } else {
+            crashed += 1;
+            let stderr = String::from_utf8_lossy(&killed.stderr);
+            assert!(
+                stderr.contains("injected crash at"),
+                "[{tag}] died without the injection marker:\n{stderr}"
+            );
+        }
+
+        // Invariant 1: wherever in the drain the kill landed, the WAL
+        // recovers every flushed response's grant under the cap.
+        let recovery = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+        let spent = recovery.spent();
+        assert!(
+            spent <= CAP + 1e-9,
+            "[{tag}] recovered spend {spent} exceeds cap {CAP}"
+        );
+        let grant_ids: HashSet<u64> = recovery.granted_ids().collect();
+        let ok_ids = flushed_ok_ids(&out);
+        for id in &ok_ids {
+            assert!(
+                grant_ids.contains(id),
+                "[{tag}] response {id} was flushed without a durable grant"
+            );
+        }
+        assert!(
+            spent + 1e-9 >= EPS_PER_REQUEST * ok_ids.len() as f64,
+            "[{tag}] spend {spent} does not cover {} flushed responses",
+            ok_ids.len()
+        );
+
+        // Invariant 2: the resumed daemon keeps the served lines, re-runs
+        // the rest, drains cleanly, and converges on the reference bytes.
+        let args = daemon_args(&out, Some(&ledger_dir), true);
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let output = run_ok(&argv);
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("daemon drained (shutdown op)"),
+            "[{tag}] resumed daemon never drained:\n{stdout}"
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "[{tag}] resumed output diverged from the uninterrupted run"
+        );
+        let settled = dpx_dp::ledger::recover(&wal).expect("ledger recovers");
+        let expected = EPS_PER_REQUEST * N_REQUESTS as f64;
+        assert!(
+            (settled.spent() - expected).abs() < 1e-9,
+            "[{tag}] settled spend {} != {expected} (double-spend?)",
+            settled.spent()
+        );
+        let settled_ids: HashSet<u64> = settled.granted_ids().collect();
+        assert_eq!(
+            settled_ids,
+            (1..=N_REQUESTS as u64).collect::<HashSet<u64>>(),
+            "[{tag}] each request holds exactly one grant"
+        );
+    }
+    assert_eq!(
+        crashed,
+        DAEMON_POINTS.len(),
+        "every daemon drain kill is deterministic and must fire"
+    );
+}

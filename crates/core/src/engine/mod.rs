@@ -94,31 +94,106 @@ pub struct CountedTables {
 /// construction — [`ClusteredCounts::build_parallel`] is
 /// thread-count-invariant), so correctness never depends on who won; the
 /// flight set only removes the duplicated work.
+///
+/// The cache is optionally **bounded** ([`Self::with_max_entries`]): every
+/// append re-keys the dataset fingerprint, so a long-lived serving process
+/// would otherwise accumulate one dead entry per append forever. Over the
+/// bound, inserts evict the least-recently-used key — except keys with an
+/// in-flight single-flight claim, whose published tables must survive until
+/// the flight closes so woken followers find them.
 #[derive(Debug, Default)]
 pub struct SharedCountsCache {
-    map: Mutex<HashMap<CountsKey, Arc<CountedTables>>>,
+    map: Mutex<HashMap<CountsKey, CacheSlot>>,
     /// In-flight builds by key: leader election for cache misses.
     flight: SingleFlight<CountsKey>,
     /// Times a caller coalesced onto another caller's in-flight build
     /// instead of scanning (monotone; scheduling-dependent, so it feeds
     /// summaries and benches, never wire responses).
     singleflight_hits: AtomicU64,
+    /// Monotone recency clock; bumped by every get/insert.
+    tick: AtomicU64,
+    /// Entry bound; `None` grows without limit (the historical behavior).
+    max_entries: Option<usize>,
+}
+
+/// A memoized entry plus the recency tick eviction orders by.
+#[derive(Debug)]
+struct CacheSlot {
+    tables: Arc<CountedTables>,
+    last_used: u64,
 }
 
 impl SharedCountsCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `max_entries` memoized clusterings
+    /// (promoted to 1 if zero). Over the bound, inserts evict the
+    /// least-recently-used evictable key.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        SharedCountsCache {
+            max_entries: Some(max_entries.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The entry bound, if this cache was built with one.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
     }
 
     /// The map mutex only ever guards `HashMap` operations, which either
     /// complete or leave the map untouched; recovering from poisoning (a
     /// panic on some other thread while it held the lock) is sound and keeps
     /// a cache of *derivable* data from wedging unrelated sessions.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CountsKey, Arc<CountedTables>>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<CountsKey, CacheSlot>> {
         self.map
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, AtomicOrdering::Relaxed) + 1
+    }
+
+    /// Memoizes `tables` under `key` (first insert wins), bumps the slot's
+    /// recency, and — when the cache is bounded — evicts least-recently-used
+    /// keys until the bound holds again. A key whose single-flight claim is
+    /// still open is never evicted: its leader published the value for
+    /// followers that have not read it yet. The caller holds the map lock.
+    fn insert_and_evict(
+        &self,
+        map: &mut HashMap<CountsKey, CacheSlot>,
+        key: CountsKey,
+        tables: Arc<CountedTables>,
+    ) -> Arc<CountedTables> {
+        let tick = self.next_tick();
+        let slot = map.entry(key).or_insert(CacheSlot {
+            tables,
+            last_used: 0,
+        });
+        slot.last_used = tick;
+        let winner = Arc::clone(&slot.tables);
+        if let Some(max) = self.max_entries {
+            while map.len() > max {
+                let evictee = map
+                    .iter()
+                    .filter(|(k, _)| **k != key && !self.flight.in_flight(k))
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(k, _)| *k);
+                match evictee {
+                    Some(k) => {
+                        map.remove(&k);
+                    }
+                    // Everything else is mid-flight: let the map run over
+                    // the bound briefly rather than break a live flight.
+                    None => break,
+                }
+            }
+        }
+        winner
     }
 
     /// Number of memoized clusterings.
@@ -136,9 +211,15 @@ impl SharedCountsCache {
         self.lock().clear()
     }
 
-    /// The memoized tables for `key`, if present.
+    /// The memoized tables for `key`, if present. A hit bumps the key's
+    /// recency, so hot clusterings survive eviction in a bounded cache.
     pub fn get(&self, key: &CountsKey) -> Option<Arc<CountedTables>> {
-        self.lock().get(key).cloned()
+        let tick = self.next_tick();
+        let mut map = self.lock();
+        map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.tables)
+        })
     }
 
     /// The tables for `key`: served from the memo when present, built with
@@ -175,8 +256,9 @@ impl SharedCountsCache {
                     let build = build.take().expect("a caller leads at most once");
                     let built = Arc::new(build());
                     // Publish before releasing the flight: a woken follower
-                    // must find the value (or know the leader died).
-                    let winner = Arc::clone(self.lock().entry(key).or_insert(built));
+                    // must find the value (or know the leader died). The open
+                    // flight also shields the fresh entry from eviction.
+                    let winner = self.insert_and_evict(&mut self.lock(), key, built);
                     drop(guard);
                     return Ok((winner, false));
                 }
@@ -202,7 +284,7 @@ impl SharedCountsCache {
     /// wins, like [`Self::get_or_build`] — a racing full build of the same
     /// key is bit-identical by construction.
     pub fn insert(&self, key: CountsKey, tables: CountedTables) -> Arc<CountedTables> {
-        Arc::clone(self.lock().entry(key).or_insert_with(|| Arc::new(tables)))
+        self.insert_and_evict(&mut self.lock(), key, Arc::new(tables))
     }
 
     /// Every memoized key (unordered). The serve layer's append refresh uses
@@ -576,5 +658,84 @@ impl ExplainEngine {
                 .expect("CombinationSelection always sets the assignment"),
             accountant: state.accountant,
         })
+    }
+}
+
+#[cfg(test)]
+mod cache_bound_tests {
+    //! White-box tests for the bounded cache's eviction policy: they reach
+    //! into the private `flight` set to hold a claim open, which no public
+    //! API can do deterministically.
+
+    use super::*;
+    use dpx_data::synth::diabetes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(fingerprint: u64) -> CountsKey {
+        CountsKey {
+            dataset_fingerprint: fingerprint,
+            labels_hash: 0,
+        }
+    }
+
+    fn tables() -> CountedTables {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = diabetes::spec(2).generate(30, &mut rng).data;
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let counts = ClusteredCounts::build(&data, &labels, 2);
+        let table = ScoreTable::from_clustered_counts(&counts);
+        CountedTables { counts, table }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = SharedCountsCache::with_max_entries(2);
+        assert_eq!(cache.max_entries(), Some(2));
+        cache.insert(key(0), tables());
+        cache.insert(key(1), tables());
+        // Touch key 0: key 1 becomes the least recently used.
+        assert!(cache.get(&key(0)).is_some());
+        cache.insert(key(2), tables());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0)).is_some(), "recently used key survives");
+        assert!(cache.get(&key(1)).is_none(), "LRU key was evicted");
+        assert!(cache.get(&key(2)).is_some(), "fresh key is cached");
+    }
+
+    #[test]
+    fn eviction_never_touches_a_key_with_an_open_flight() {
+        let cache = SharedCountsCache::with_max_entries(1);
+        let guard = match cache.flight.claim(&key(0)) {
+            Claim::Leader(guard) => guard,
+            Claim::Follower => unreachable!("first claim leads"),
+        };
+        // The leader publishes its tables while the flight is still open
+        // (exactly what `get_or_build` does); churn from another key then
+        // overruns the bound. The in-flight key must survive — a woken
+        // follower has not read it yet — so the cache runs over the bound
+        // rather than breaking the flight.
+        cache.insert(key(0), tables());
+        cache.insert(key(1), tables());
+        assert_eq!(cache.len(), 2, "the in-flight key is not evictable");
+        assert!(cache.get(&key(0)).is_some());
+        drop(guard);
+        // Flight closed: the bound is enforceable again on the next insert.
+        cache.insert(key(2), tables());
+        assert_eq!(cache.len(), 1);
+        assert!(
+            cache.get(&key(2)).is_some(),
+            "newest insert is the survivor"
+        );
+    }
+
+    #[test]
+    fn unbounded_cache_keeps_the_historical_behavior() {
+        let cache = SharedCountsCache::new();
+        assert_eq!(cache.max_entries(), None);
+        for fingerprint in 0..8 {
+            cache.insert(key(fingerprint), tables());
+        }
+        assert_eq!(cache.len(), 8);
     }
 }

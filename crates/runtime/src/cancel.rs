@@ -48,14 +48,22 @@ impl CancelToken {
     }
 
     /// A token that cancels itself once `budget` has elapsed from now.
+    ///
+    /// A zero budget is latched *at construction*: the very first poll
+    /// reports [`REASON_DEADLINE`], deterministically, rather than racing
+    /// the clock against whatever happens before the first stage boundary.
     pub fn with_deadline(budget: Duration) -> Self {
-        CancelToken {
+        let token = CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 reason: Mutex::new(None),
                 deadline: Some(Instant::now() + budget),
             }),
+        };
+        if budget.is_zero() {
+            token.latch(REASON_DEADLINE.to_string());
         }
+        token
     }
 
     /// Explicitly cancels the token. The first reason wins; later calls (and
@@ -138,16 +146,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_latches_at_construction_not_at_first_poll() {
+        // The 0-ms reason is decided when the token is built, so even an
+        // explicit cancel issued *before the first poll* cannot claim it —
+        // there is no clock race to win.
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        token.cancel("operator");
+        assert_eq!(token.cancel_reason().as_deref(), Some(REASON_DEADLINE));
+    }
+
+    #[test]
+    fn already_expired_deadline_reports_deadline_on_first_poll() {
+        let token = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(token.cancel_reason().as_deref(), Some(REASON_DEADLINE));
+        // Latched: an explicit cancel after expiry cannot rewrite history.
+        token.cancel("operator");
+        assert_eq!(token.cancel_reason().as_deref(), Some(REASON_DEADLINE));
+    }
+
+    #[test]
     fn generous_deadline_stays_live() {
         let token = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!token.is_cancelled());
     }
 
     #[test]
-    fn explicit_cancel_beats_later_deadline() {
-        let token = CancelToken::with_deadline(Duration::ZERO);
+    fn explicit_cancel_beats_pending_deadline() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
         token.cancel("operator");
-        // The explicit reason was latched before the deadline was polled.
+        // The explicit reason was latched while the deadline was still far
+        // away, so it wins over the (never-reached) expiry.
         assert_eq!(token.cancel_reason().as_deref(), Some("operator"));
     }
 }

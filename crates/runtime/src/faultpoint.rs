@@ -59,6 +59,10 @@ pub const LEDGER_CKPT_PRE_RENAME: &str = "ledger.ckpt_pre_rename";
 /// not be synced and the writer handle not yet reopened. Recovery must read
 /// either the compacted file or the full history, both with the exact spend.
 pub const LEDGER_CKPT_POST_RENAME: &str = "ledger.ckpt_post_rename";
+/// Fault point: the daemon has stopped admission and joined its workers but
+/// has not yet checkpointed the shard ledgers. A kill here must leave every
+/// WAL recoverable with the full drained spend.
+pub const DAEMON_PRE_DRAIN_CHECKPOINT: &str = "daemon.pre_drain_checkpoint";
 
 /// One armed kill: abort when `point` is hit for the `nth` time (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]

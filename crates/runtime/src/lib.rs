@@ -45,6 +45,12 @@
 //! * [`singleflight`] — a [`SingleFlight`] key set: one builder per key,
 //!   followers block on the flight instead of duplicating the build, and a
 //!   panicking builder releases the key instead of wedging them.
+//!
+//! The resident serving daemon adds one admission primitive:
+//!
+//! * [`queue`] — a [`BoundedTenantQueue`]: bounded per-tenant lanes with
+//!   weighted round-robin dequeue, so backpressure is per tenant and one
+//!   noisy tenant cannot starve the rest of the rotation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +59,7 @@ pub mod batch;
 pub mod cancel;
 pub mod faultpoint;
 pub mod parallel;
+pub mod queue;
 pub mod singleflight;
 
 pub use batch::{BatchWindow, Batcher, Submit};
@@ -61,4 +68,5 @@ pub use parallel::{
     chunk_worker_reduce, chunked_reduce, default_threads, ordered_parallel_map,
     ordered_parallel_map_catch, pairwise_merge,
 };
+pub use queue::{BoundedTenantQueue, PushError};
 pub use singleflight::{Claim, FlightGuard, SingleFlight};

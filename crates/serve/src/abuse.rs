@@ -27,6 +27,12 @@
 //!   victim's tail latency must stay within a configured factor of its solo
 //!   baseline, and the noisy tenant's storm must never touch the victim's
 //!   budget.
+//! * [`overload_storm`] — a flood tenant slams the resident daemon's
+//!   bounded per-tenant queue at roughly twice the sustainable rate while
+//!   an honest tenant serves sequential traffic. The daemon must shed the
+//!   excess with typed `overloaded` rejects carrying `retry_after_ms`
+//!   hints, keep the honest tail within a factor of its solo baseline, and
+//!   spend ε exactly for the requests that were actually served.
 //!
 //! Every battery is **seeded**: the traffic shape (request ordering, seeds,
 //! thread jitter) is a pure function of `config.seed`, every violation
@@ -46,8 +52,9 @@
 //! drives `dpclustx-cli serve-batch` as a child process from the CLI
 //! crate's crash matrix (`crates/cli/tests/crash_matrix.rs`).
 
+use crate::daemon::{Daemon, DaemonConfig, DaemonReply, ReplySink};
 use crate::registry::DatasetRegistry;
-use crate::request::ExplainRequest;
+use crate::request::{reject_reason, ExplainRequest, ExplainResponse};
 use crate::service::{reason, BatchOptions, ExplainService};
 use dpx_data::synth::diabetes;
 use dpx_dp::budget::Epsilon;
@@ -57,7 +64,7 @@ use dpx_dp::SharedAccountant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashSet};
-use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::sync::{Arc, Barrier, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// SplitMix64: the batteries' own tiny deterministic generator. Traffic
@@ -774,6 +781,298 @@ pub fn interference(config: &InterferenceConfig) -> BatteryOutcome {
     outcome
 }
 
+/// Overload-storm shape: a flood tenant slams the resident daemon's
+/// bounded queue far faster than the worker pool drains it while an honest
+/// tenant serves sequential request-reply traffic.
+#[derive(Debug, Clone)]
+pub struct OverloadStormConfig {
+    /// Seed of the whole traffic shape.
+    pub seed: u64,
+    /// The honest tenant's sequential requests (latency-measured).
+    pub honest: usize,
+    /// The flood tenant's unpaced burst.
+    pub flood: usize,
+    /// Threads the flood bursts from.
+    pub flood_workers: usize,
+    /// The daemon's worker-pool width.
+    pub workers: usize,
+    /// The daemon's per-tenant queue bound — small, so the flood overruns
+    /// it while the honest lane (depth ≤ 1) never does.
+    pub queue_capacity: usize,
+    /// The honest storm p99 may be at most this factor over its solo
+    /// baseline p99 (after the measurement floor).
+    pub fairness_factor: f64,
+    /// Latencies below this floor are treated as the floor.
+    pub floor_ms: u64,
+    /// Rows in each tenant's dataset.
+    pub rows: usize,
+}
+
+impl Default for OverloadStormConfig {
+    fn default() -> Self {
+        OverloadStormConfig {
+            seed: 0x0E11_0AD5,
+            honest: 12,
+            flood: 48,
+            flood_workers: 4,
+            workers: 2,
+            queue_capacity: 4,
+            fairness_factor: 50.0,
+            floor_ms: 40,
+            rows: 240,
+        }
+    }
+}
+
+/// What one daemon reply carried, captured off the [`ReplySink`].
+#[derive(Debug, Clone)]
+struct ReplyRecord {
+    id: u64,
+    ok: bool,
+    reason: Option<String>,
+    retry_after_ms: Option<u64>,
+}
+
+impl ReplyRecord {
+    fn of(response: &ExplainResponse) -> Self {
+        ReplyRecord {
+            id: response.id,
+            ok: response.is_ok(),
+            reason: response.reason.clone(),
+            retry_after_ms: response.retry_after_ms,
+        }
+    }
+}
+
+/// A sink that appends every response-class reply to `into`.
+fn collecting_sink(into: &Arc<Mutex<Vec<ReplyRecord>>>) -> ReplySink {
+    let into = Arc::clone(into);
+    Arc::new(move |reply: DaemonReply<'_>| {
+        if let DaemonReply::Response(response) = reply {
+            into.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(ReplyRecord::of(response));
+        }
+    })
+}
+
+/// Submits `requests` to `daemon` one at a time, each waiting for its own
+/// reply (request-reply discipline: the tenant's lane depth never exceeds
+/// one). Returns sorted latencies and the per-request records.
+fn run_request_reply(
+    daemon: &Daemon,
+    requests: &[ExplainRequest],
+) -> (Vec<Duration>, Vec<ReplyRecord>) {
+    let mut latencies = Vec::with_capacity(requests.len());
+    let mut records = Vec::with_capacity(requests.len());
+    for request in requests {
+        let slot: Arc<(Mutex<Option<ReplyRecord>>, Condvar)> =
+            Arc::new((Mutex::new(None), Condvar::new()));
+        let sink: ReplySink = {
+            let slot = Arc::clone(&slot);
+            Arc::new(move |reply: DaemonReply<'_>| {
+                if let DaemonReply::Response(response) = reply {
+                    *slot.0.lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(ReplyRecord::of(response));
+                    slot.1.notify_all();
+                }
+            })
+        };
+        let start = Instant::now();
+        daemon.handle_request(request.clone(), &sink);
+        let mut guard = slot.0.lock().unwrap_or_else(PoisonError::into_inner);
+        while guard.is_none() {
+            guard = slot.1.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        latencies.push(start.elapsed());
+        records.push(guard.take().expect("reply recorded before wake"));
+    }
+    latencies.sort_unstable();
+    (latencies, records)
+}
+
+/// Runs an overload storm against the resident daemon and checks the
+/// shedding invariants.
+///
+/// Invariants: every honest request is served in both the solo and the
+/// stormed run (the honest lane never fills, so admission never sheds it);
+/// the flood overruns its bounded lane and every shed reply carries reason
+/// `overloaded` plus a `retry_after_ms >= 1` hint; the honest stormed p99
+/// stays within `fairness_factor` of its solo baseline; the drain summary's
+/// served/rejected counters agree with the replies on the wire; and each
+/// tenant's shard spent ε exactly for its served requests (probe-checked).
+pub fn overload_storm(config: &OverloadStormConfig) -> BatteryOutcome {
+    let mut outcome = BatteryOutcome::new("overload_storm", config.seed);
+    let honest_cap = config.honest as f64 * 0.3 + 1.0;
+    let flood_cap = config.flood as f64 * 0.3 + 1.0;
+
+    let mut state = config.seed;
+    let honest_requests: Vec<ExplainRequest> = (0..config.honest)
+        .map(|i| sized_request(i as u64 + 1, "honest", 0.3, split_mix(&mut state)))
+        .collect();
+    let flood_requests: Vec<ExplainRequest> = (0..config.flood)
+        .map(|i| sized_request(70_000 + i as u64, "flood", 0.3, split_mix(&mut state)))
+        .collect();
+    let eps_of: BTreeMap<u64, f64> = honest_requests
+        .iter()
+        .chain(flood_requests.iter())
+        .map(|r| (r.id, r.total_epsilon()))
+        .collect();
+
+    let daemon_config = |workers: usize| DaemonConfig {
+        workers,
+        queue_capacity: config.queue_capacity,
+        // Generous: the battery measures backpressure, not drain shedding,
+        // so everything still queued at shutdown must be allowed to finish.
+        drain_deadline_ms: 120_000,
+        ..Default::default()
+    };
+
+    // Solo baseline: the honest tenant alone on a fresh daemon.
+    let solo_registry = battery_registry(&[("honest", honest_cap)], config.rows, config.seed);
+    let solo_daemon = Daemon::new(Arc::clone(&solo_registry), daemon_config(config.workers));
+    let solo_workers = solo_daemon.start();
+    let (solo_latencies, solo_records) = run_request_reply(&solo_daemon, &honest_requests);
+    let solo_summary = solo_daemon.drain_and_join(solo_workers);
+    if solo_records.iter().filter(|r| r.ok).count() != config.honest {
+        outcome.violation(format!(
+            "solo baseline served {}/{} honest requests",
+            solo_records.iter().filter(|r| r.ok).count(),
+            config.honest
+        ));
+    }
+    for violation in solo_summary.probe_violations {
+        outcome.violation(violation);
+    }
+
+    // The storm: flood threads burst unpaced into their bounded lane while
+    // the honest tenant keeps its request-reply discipline.
+    let registry = battery_registry(
+        &[("honest", honest_cap), ("flood", flood_cap)],
+        config.rows,
+        config.seed,
+    );
+    let daemon = Daemon::new(Arc::clone(&registry), daemon_config(config.workers));
+    let worker_handles = daemon.start();
+    let flood_records = Arc::new(Mutex::new(Vec::new()));
+    let (storm_latencies, honest_records) = std::thread::scope(|scope| {
+        for worker in 0..config.flood_workers {
+            let daemon = &daemon;
+            let flood_requests = &flood_requests;
+            let sink = collecting_sink(&flood_records);
+            scope.spawn(move || {
+                for request in flood_requests
+                    .iter()
+                    .skip(worker)
+                    .step_by(config.flood_workers.max(1))
+                {
+                    daemon.handle_request(request.clone(), &sink);
+                }
+            });
+        }
+        run_request_reply(&daemon, &honest_requests)
+    });
+    let summary = daemon.drain_and_join(worker_handles);
+    let flood_records = flood_records
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+
+    outcome.total = config.honest + config.flood;
+    outcome.honest_total = config.honest;
+    outcome.honest_admitted = honest_records.iter().filter(|r| r.ok).count();
+    if outcome.honest_admitted != config.honest {
+        outcome.violation(format!(
+            "honest tenant served {}/{} under the flood — request-reply traffic must never be shed",
+            outcome.honest_admitted, config.honest
+        ));
+    }
+    if flood_records.len() != config.flood {
+        outcome.violation(format!(
+            "flood got {} replies for {} requests — a request was dropped without an answer",
+            flood_records.len(),
+            config.flood
+        ));
+    }
+    let mut honest_served: Vec<u64> = Vec::new();
+    let mut flood_served: Vec<u64> = Vec::new();
+    for record in honest_records.iter().chain(flood_records.iter()) {
+        if record.ok {
+            outcome.admitted += 1;
+            if record.id < 70_000 {
+                honest_served.push(record.id);
+            } else {
+                flood_served.push(record.id);
+            }
+        } else {
+            outcome.rejected += 1;
+            if record.reason.as_deref() != Some(reject_reason::OVERLOADED) {
+                outcome.violation(format!(
+                    "shed id {} carries reason {:?}, want overloaded (caps are generous, no deadlines set)",
+                    record.id, record.reason
+                ));
+            }
+            match record.retry_after_ms {
+                Some(hint) if hint >= 1 => {}
+                other => outcome.violation(format!(
+                    "shed id {} carries retry_after_ms {other:?}, want a hint >= 1",
+                    record.id
+                )),
+            }
+        }
+    }
+    if outcome.rejected == 0 {
+        outcome.violation(format!(
+            "{} flood requests never overloaded a {}-deep lane on {} workers — the storm has no teeth",
+            config.flood, config.queue_capacity, config.workers
+        ));
+    }
+
+    // Fairness: the honest tail may not degrade beyond the bound.
+    let floor = Duration::from_millis(config.floor_ms);
+    let solo_p99 = percentile(&solo_latencies, 99.0).max(floor);
+    let storm_p99 = percentile(&storm_latencies, 99.0).max(floor);
+    if storm_p99.as_secs_f64() > solo_p99.as_secs_f64() * config.fairness_factor {
+        outcome.violation(format!(
+            "honest p99 degraded beyond the fairness bound: solo {solo_p99:?}, stormed {storm_p99:?}, factor {}",
+            config.fairness_factor
+        ));
+    }
+
+    // The daemon's own ledgerized view must agree with the wire.
+    if summary.served != outcome.admitted as u64 {
+        outcome.violation(format!(
+            "drain summary served {} but {} ok replies were observed",
+            summary.served, outcome.admitted
+        ));
+    }
+    if summary.rejected != outcome.rejected as u64 {
+        outcome.violation(format!(
+            "drain summary rejected {} but {} error replies were observed",
+            summary.rejected, outcome.rejected
+        ));
+    }
+
+    // ε is spent exactly for what was served, per tenant, probe-checked.
+    let honest_entry = registry.get("honest").expect("registered");
+    check_accounting(
+        &mut outcome,
+        &registry,
+        honest_entry.accountant(),
+        &honest_served,
+        &eps_of,
+    );
+    let flood_entry = registry.get("flood").expect("registered");
+    check_accounting(
+        &mut outcome,
+        &registry,
+        flood_entry.accountant(),
+        &flood_served,
+        &eps_of,
+    );
+    outcome
+}
+
 /// Runs every in-process battery on `seed`-derived traffic.
 pub fn run_all(seed: u64) -> AbuseReport {
     let outcomes = vec![
@@ -790,6 +1089,10 @@ pub fn run_all(seed: u64) -> AbuseReport {
             ..Default::default()
         }),
         interference(&InterferenceConfig {
+            seed,
+            ..Default::default()
+        }),
+        overload_storm(&OverloadStormConfig {
             seed,
             ..Default::default()
         }),

@@ -49,24 +49,36 @@
 //! that expires later keeps its reserved ε spent.
 //!
 //! The `dpclustx-cli serve-batch` subcommand wires this crate to files:
-//! JSONL requests in, JSONL responses (sorted by id) out.
+//! JSONL requests in, JSONL responses (sorted by id) out. For a process
+//! that *stays up* — bounded per-tenant queues, typed admission rejects,
+//! rolling metrics, and graceful drain — see the [`daemon`] module behind
+//! `dpclustx-cli serve-daemon`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abuse;
+pub mod daemon;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod service;
 
 pub use abuse::{
-    AbuseReport, BatteryOutcome, DeadlineStormConfig, InterferenceConfig, ReplayFloodConfig,
-    StormConfig,
+    AbuseReport, BatteryOutcome, DeadlineStormConfig, InterferenceConfig, OverloadStormConfig,
+    ReplayFloodConfig, StormConfig,
+};
+pub use daemon::{
+    serve_lines, serve_socket, Daemon, DaemonConfig, DaemonReply, DrainSummary, LineOutcome,
+    ReplySink,
 };
 pub use dpx_dp::shards::{AccountantShards, ShardConfig};
 pub use json::Json;
-pub use registry::{derive_labels, AppendSummary, DatasetEntry, DatasetRegistry};
+pub use metrics::MetricsRegistry;
+pub use registry::{
+    derive_labels, AppendSummary, DatasetEntry, DatasetRegistry, COUNTS_CACHE_MAX_ENTRIES,
+};
 pub use request::{
     reject_reason, ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, ServedOutcome,
     StageSummary, WireReject,

@@ -41,6 +41,12 @@ use dpx_dp::{DpError, SharedAccountant};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// Counts-cache bound for registry entries. Appends re-key the fingerprint,
+/// so a resident process serving an append stream retires one cache
+/// generation per append; the bound keeps the memo at the working set
+/// (recent fingerprints × served clusterings) instead of the full history.
+pub const COUNTS_CACHE_MAX_ENTRIES: usize = 256;
+
 /// Derives the served per-row cluster labeling for a dataset: row `i` joins
 /// cluster `data[cluster_by][i] mod n_clusters`.
 ///
@@ -118,7 +124,12 @@ impl DatasetEntry {
             name: name.into(),
             data,
             fingerprint,
-            cache: Arc::new(SharedCountsCache::new()),
+            // Bounded: every append re-keys the fingerprint, and a resident
+            // daemon appends indefinitely — an unbounded memo would grow one
+            // dead clustering per append forever.
+            cache: Arc::new(SharedCountsCache::with_max_entries(
+                COUNTS_CACHE_MAX_ENTRIES,
+            )),
             accountant,
             clusterings: Mutex::new(BTreeSet::new()),
         }

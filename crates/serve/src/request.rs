@@ -24,6 +24,11 @@ use dpclustx::Weights;
 /// nothing and spend no ε — they re-derive public serving state (the grown
 /// dataset, its chained fingerprint, refreshed count caches) — so they carry
 /// none of the explain fields and always re-execute on `--resume`.
+///
+/// `Stats` and `Shutdown` are **control ops** for the resident daemon
+/// (`dpclustx serve-daemon`): they spend no ε, are answered on the transport
+/// only (never the durable response file), and a one-shot batch refuses them
+/// with a typed error rather than guessing at daemon semantics.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestOp {
     /// Serve a differentially private explanation (the default).
@@ -33,6 +38,10 @@ pub enum RequestOp {
         /// Rows to append; each must match the dataset's arity and domains.
         rows: Vec<Vec<u32>>,
     },
+    /// Report the daemon's rolling metrics snapshot (daemon only).
+    Stats,
+    /// Stop admission and begin the daemon's graceful drain (daemon only).
+    Shutdown,
 }
 
 /// One explanation request, as decoded from a JSONL line.
@@ -105,6 +114,13 @@ impl ExplainRequest {
     /// batch: later requests must observe the grown dataset).
     pub fn is_append(&self) -> bool {
         matches!(self.op, RequestOp::Append { .. })
+    }
+
+    /// Whether this request is a daemon control op (`stats` / `shutdown`),
+    /// answered on the transport without touching the pipeline or the ε
+    /// ledger.
+    pub fn is_control(&self) -> bool {
+        matches!(self.op, RequestOp::Stats | RequestOp::Shutdown)
     }
 
     /// The engine configuration this request asks for.
@@ -252,9 +268,12 @@ impl ExplainRequest {
                         rows: parse_rows(rows)?,
                     };
                 }
+                "stats" => req.op = RequestOp::Stats,
+                "shutdown" => req.op = RequestOp::Shutdown,
                 other => {
                     return Err(format!(
-                        "unknown op '{other}' (expected 'explain' or 'append')"
+                        "unknown op '{other}' (expected 'explain', 'append', 'stats', or \
+                         'shutdown')"
                     ))
                 }
             }
@@ -267,6 +286,21 @@ impl ExplainRequest {
     /// requests render only the fields that matter to an append — id,
     /// dataset, op, rows — since the explain knobs do not apply.
     pub fn to_json_line(&self) -> String {
+        match self.op {
+            RequestOp::Stats => {
+                return Json::object()
+                    .field("id", self.id)
+                    .field("op", "stats")
+                    .render()
+            }
+            RequestOp::Shutdown => {
+                return Json::object()
+                    .field("id", self.id)
+                    .field("op", "shutdown")
+                    .render()
+            }
+            RequestOp::Explain | RequestOp::Append { .. } => {}
+        }
         if let RequestOp::Append { rows } = &self.op {
             let rows: Vec<Json> = rows
                 .iter()
@@ -321,6 +355,10 @@ pub mod reject_reason {
     /// The line is not a decodable request at all (bad JSON, bad UTF-8,
     /// missing/ill-typed fields).
     pub const BAD_LINE: &str = "bad_line";
+    /// The daemon refused the request at admission because the tenant's
+    /// queue is full. The response carries a `retry_after_ms` backpressure
+    /// hint; nothing was queued and no ε was spent.
+    pub const OVERLOADED: &str = "overloaded";
 }
 
 /// A typed wire-level rejection: one request line that will never execute,
@@ -541,6 +579,11 @@ pub struct ExplainResponse {
     /// requests were admitted first, so it would break the byte-identical
     /// determinism of success lines.
     pub eps_remaining: Option<f64>,
+    /// Backpressure hint on daemon `overloaded` rejects: how long the caller
+    /// should wait before retrying, estimated from the queue depth and the
+    /// rolling per-request latency. Load-dependent by nature, so — like
+    /// `eps_remaining` — it only ever rides error responses.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ExplainResponse {
@@ -551,6 +594,7 @@ impl ExplainResponse {
             outcome: Ok(ServedOutcome::Explain(served)),
             reason: None,
             eps_remaining: None,
+            retry_after_ms: None,
         }
     }
 
@@ -561,6 +605,7 @@ impl ExplainResponse {
             outcome: Ok(ServedOutcome::Append(summary)),
             reason: None,
             eps_remaining: None,
+            retry_after_ms: None,
         }
     }
 
@@ -571,6 +616,7 @@ impl ExplainResponse {
             outcome: Err(message.into()),
             reason: None,
             eps_remaining: None,
+            retry_after_ms: None,
         }
     }
 
@@ -583,6 +629,12 @@ impl ExplainResponse {
     /// Attaches the dataset's remaining ε headroom.
     pub fn with_eps_remaining(mut self, remaining: f64) -> Self {
         self.eps_remaining = Some(remaining);
+        self
+    }
+
+    /// Attaches an `overloaded` reject's backpressure hint.
+    pub fn with_retry_after_ms(mut self, retry_after_ms: u64) -> Self {
+        self.retry_after_ms = Some(retry_after_ms);
         self
     }
 
@@ -634,6 +686,9 @@ impl ExplainResponse {
                 }
                 if let Some(remaining) = self.eps_remaining {
                     obj = obj.field("eps_remaining", remaining);
+                }
+                if let Some(retry_after_ms) = self.retry_after_ms {
+                    obj = obj.field("retry_after_ms", retry_after_ms);
                 }
                 obj
             }

@@ -22,7 +22,7 @@ use crate::registry::DatasetRegistry;
 use crate::request::{
     reject_reason, ExplainRequest, ExplainResponse, RequestOp, ServedExplanation, WireReject,
 };
-use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine};
+use dpclustx::engine::{CollectingObserver, ExplainContext, ExplainEngine, StageEvent};
 use dpx_dp::budget::Epsilon;
 use dpx_dp::histogram::{GeometricHistogram, HistogramMechanism};
 use dpx_dp::DpError;
@@ -233,6 +233,12 @@ pub mod reason {
     pub const BUDGET_EXCEEDED: &str = "budget_exceeded";
     /// The durable ledger could not persist the grant.
     pub const LEDGER_WRITE: &str = "ledger_write";
+    /// The daemon has stopped admission (shutdown requested / transport
+    /// closed); the request was turned away before queuing, at zero ε.
+    pub const DRAINING: &str = "draining";
+    /// A daemon control op (`stats` / `shutdown`) reached a one-shot batch,
+    /// which has no daemon state to answer it with.
+    pub const UNSUPPORTED_OP: &str = "unsupported_op";
 }
 
 /// Batch-level execution options: the deadline default and the resume sets.
@@ -328,6 +334,35 @@ impl ExplainService {
         opts: &BatchOptions,
         mechanism: &M,
     ) -> ExplainResponse {
+        self.execute_tapped(request, opts, mechanism, None)
+    }
+
+    /// [`Self::execute_opts`] with an optional **stage tap**: every
+    /// [`StageEvent`] the pipeline reports for this request is also handed
+    /// to `tap`, in stage order, before the response is built. The resident
+    /// daemon feeds its rolling metrics registry through this seam; the
+    /// response bytes are identical with or without a tap.
+    pub fn execute_tapped<M: HistogramMechanism + Sync>(
+        &self,
+        request: &ExplainRequest,
+        opts: &BatchOptions,
+        mechanism: &M,
+        tap: Option<&(dyn Fn(&StageEvent) + Sync)>,
+    ) -> ExplainResponse {
+        if request.is_control() {
+            // Control ops only make sense against a resident daemon; a
+            // one-shot batch answers them with a typed error rather than
+            // silently treating them as explains.
+            let op = match request.op {
+                RequestOp::Stats => "stats",
+                _ => "shutdown",
+            };
+            return ExplainResponse::error(
+                request.id,
+                format!("op '{op}' is only served by the resident daemon (serve-daemon)"),
+            )
+            .with_reason(reason::UNSUPPORTED_OP);
+        }
         if let RequestOp::Append { rows } = &request.op {
             // Appends touch no private mechanism: they validate the rows,
             // grow the dataset, and refresh cached counts incrementally.
@@ -339,7 +374,7 @@ impl ExplainService {
                 Err(message) => ExplainResponse::error(request.id, message),
             };
         }
-        match self.try_execute(request, opts, mechanism) {
+        match self.try_execute(request, opts, mechanism, tap) {
             Ok(served) => ExplainResponse::success(request.id, served),
             Err(failure) => {
                 let mut response = ExplainResponse::error(request.id, failure.message);
@@ -373,6 +408,7 @@ impl ExplainService {
         request: &ExplainRequest,
         opts: &BatchOptions,
         mechanism: &M,
+        tap: Option<&(dyn Fn(&StageEvent) + Sync)>,
     ) -> Result<ServedExplanation, ServeFailure> {
         let entry = self
             .registry
@@ -476,10 +512,16 @@ impl ExplainService {
                 },
                 other => ServeFailure::plain(other.to_string()),
             })?;
+        let events = observer.events();
+        if let Some(tap) = tap {
+            for event in events {
+                tap(event);
+            }
+        }
         Ok(ServedExplanation::new(
             &outcome.explanation,
             outcome.accountant.spent(),
-            observer.events(),
+            events,
         ))
     }
 

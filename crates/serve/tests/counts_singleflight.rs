@@ -141,3 +141,31 @@ fn follower_wait_is_bounded_by_the_deadline_token() {
     let (_, hit) = leader.join().unwrap();
     assert!(!hit, "the slow leader still completes its own build");
 }
+
+#[test]
+fn long_append_stream_holds_a_bounded_cache_at_its_bound() {
+    // Every append re-keys the dataset fingerprint (see
+    // `dpx_serve::registry`), so a resident process serving an append
+    // stream retires one cache generation per append. Drive that exact
+    // insert pattern — a fresh fingerprint per generation, same
+    // clustering — and check the memo never grows past the bound.
+    const BOUND: usize = 4;
+    let data = dataset();
+    let labels = derive_labels(&data, 0, N_CLUSTERS);
+    let cache = SharedCountsCache::with_max_entries(BOUND);
+    let key_of = |generation: u64| CountsKey {
+        dataset_fingerprint: generation,
+        labels_hash: hash_labels(&labels, N_CLUSTERS),
+    };
+    for generation in 0..64u64 {
+        cache.insert(key_of(generation), build_tables(&data, &labels));
+        assert!(
+            cache.len() <= BOUND,
+            "generation {generation} grew the cache to {}",
+            cache.len()
+        );
+    }
+    // The live generation — the one the daemon still serves — stayed hot.
+    assert!(cache.get(&key_of(63)).is_some());
+    assert!(cache.get(&key_of(0)).is_none(), "stale generations retired");
+}

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Schema check for the dpx-serve daemon stats snapshot.
+
+Validates the JSON that ``{"op":"stats"}`` answers with and that
+``--metrics-out`` dumps: one object per invocation, every field the
+daemon's observability contract promises, types exact. Used by the CI
+daemon-soak job against the drained daemon's final metrics dump; also
+handy locally:
+
+    dpclustx-cli serve-daemon ... --metrics-out stats.json
+    python3 scripts/check_stats_schema.py stats.json
+
+Exits 0 on a conforming snapshot, 1 with a message otherwise. Stdlib
+only — no installs.
+"""
+
+import json
+import sys
+
+# Must mirror dpx_serve::metrics::REJECT_CLASSES + the catch-all bucket.
+REJECT_CLASSES = [
+    "overloaded",
+    "budget_exceeded",
+    "deadline_exceeded",
+    "draining",
+    "duplicate_id",
+    "invalid_epsilon",
+    "bad_line",
+    "ledger_write",
+    "other",
+]
+
+
+def fail(message):
+    print(f"stats schema violation: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, message):
+    if not condition:
+        fail(message)
+
+
+def is_uint(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check(doc):
+    expect(isinstance(doc, dict), f"snapshot must be an object, got {type(doc).__name__}")
+    expect(isinstance(doc.get("draining"), bool), "draining must be a bool")
+    expect(is_uint(doc.get("workers")) and doc["workers"] >= 1, "workers must be >= 1")
+    for counter in ("queue_depth", "served", "shed", "rejected"):
+        expect(is_uint(doc.get(counter)), f"{counter} must be a non-negative integer")
+
+    latency = doc.get("latency_ms")
+    expect(isinstance(latency, dict), "latency_ms must be an object")
+    expect(is_uint(latency.get("count")), "latency_ms.count must be a non-negative integer")
+    for quantile in ("mean", "p50", "p99"):
+        expect(
+            is_number(latency.get(quantile)) and latency[quantile] >= 0,
+            f"latency_ms.{quantile} must be a non-negative number",
+        )
+    expect(latency["p99"] >= latency["p50"], "latency_ms.p99 must dominate p50")
+
+    rejects = doc.get("rejects")
+    expect(isinstance(rejects, dict), "rejects must be an object")
+    expect(
+        sorted(rejects) == sorted(REJECT_CLASSES),
+        f"rejects must carry exactly the typed classes; got {sorted(rejects)}",
+    )
+    for reason, count in rejects.items():
+        expect(is_uint(count), f"rejects.{reason} must be a non-negative integer")
+    expect(
+        sum(rejects.values()) == doc["rejected"],
+        "rejected must equal the sum over reject classes",
+    )
+
+    stages = doc.get("stages")
+    expect(isinstance(stages, list), "stages must be an array")
+    for stage in stages:
+        expect(isinstance(stage.get("stage"), str) and stage["stage"], "stage.stage must name the stage")
+        expect(is_number(stage.get("mean_ms")) and stage["mean_ms"] >= 0, "stage.mean_ms must be >= 0")
+        expect(is_uint(stage.get("count")) and stage["count"] >= 1, "stage.count must be >= 1")
+
+    datasets = doc.get("datasets")
+    expect(isinstance(datasets, list), "datasets must be an array")
+    for entry in datasets:
+        name = entry.get("dataset")
+        expect(isinstance(name, str) and name, "datasets[].dataset must name the tenant")
+        expect(is_uint(entry.get("served")), f"datasets[{name}].served must be a non-negative integer")
+        expect(
+            is_number(entry.get("eps_spent")) and entry["eps_spent"] >= 0,
+            f"datasets[{name}].eps_spent must be >= 0",
+        )
+        expect(
+            is_number(entry.get("eps_burn_per_s")) and entry["eps_burn_per_s"] >= 0,
+            f"datasets[{name}].eps_burn_per_s must be >= 0",
+        )
+        remaining = entry.get("eps_remaining", "missing")
+        expect(
+            remaining is None or (is_number(remaining) and remaining >= 0),
+            f"datasets[{name}].eps_remaining must be null (uncapped) or >= 0",
+        )
+    expect(
+        sum(entry["served"] for entry in datasets) == doc["served"],
+        "served must equal the sum over per-dataset served counts",
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_stats_schema.py <stats.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as err:
+        fail(f"cannot read {sys.argv[1]}: {err}")
+    check(doc)
+    print(f"ok: {sys.argv[1]} conforms to the daemon stats schema")
+
+
+if __name__ == "__main__":
+    main()

@@ -440,3 +440,114 @@ fn remaining_stays_monotone_while_replay_floods_race_fresh_spends_across_shards(
     }
     assert_eq!(shards.names(), vec!["east", "west"]);
 }
+
+#[test]
+fn concurrent_first_opens_of_one_shard_converge_on_a_single_recovered_accountant() {
+    // The get-or-create race in `AccountantShards::open`: many threads hit
+    // the map's cold path for the SAME durable dataset at the same instant
+    // (barrier-aligned, so every thread is inside `open` when the shard does
+    // not exist yet). Exactly one creation may win — every caller must walk
+    // away holding the SAME accountant (pointer equality, not just equal
+    // state), the WAL must be recovered once with the winning config, and a
+    // spend performed through any handle must be visible through all of
+    // them. A second wave re-opening after a process "restart" (a fresh map
+    // over the same dir) must recover the durable spend exactly once, not
+    // once per racer.
+    use dpx_dp::{AccountantShards, ShardConfig};
+    use std::sync::Arc;
+
+    const RACERS: usize = 16;
+    let dir =
+        std::env::temp_dir().join(format!("dpx-serve-shard-open-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cap = Epsilon::new(1.0).unwrap();
+
+    // Wave 1: cold map, cold disk. All racers open "contested" plus a
+    // private per-racer dataset, so the map lock sees interleaved first
+    // opens of many keys while the contested key's creation races.
+    let shards = AccountantShards::in_dir(&dir).unwrap();
+    let barrier = Barrier::new(RACERS);
+    let handles: Vec<_> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..RACERS)
+            .map(|r| {
+                let shards = &shards;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let contested = shards.open("contested", ShardConfig::capped(cap)).unwrap();
+                    let private = shards
+                        .open(&format!("private-{r}"), ShardConfig::capped(cap))
+                        .unwrap();
+                    // Every racer charges through its own handle; the grants
+                    // land on one shard iff the handles are one shard.
+                    contested
+                        .try_spend_grant(r as u64, "open-race", Epsilon::new(1.0 / 32.0).unwrap())
+                        .expect("within cap");
+                    (contested, private)
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    // One creation won: every handle is the same Arc, and the map holds it.
+    let canonical = shards.get("contested").expect("opened");
+    for (contested, private) in &handles {
+        assert!(
+            Arc::ptr_eq(contested, &canonical),
+            "a racer got a different shard instance for the same dataset"
+        );
+        assert!(
+            !Arc::ptr_eq(private, &canonical),
+            "a private dataset aliased the contested shard"
+        );
+    }
+    // All racers' grants landed on that one shard — none were stranded on a
+    // losing instance whose WAL handle was dropped.
+    assert_eq!(canonical.num_charges(), RACERS);
+    assert!((canonical.spent() - RACERS as f64 / 32.0).abs() < 1e-12);
+    assert_eq!(shards.names().len(), RACERS + 1, "one shard per dataset");
+
+    // Wave 2: a fresh map over the same dir (the restart path) races the
+    // first RE-open. Recovery must happen once: the spend comes back exact,
+    // never doubled by a second racing recovery.
+    drop(handles);
+    drop(shards);
+    let reopened = AccountantShards::in_dir(&dir).unwrap();
+    let barrier = Barrier::new(RACERS);
+    let recovered: Vec<_> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..RACERS)
+            .map(|_| {
+                let reopened = &reopened;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    reopened
+                        .open("contested", ShardConfig::capped(cap))
+                        .unwrap()
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    let canonical = &recovered[0];
+    for shard in &recovered {
+        assert!(Arc::ptr_eq(shard, canonical));
+    }
+    assert!(
+        (canonical.spent() - RACERS as f64 / 32.0).abs() < 1e-12,
+        "recovered spend {} must match the durable history exactly (one recovery, not {})",
+        canonical.spent(),
+        RACERS
+    );
+    // The recovered grant ids are the wave-1 racers' — replay protection
+    // survives the racing reopen.
+    let mut ids = canonical.granted_ids();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..RACERS as u64).collect::<Vec<_>>(),
+        "grants lost or invented across the racing reopen"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
